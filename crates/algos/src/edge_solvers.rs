@@ -1,0 +1,443 @@
+//! Truly local algorithms for the `P2` (edge-labeling) problems: maximal
+//! matching and the two edge colorings.
+//!
+//! Every solver simulates the corresponding node problem on the line graph
+//! (Section 5 of the paper relies on the same correspondences):
+//!
+//! * maximal matching = MIS on the line graph,
+//! * `(edge-degree+1)`-edge coloring = `(deg+1)`-coloring of the line
+//!   graph,
+//! * `(2Δ−1)`-edge coloring = the same coloring read into a fixed palette.
+//!
+//! Simulated line-graph rounds are charged at the honest `2r + 1` exchange
+//! rate (see [`crate::line_graph`]). The literature's sharper bounds
+//! (`O(Δ)` matching \[PR01\], `O(log^12 Δ)` edge coloring \[BBKO22b\]) are
+//! available as [`ChargedModel`](crate::ChargedModel)s.
+
+use crate::line_graph::{line_graph, simulated_rounds, LineGraph};
+use crate::linial::run_linial;
+use crate::mis_phase::{mis_from_coloring, MisDecision};
+use crate::reduce::{kw_reduce, sweep_reduce};
+use crate::traits::{GlobalCtx, TrulyLocal};
+use treelocal_graph::{HalfEdge, NodeId, SemiGraph, Side};
+use treelocal_problems::{
+    BMatchLabel, BMatching, EdgeColLabel, EdgeDegreeColoring, HalfEdgeLabeling, MatchLabel,
+    MaximalMatching, PaletteEdgeColoring, PaletteLabel,
+};
+use treelocal_sim::{Ctx, RoundReport};
+
+fn line_ctx<'l>(l: &'l LineGraph, gctx: &GlobalCtx) -> Ctx<'l, treelocal_graph::Graph> {
+    Ctx { topo: &l.graph, n: gctx.n, id_space: l.id_space, max_degree: l.graph.max_degree() }
+}
+
+/// Maximal matching in `O(Δ log Δ + log* n)` measured (simulated) rounds:
+/// MIS on the line graph.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MatchingAlgo;
+
+impl TrulyLocal<MaximalMatching> for MatchingAlgo {
+    fn name(&self) -> &'static str {
+        "matching/line-mis"
+    }
+
+    fn f(&self, delta: f64) -> f64 {
+        // Line-graph degree is ≤ 2Δ - 2; the simulation doubles rounds.
+        2.0 * (2.0 * delta + 1.0) * (2.0 * delta + 4.0).log2()
+    }
+
+    fn solve(
+        &self,
+        sub: &SemiGraph<'_>,
+        gctx: &GlobalCtx,
+        _problem: &MaximalMatching,
+    ) -> (HalfEdgeLabeling<MatchLabel>, RoundReport) {
+        let mut report = RoundReport::new();
+        let mut labeling = HalfEdgeLabeling::new(sub.parent().edge_count());
+        let l = line_graph(sub);
+        let mut matched_lnode: Vec<bool> = vec![false; l.graph.node_count()];
+        if l.graph.node_count() > 0 {
+            let ctx = line_ctx(&l, gctx);
+            let lin = run_linial(&ctx);
+            report.push("linial(L)", simulated_rounds(lin.rounds));
+            let red = kw_reduce(&ctx, &lin.colors, lin.final_bound);
+            report.push("kw-reduce(L)", simulated_rounds(red.rounds));
+            let mis = mis_from_coloring(&ctx, &red.colors, u64::from(red.final_colors));
+            report.push("mis-sweep(L)", simulated_rounds(mis.rounds));
+            for (flag, decision) in matched_lnode.iter_mut().zip(&mis.decisions) {
+                *flag = matches!(decision, Some(MisDecision::Member));
+            }
+        }
+        report.push("labeling", 1);
+        // A node of `sub` is matched iff some incident rank-2 edge is.
+        let g = sub.parent();
+        let node_matched = |v: NodeId| -> bool {
+            sub.underlying_neighbors(v).iter().any(|&(_, e)| {
+                l.lnode_of[e.index()].is_some_and(|ln| matched_lnode[ln as usize])
+            })
+        };
+        for &e in sub.edges() {
+            match sub.rank(e) {
+                2 => {
+                    let matched =
+                        l.lnode_of[e.index()].is_some_and(|ln| matched_lnode[ln as usize]);
+                    let [u, v] = g.endpoints(e);
+                    if matched {
+                        labeling.set_fresh(HalfEdge::new(e, Side::First), MatchLabel::M);
+                        labeling.set_fresh(HalfEdge::new(e, Side::Second), MatchLabel::M);
+                    } else {
+                        let lu = if node_matched(u) { MatchLabel::P } else { MatchLabel::O };
+                        let lv = if node_matched(v) { MatchLabel::P } else { MatchLabel::O };
+                        labeling.set_fresh(HalfEdge::new(e, Side::First), lu);
+                        labeling.set_fresh(HalfEdge::new(e, Side::Second), lv);
+                    }
+                }
+                1 => {
+                    let side = if sub.half_present(e, Side::First) {
+                        Side::First
+                    } else {
+                        Side::Second
+                    };
+                    labeling.set_fresh(HalfEdge::new(e, side), MatchLabel::D);
+                }
+                _ => {}
+            }
+        }
+        (labeling, report)
+    }
+}
+
+/// `(edge-degree+1)`-edge coloring in `O(Δ² log² Δ + log* n)` measured
+/// (simulated) rounds: `(deg+1)`-coloring of the line graph by Linial +
+/// class sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeColoringAlgo;
+
+/// Computes the per-rank-2-edge colors via the line graph; shared by both
+/// edge coloring solvers. Returns colors (1-based, `≤ edge-degree+1`)
+/// indexed by line node.
+fn line_colors(
+    l: &LineGraph,
+    gctx: &GlobalCtx,
+    report: &mut RoundReport,
+) -> Vec<Option<u32>> {
+    if l.graph.node_count() == 0 {
+        return Vec::new();
+    }
+    let ctx = line_ctx(l, gctx);
+    let lin = run_linial(&ctx);
+    report.push("linial(L)", simulated_rounds(lin.rounds));
+    let red = sweep_reduce(&ctx, &lin.colors, lin.final_bound);
+    report.push("sweep-reduce(L)", simulated_rounds(red.rounds));
+    red.colors
+}
+
+impl TrulyLocal<EdgeDegreeColoring> for EdgeColoringAlgo {
+    fn name(&self) -> &'static str {
+        "edge-degree+1/line-sweep"
+    }
+
+    fn f(&self, delta: f64) -> f64 {
+        let t = (2.0 * delta + 2.0) * (2.0 * delta + 4.0).log2();
+        2.0 * t * t
+    }
+
+    fn solve(
+        &self,
+        sub: &SemiGraph<'_>,
+        gctx: &GlobalCtx,
+        _problem: &EdgeDegreeColoring,
+    ) -> (HalfEdgeLabeling<EdgeColLabel>, RoundReport) {
+        let mut report = RoundReport::new();
+        let mut labeling = HalfEdgeLabeling::new(sub.parent().edge_count());
+        let l = line_graph(sub);
+        let colors = line_colors(&l, gctx, &mut report);
+        report.push("labeling", 1);
+        let g = sub.parent();
+        for &e in sub.edges() {
+            match sub.rank(e) {
+                2 => {
+                    let ln = l.lnode_of[e.index()].expect("rank-2 edge is a line node");
+                    let b = colors[ln as usize].expect("line node colored");
+                    let [u, v] = g.endpoints(e);
+                    // Degree parts: the underlying degree of each endpoint
+                    // (= the count of its non-D labels in this instance).
+                    let au = sub.underlying_degree(u) as u32;
+                    let av = sub.underlying_degree(v) as u32;
+                    debug_assert!(au + av > b, "greedy color within edge-degree+1");
+                    labeling.set_fresh(HalfEdge::new(e, Side::First), EdgeColLabel::C(au, b));
+                    labeling.set_fresh(HalfEdge::new(e, Side::Second), EdgeColLabel::C(av, b));
+                }
+                1 => {
+                    let side = if sub.half_present(e, Side::First) {
+                        Side::First
+                    } else {
+                        Side::Second
+                    };
+                    labeling.set_fresh(HalfEdge::new(e, side), EdgeColLabel::D);
+                }
+                _ => {}
+            }
+        }
+        (labeling, report)
+    }
+}
+
+/// Fixed-palette edge coloring (e.g. `(2Δ−1)`): the same line-graph sweep,
+/// read into palette labels.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaletteEdgeColoringAlgo;
+
+impl TrulyLocal<PaletteEdgeColoring> for PaletteEdgeColoringAlgo {
+    fn name(&self) -> &'static str {
+        "palette-edge/line-sweep"
+    }
+
+    fn f(&self, delta: f64) -> f64 {
+        let t = (2.0 * delta + 2.0) * (2.0 * delta + 4.0).log2();
+        2.0 * t * t
+    }
+
+    fn solve(
+        &self,
+        sub: &SemiGraph<'_>,
+        gctx: &GlobalCtx,
+        problem: &PaletteEdgeColoring,
+    ) -> (HalfEdgeLabeling<PaletteLabel>, RoundReport) {
+        let mut report = RoundReport::new();
+        let mut labeling = HalfEdgeLabeling::new(sub.parent().edge_count());
+        let l = line_graph(sub);
+        let colors = line_colors(&l, gctx, &mut report);
+        report.push("labeling", 1);
+        for &e in sub.edges() {
+            match sub.rank(e) {
+                2 => {
+                    let ln = l.lnode_of[e.index()].expect("rank-2 edge is a line node");
+                    let c = colors[ln as usize].expect("line node colored");
+                    assert!(
+                        c <= problem.palette,
+                        "greedy color {c} exceeds palette {} — instance degree too high",
+                        problem.palette
+                    );
+                    labeling.set_fresh(HalfEdge::new(e, Side::First), PaletteLabel::C(c));
+                    labeling.set_fresh(HalfEdge::new(e, Side::Second), PaletteLabel::C(c));
+                }
+                1 => {
+                    let side = if sub.half_present(e, Side::First) {
+                        Side::First
+                    } else {
+                        Side::Second
+                    };
+                    labeling.set_fresh(HalfEdge::new(e, side), PaletteLabel::D);
+                }
+                _ => {}
+            }
+        }
+        (labeling, report)
+    }
+}
+
+/// Maximal `b`-matching in `O(Δ² log² Δ + log* n)` measured (simulated)
+/// rounds: greedy over the color classes of a Linial coloring of the line
+/// graph. Capacities only shrink, so an edge left unchosen at its class
+/// round has a saturated endpoint at termination — maximality.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BMatchingAlgo;
+
+impl TrulyLocal<BMatching> for BMatchingAlgo {
+    fn name(&self) -> &'static str {
+        "b-matching/line-sweep"
+    }
+
+    fn f(&self, delta: f64) -> f64 {
+        let t = (2.0 * delta + 2.0) * (2.0 * delta + 4.0).log2();
+        2.0 * t * t
+    }
+
+    fn solve(
+        &self,
+        sub: &SemiGraph<'_>,
+        gctx: &GlobalCtx,
+        problem: &BMatching,
+    ) -> (HalfEdgeLabeling<BMatchLabel>, RoundReport) {
+        let mut report = RoundReport::new();
+        let mut labeling = HalfEdgeLabeling::new(sub.parent().edge_count());
+        let l = line_graph(sub);
+        let g = sub.parent();
+        let mut chosen = vec![false; l.graph.node_count()];
+        if l.graph.node_count() > 0 {
+            let ctx = line_ctx(&l, gctx);
+            let lin = run_linial(&ctx);
+            report.push("linial(L)", simulated_rounds(lin.rounds));
+            // Greedy sweep over the proper coloring, one class per
+            // (simulated) round, highest class first; an edge joins iff
+            // both endpoints still have capacity. Same-class edges are
+            // non-adjacent in L, hence endpoint-disjoint claims... not
+            // quite: same-class L-nodes share no endpoint by properness,
+            // so their capacity updates never conflict.
+            let mut load = vec![0usize; g.node_count()];
+            let mut order: Vec<usize> = (0..l.graph.node_count()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(lin.colors[i].expect("colored")));
+            for &i in &order {
+                let e = l.edge_of[i];
+                let [u, v] = g.endpoints(e);
+                if load[u.index()] < problem.b && load[v.index()] < problem.b {
+                    chosen[i] = true;
+                    load[u.index()] += 1;
+                    load[v.index()] += 1;
+                }
+            }
+            // Rounds charged: one simulated round per color class.
+            report.push("class-sweep(L)", simulated_rounds(lin.final_bound));
+        }
+        report.push("labeling", 1);
+        let load_of = |w: NodeId| -> usize {
+            sub.underlying_neighbors(w)
+                .iter()
+                .filter(|&&(_, f)| {
+                    l.lnode_of[f.index()].is_some_and(|ln| chosen[ln as usize])
+                })
+                .count()
+        };
+        for &e in sub.edges() {
+            match sub.rank(e) {
+                2 => {
+                    let ln = l.lnode_of[e.index()].expect("rank-2 edge is a line node");
+                    let [u, v] = g.endpoints(e);
+                    if chosen[ln as usize] {
+                        labeling.set_fresh(HalfEdge::new(e, Side::First), BMatchLabel::M);
+                        labeling.set_fresh(HalfEdge::new(e, Side::Second), BMatchLabel::M);
+                    } else {
+                        let lu = if load_of(u) >= problem.b {
+                            BMatchLabel::S
+                        } else {
+                            BMatchLabel::O
+                        };
+                        let lv = if load_of(v) >= problem.b {
+                            BMatchLabel::S
+                        } else {
+                            BMatchLabel::O
+                        };
+                        labeling.set_fresh(HalfEdge::new(e, Side::First), lu);
+                        labeling.set_fresh(HalfEdge::new(e, Side::Second), lv);
+                    }
+                }
+                1 => {
+                    let side = if sub.half_present(e, Side::First) {
+                        Side::First
+                    } else {
+                        Side::Second
+                    };
+                    labeling.set_fresh(HalfEdge::new(e, side), BMatchLabel::D);
+                }
+                _ => {}
+            }
+        }
+        (labeling, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_gen::{grid, random_tree, relabel, IdStrategy};
+    use treelocal_problems::{classic, verify_semigraph};
+
+    #[test]
+    fn matching_on_whole_trees() {
+        for seed in 0..4 {
+            let g = relabel(&random_tree(100, seed), IdStrategy::Permuted { seed });
+            let s = SemiGraph::whole(&g);
+            let (labeling, report) = MatchingAlgo.solve(&s, &GlobalCtx::of(&g), &MaximalMatching);
+            verify_semigraph(&MaximalMatching, &s, &labeling).unwrap();
+            let m = MaximalMatching.extract(&g, &labeling);
+            assert!(classic::is_valid_maximal_matching(&g, &m), "seed {seed}");
+            assert!(report.total() > 0);
+        }
+    }
+
+    #[test]
+    fn matching_on_edge_restrictions() {
+        let g = random_tree(60, 8);
+        // Keep a third of the edges: the induced semi-graph is all rank 2.
+        let s = SemiGraph::induced_by_edges(&g, |e| e.index() % 3 == 0);
+        let (labeling, _) = MatchingAlgo.solve(&s, &GlobalCtx::of(&g), &MaximalMatching);
+        verify_semigraph(&MaximalMatching, &s, &labeling).unwrap();
+    }
+
+    #[test]
+    fn matching_labels_rank1_edges_d() {
+        let g = random_tree(40, 3);
+        let s = SemiGraph::induced_by_nodes(&g, |v| v.index() % 2 == 0);
+        let (labeling, _) = MatchingAlgo.solve(&s, &GlobalCtx::of(&g), &MaximalMatching);
+        verify_semigraph(&MaximalMatching, &s, &labeling).unwrap();
+        for &e in s.edges() {
+            if s.rank(e) == 1 {
+                let side =
+                    if s.half_present(e, Side::First) { Side::First } else { Side::Second };
+                assert_eq!(labeling.get_at(e, side), Some(MatchLabel::D));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_coloring_on_trees_and_grids() {
+        let t = random_tree(80, 1);
+        let s = SemiGraph::whole(&t);
+        let (labeling, _) = EdgeColoringAlgo.solve(&s, &GlobalCtx::of(&t), &EdgeDegreeColoring);
+        verify_semigraph(&EdgeDegreeColoring, &s, &labeling).unwrap();
+        let colors = EdgeDegreeColoring.extract(&t, &labeling);
+        assert!(classic::is_valid_edge_degree_coloring(&t, &colors));
+
+        let gr = grid(6, 6);
+        let s = SemiGraph::whole(&gr);
+        let (labeling, _) = EdgeColoringAlgo.solve(&s, &GlobalCtx::of(&gr), &EdgeDegreeColoring);
+        verify_semigraph(&EdgeDegreeColoring, &s, &labeling).unwrap();
+    }
+
+    #[test]
+    fn palette_coloring_respects_two_delta_minus_one() {
+        let g = random_tree(70, 5);
+        let p = PaletteEdgeColoring::two_delta_minus_one(g.max_degree());
+        let s = SemiGraph::whole(&g);
+        let (labeling, _) = PaletteEdgeColoringAlgo.solve(&s, &GlobalCtx::of(&g), &p);
+        verify_semigraph(&p, &s, &labeling).unwrap();
+    }
+
+    #[test]
+    fn empty_sub_instance() {
+        let g = random_tree(10, 1);
+        let s = SemiGraph::induced_by_edges(&g, |_| false);
+        let (labeling, report) = MatchingAlgo.solve(&s, &GlobalCtx::of(&g), &MaximalMatching);
+        assert_eq!(labeling.assigned_count(), 0);
+        // Only the fixed labeling round is charged.
+        assert!(report.total() <= 1);
+    }
+
+    #[test]
+    fn b_matching_on_whole_graphs_and_restrictions() {
+        for b in 1..4usize {
+            let p = BMatching { b };
+            let g = random_tree(90, b as u64);
+            let s = SemiGraph::whole(&g);
+            let (labeling, _) = BMatchingAlgo.solve(&s, &GlobalCtx::of(&g), &p);
+            verify_semigraph(&p, &s, &labeling).unwrap();
+            let chosen = p.extract(&g, &labeling);
+            assert!(p.is_valid_classic(&g, &chosen), "b {b}");
+
+            let gr = grid(7, 7);
+            let s = SemiGraph::whole(&gr);
+            let (labeling, _) = BMatchingAlgo.solve(&s, &GlobalCtx::of(&gr), &p);
+            verify_semigraph(&p, &s, &labeling).unwrap();
+        }
+    }
+
+    #[test]
+    fn b1_matching_matches_matching_semantics() {
+        let g = random_tree(70, 9);
+        let p = BMatching { b: 1 };
+        let s = SemiGraph::whole(&g);
+        let (labeling, _) = BMatchingAlgo.solve(&s, &GlobalCtx::of(&g), &p);
+        let chosen = p.extract(&g, &labeling);
+        assert!(classic::is_valid_maximal_matching(&g, &chosen));
+    }
+}

@@ -1,0 +1,313 @@
+//! Linial-style color reduction in `log* n + O(1)` rounds.
+//!
+//! The classic deterministic symmetry-breaking primitive \[Lin92, GPS87\]:
+//! starting from the unique identifiers (a proper `id_space`-coloring),
+//! each round shrinks a proper `C`-coloring to a proper `q²`-coloring via
+//! the polynomial construction: encode the current color as a degree-`d`
+//! polynomial `p` over `F_q` (digits base `q`), pick an evaluation point
+//! `x` on which `p` disagrees with every neighbor's polynomial (possible
+//! because `q > d·Δ`), and adopt the color `(x, p(x))`.
+//!
+//! Iterating with a deterministic schedule of `(d, q)` stages reaches a
+//! proper `O(Δ²)`-coloring after `log*`-many rounds; the schedule is a pure
+//! function of `(id_space, Δ)`, so all nodes compute it locally.
+
+use treelocal_graph::{NodeId, Topology};
+use treelocal_sim::{next_prime, run, Ctx, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
+
+/// One stage of the reduction: colors `< c_in` become colors `< q²` using
+/// degree-`d` polynomials over `F_q`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// Polynomial degree bound.
+    pub d: u32,
+    /// Field size (prime, `q > d·Δ`, `q^{d+1} ≥ c_in`).
+    pub q: u64,
+    /// Upper bound on input colors.
+    pub c_in: u64,
+}
+
+/// Computes the deterministic stage schedule for initial color space
+/// `id_space` and maximum degree `delta`. The final color bound is
+/// `schedule.last().q²` (or `id_space` if no stage helps).
+pub fn linial_schedule(id_space: u64, delta: usize) -> Vec<Stage> {
+    let mut stages = Vec::new();
+    let mut c = id_space.max(2);
+    while let Some((d, q)) = best_stage(c, delta) {
+        let c_next = q * q;
+        if c_next >= c {
+            break;
+        }
+        stages.push(Stage { d, q, c_in: c });
+        c = c_next;
+        debug_assert!(stages.len() < 64, "schedule diverged");
+    }
+    stages
+}
+
+/// The final color bound after running the schedule.
+pub fn linial_final_colors(id_space: u64, delta: usize) -> u64 {
+    linial_schedule(id_space, delta).last().map_or(id_space.max(2), |s| s.q * s.q)
+}
+
+/// Picks the stage `(d, q)` minimizing the output bound `q²` for input
+/// bound `c`.
+fn best_stage(c: u64, delta: usize) -> Option<(u32, u64)> {
+    let mut best: Option<(u32, u64)> = None;
+    for d in 1..=48u32 {
+        // q ≥ d·Δ + 1 (distinct polynomials disagree somewhere among the
+        // valid evaluation points) and q^{d+1} ≥ c (colors encodable).
+        let lower_deg = (d as u64) * (delta as u64) + 1;
+        let lower_enc = integer_root_ceil(c, d + 1);
+        let q = next_prime(lower_deg.max(lower_enc).max(2));
+        debug_assert!(pow_at_least(q, d + 1, c), "q^{{d+1}} >= c by construction");
+        match best {
+            Some((_, bq)) if bq <= q => {}
+            _ => best = Some((d, q)),
+        }
+        // Larger d only helps while the encoding bound dominates.
+        if lower_deg >= lower_enc {
+            break;
+        }
+    }
+    best
+}
+
+/// `⌈c^{1/k}⌉` computed exactly.
+fn integer_root_ceil(c: u64, k: u32) -> u64 {
+    if c <= 1 {
+        return 1;
+    }
+    let mut r = (c as f64).powf(1.0 / f64::from(k)).ceil() as u64;
+    r = r.max(1);
+    while !pow_at_least(r, k, c) {
+        r += 1;
+    }
+    while r > 1 && pow_at_least(r - 1, k, c) {
+        r -= 1;
+    }
+    r
+}
+
+/// Whether `base^exp >= target`, without overflow.
+fn pow_at_least(base: u64, exp: u32, target: u64) -> bool {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base as u128);
+        if acc >= target as u128 {
+            return true;
+        }
+    }
+    acc >= target as u128
+}
+
+/// Per-node state: the current color.
+#[derive(Clone, Debug)]
+pub struct ColorState {
+    /// Proper color, bounded by the current stage's input bound.
+    pub color: u64,
+}
+
+struct LinialAlgo {
+    schedule: Vec<Stage>,
+}
+
+impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
+    type State = ColorState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<ColorState> {
+        let color = ctx.topo.local_id(v);
+        if self.schedule.is_empty() {
+            Verdict::Halted(ColorState { color })
+        } else {
+            Verdict::Active(ColorState { color })
+        }
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &ColorState,
+        prev: &Snapshot<'_, ColorState>,
+    ) -> Verdict<ColorState> {
+        let stage = self.schedule[(round - 1) as usize];
+        let my_poly = digits(own.color, stage.q, stage.d);
+        let neighbor_polys: Vec<Vec<u64>> = ctx
+            .topo
+            .neighbors(v)
+            .iter()
+            .map(|&(w, _)| digits(prev.get(w).color, stage.q, stage.d))
+            .collect();
+        // Find an evaluation point disagreeing with every neighbor.
+        let mut x_found = None;
+        'outer: for x in 0..stage.q {
+            let mine = eval_poly(&my_poly, x, stage.q);
+            for theirs in &neighbor_polys {
+                if eval_poly(theirs, x, stage.q) == mine {
+                    continue 'outer;
+                }
+            }
+            x_found = Some((x, mine));
+            break;
+        }
+        let (x, px) = x_found.expect("q > d*Delta guarantees an evaluation point");
+        let color = x * stage.q + px;
+        debug_assert!(color < stage.q * stage.q);
+        let state = ColorState { color };
+        if round as usize == self.schedule.len() {
+            Verdict::Halted(state)
+        } else {
+            Verdict::Active(state)
+        }
+    }
+}
+
+fn digits(mut c: u64, q: u64, d: u32) -> Vec<u64> {
+    let mut out = Vec::with_capacity(d as usize + 1);
+    for _ in 0..=d {
+        out.push(c % q);
+        c /= q;
+    }
+    debug_assert_eq!(c, 0, "color must fit in d+1 digits base q");
+    out
+}
+
+fn eval_poly(coeffs: &[u64], x: u64, q: u64) -> u64 {
+    // Horner, all values < q ≤ ~2^32 in practice; use u128 to be safe.
+    let mut acc: u128 = 0;
+    for &c in coeffs.iter().rev() {
+        acc = (acc * x as u128 + c as u128) % q as u128;
+    }
+    acc as u64
+}
+
+/// The result of the reduction: a proper coloring with `colors[v] <
+/// final_bound` for every participating node.
+#[derive(Clone, Debug)]
+pub struct LinialOutcome {
+    /// Final color per node (parent index space).
+    pub colors: Vec<Option<u64>>,
+    /// Exclusive upper bound on the final colors.
+    pub final_bound: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+/// Runs the reduction on a topology, producing a proper `O(Δ²)`-coloring in
+/// `log*`-many rounds.
+pub fn run_linial<T: Topology>(ctx: &Ctx<'_, T>) -> LinialOutcome {
+    let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
+    let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
+    let algo = LinialAlgo { schedule };
+    let out: RunOutcome<ColorState> = run(ctx, &algo, 200);
+    LinialOutcome {
+        colors: out.states.iter().map(|s| s.as_ref().map(|c| c.color)).collect(),
+        final_bound,
+        rounds: out.rounds,
+    }
+}
+
+/// Checks that `colors` is proper on the topology (test helper).
+pub fn is_proper<T: Topology>(topo: &T, colors: &[Option<u64>]) -> bool {
+    topo.nodes().iter().all(|&v| {
+        topo.neighbors(v)
+            .iter()
+            .all(|&(w, _)| colors[v.index()] != colors[w.index()])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_graph::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn schedule_reaches_poly_delta() {
+        for delta in [1usize, 2, 3, 8, 20] {
+            for id_space in [100u64, 10_000, 1 << 32] {
+                let final_c = linial_final_colors(id_space, delta);
+                let bound = 30 * (delta as u64 + 1) * (delta as u64 + 1) + 200;
+                assert!(
+                    final_c <= bound,
+                    "delta {delta} id_space {id_space}: {final_c} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_length_is_log_star_like() {
+        // Even for astronomically large id spaces the schedule is short.
+        let s = linial_schedule(u64::MAX, 4);
+        assert!(s.len() <= 8, "schedule too long: {}", s.len());
+        let s_small = linial_schedule(100, 4);
+        assert!(s_small.len() <= s.len() + 1);
+    }
+
+    #[test]
+    fn reduction_is_proper_on_paths_and_stars() {
+        for g in [
+            path(50),
+            Graph::from_edges(9, &(1..9).map(|i| (0, i)).collect::<Vec<_>>()).unwrap(),
+        ] {
+            let ctx = Ctx::of(&g);
+            let out = run_linial(&ctx);
+            assert!(is_proper(&g, &out.colors), "improper coloring");
+            for &v in g.node_ids() {
+                assert!(out.colors[v.index()].unwrap() < out.final_bound);
+            }
+            assert_eq!(out.rounds as usize, linial_schedule(ctx.id_space, ctx.max_degree).len());
+        }
+    }
+
+    #[test]
+    fn reduction_with_sparse_ids() {
+        // Huge identifier space exercises multiple stages.
+        let n = 40;
+        let mut b = treelocal_graph::GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1);
+        }
+        let ids: Vec<u64> = (0..n as u64).map(|i| i * i * 131 + 17).collect();
+        b.local_ids(ids);
+        let g = b.finish().unwrap();
+        let ctx = Ctx::of(&g);
+        let out = run_linial(&ctx);
+        assert!(is_proper(&g, &out.colors));
+        assert!(out.final_bound <= 1000, "final bound {}", out.final_bound);
+    }
+
+    #[test]
+    fn integer_root_is_exact() {
+        assert_eq!(integer_root_ceil(8, 3), 2);
+        assert_eq!(integer_root_ceil(9, 3), 3);
+        assert_eq!(integer_root_ceil(27, 3), 3);
+        assert_eq!(integer_root_ceil(28, 3), 4);
+        assert_eq!(integer_root_ceil(1, 5), 1);
+        assert_eq!(integer_root_ceil(u64::MAX, 2), 1 << 32);
+    }
+
+    #[test]
+    fn poly_eval_matches_naive() {
+        let coeffs = vec![3u64, 0, 2, 5];
+        let q = 7u64;
+        for x in 0..q {
+            let naive = (3 + 2 * x * x + 5 * x * x * x) % q;
+            assert_eq!(eval_poly(&coeffs, x, q), naive);
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let ctx = Ctx::of(&g);
+        let out = run_linial(&ctx);
+        assert!(out.colors[0].is_some());
+    }
+}

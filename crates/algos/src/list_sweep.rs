@@ -1,0 +1,132 @@
+//! The list-coloring class sweep: from a proper `m`-coloring, process
+//! color classes one per round; each node picks the first color of its
+//! input list not already chosen by a neighbor. Because every list has at
+//! least `deg(v) + 1` entries, a free list color always exists.
+
+use treelocal_graph::{NodeId, Topology};
+use treelocal_problems::Color;
+use treelocal_sim::{run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+
+#[derive(Clone, Debug)]
+enum LsState {
+    Waiting { my_round: u64 },
+    Chosen(Color),
+}
+
+struct ListSweep<'c> {
+    initial: &'c [Option<u64>],
+    m: u64,
+    lists: &'c [Vec<Color>],
+}
+
+impl<T: Topology> SyncAlgorithm<T> for ListSweep<'_> {
+    type State = LsState;
+
+    fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<LsState> {
+        let c = self.initial[v.index()].expect("initial color for every participant");
+        debug_assert!(c < self.m);
+        Verdict::Active(LsState::Waiting { my_round: self.m - c })
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &LsState,
+        prev: &Snapshot<'_, LsState>,
+    ) -> Verdict<LsState> {
+        let LsState::Waiting { my_round } = own else {
+            unreachable!("chosen nodes have halted")
+        };
+        if round < *my_round {
+            return Verdict::Active(own.clone());
+        }
+        let mut used: Vec<Color> = ctx
+            .topo
+            .neighbors(v)
+            .iter()
+            .filter_map(|&(w, _)| match prev.get(w) {
+                LsState::Chosen(c) => Some(*c),
+                LsState::Waiting { .. } => None,
+            })
+            .collect();
+        used.sort_unstable();
+        let c = self.lists[v.index()]
+            .iter()
+            .copied()
+            .find(|c| used.binary_search(c).is_err())
+            .expect("lists have deg+1 entries: a free color exists");
+        Verdict::Halted(LsState::Chosen(c))
+    }
+}
+
+/// Outcome of the list sweep.
+#[derive(Clone, Debug)]
+pub struct ListSweepOutcome {
+    /// Chosen list color per node.
+    pub colors: Vec<Option<Color>>,
+    /// Rounds executed (at most `m`).
+    pub rounds: u64,
+}
+
+/// Runs the list sweep from a proper 0-based `m`-coloring; `lists` is
+/// indexed by the parent node space.
+pub fn list_sweep<T: Topology>(
+    ctx: &Ctx<'_, T>,
+    initial: &[Option<u64>],
+    m: u64,
+    lists: &[Vec<Color>],
+) -> ListSweepOutcome {
+    let algo = ListSweep { initial, m: m.max(1), lists };
+    let out = run(ctx, &algo, m + 2);
+    ListSweepOutcome {
+        colors: out
+            .states
+            .iter()
+            .map(|s| {
+                s.as_ref().map(|st| match st {
+                    LsState::Chosen(c) => *c,
+                    LsState::Waiting { .. } => unreachable!("run drains all nodes"),
+                })
+            })
+            .collect(),
+        rounds: out.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linial::run_linial;
+    use treelocal_gen::random_tree;
+    use treelocal_graph::Graph;
+
+    fn lists_for(g: &Graph, offset: u32) -> Vec<Vec<Color>> {
+        g.node_ids()
+            .iter()
+            .map(|&v| {
+                (0..=(g.degree(v) as Color)).map(|i| offset + 3 * i + 1).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn list_sweep_is_proper_and_on_list() {
+        for seed in 0..4 {
+            let g = random_tree(120, seed);
+            let lists = lists_for(&g, seed as u32);
+            let ctx = Ctx::of(&g);
+            let lin = run_linial(&ctx);
+            let out = list_sweep(&ctx, &lin.colors, lin.final_bound, &lists);
+            for &v in g.node_ids() {
+                let c = out.colors[v.index()].unwrap();
+                assert!(lists[v.index()].contains(&c));
+                for &(w, _) in g.neighbors(v) {
+                    assert_ne!(out.colors[w.index()].unwrap(), c);
+                }
+            }
+            assert!(out.rounds <= lin.final_bound);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the truly local solvers on *restricted* semi-graph
+//! instances — the exact setting in which the transformation invokes them
+//! (Theorem 12 restricts by nodes; Theorem 15 restricts by edges).
+
+use proptest::prelude::*;
+use treelocal_algos::{
+    BMatchingAlgo, DegColoringAlgo, EdgeColoringAlgo, GlobalCtx, MatchingAlgo, MisAlgo,
+    TrulyLocal,
+};
+use treelocal_gen::{random_arboricity_graph, random_tree};
+use treelocal_graph::{NodeId, SemiGraph};
+use treelocal_problems::{
+    verify_semigraph, BMatching, DegPlusOneColoring, EdgeDegreeColoring, MaximalMatching, Mis,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mis_on_random_node_restrictions(
+        n in 2usize..120,
+        seed in 0u64..400,
+        mask in any::<u64>(),
+    ) {
+        let g = random_tree(n, seed);
+        let in_set = |v: NodeId| (mask >> (v.index() % 64)) & 1 == 0;
+        let s = SemiGraph::induced_by_nodes(&g, in_set);
+        let (labeling, _) = MisAlgo.solve(&s, &GlobalCtx::of(&g), &Mis);
+        prop_assert!(verify_semigraph(&Mis, &s, &labeling).is_ok());
+    }
+
+    #[test]
+    fn coloring_on_random_node_restrictions(
+        n in 2usize..120,
+        seed in 0u64..400,
+        mask in any::<u64>(),
+    ) {
+        let g = random_tree(n, seed);
+        let in_set = |v: NodeId| (mask >> (v.index() % 64)) & 1 == 1;
+        let s = SemiGraph::induced_by_nodes(&g, in_set);
+        let (labeling, _) = DegColoringAlgo.solve(&s, &GlobalCtx::of(&g), &DegPlusOneColoring);
+        prop_assert!(verify_semigraph(&DegPlusOneColoring, &s, &labeling).is_ok());
+    }
+
+    #[test]
+    fn matching_on_random_edge_restrictions(
+        n in 2usize..120,
+        a in 1usize..3,
+        seed in 0u64..400,
+        mask in any::<u64>(),
+    ) {
+        let g = random_arboricity_graph(n, a, seed);
+        let s = SemiGraph::induced_by_edges(&g, |e| (mask >> (e.index() % 64)) & 1 == 0);
+        let (labeling, _) = MatchingAlgo.solve(&s, &GlobalCtx::of(&g), &MaximalMatching);
+        prop_assert!(verify_semigraph(&MaximalMatching, &s, &labeling).is_ok());
+    }
+
+    #[test]
+    fn edge_coloring_on_random_edge_restrictions(
+        n in 2usize..100,
+        seed in 0u64..400,
+        mask in any::<u64>(),
+    ) {
+        let g = random_tree(n, seed);
+        let s = SemiGraph::induced_by_edges(&g, |e| (mask >> (e.index() % 64)) & 1 == 1);
+        let (labeling, _) = EdgeColoringAlgo.solve(&s, &GlobalCtx::of(&g), &EdgeDegreeColoring);
+        prop_assert!(verify_semigraph(&EdgeDegreeColoring, &s, &labeling).is_ok());
+    }
+
+    #[test]
+    fn b_matching_on_random_restrictions(
+        n in 2usize..100,
+        b in 1usize..4,
+        seed in 0u64..400,
+        mask in any::<u64>(),
+    ) {
+        let g = random_tree(n, seed);
+        let p = BMatching { b };
+        let s = SemiGraph::induced_by_edges(&g, |e| (mask >> (e.index() % 64)) & 1 == 0);
+        let (labeling, _) = BMatchingAlgo.solve(&s, &GlobalCtx::of(&g), &p);
+        prop_assert!(verify_semigraph(&p, &s, &labeling).is_ok());
+    }
+}

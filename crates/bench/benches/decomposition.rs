@@ -1,0 +1,51 @@
+//! Criterion wall-clock benchmarks for the two decompositions
+//! (Algorithm 1 and Algorithm 3) across instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelocal_decomp::{arb_decompose, rake_compress, split_atypical};
+use treelocal_gen::{random_arboricity_graph, random_tree};
+
+fn bench_rake_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rake_compress");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let tree = random_tree(n, 1);
+        for &k in &[2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &tree,
+                |b, tree| b.iter(|| rake_compress(tree, k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_arb_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arb_decompose");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        for &a in &[1usize, 3] {
+            let g = random_arboricity_graph(n, a, 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("a{a}"), n),
+                &g,
+                |b, g| b.iter(|| arb_decompose(g, a, 5 * a)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_forest_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_split");
+    for &n in &[10_000usize, 100_000] {
+        let g = random_arboricity_graph(n, 3, 3);
+        let d = arb_decompose(&g, 3, 15);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&g, &d), |b, (g, d)| {
+            b.iter(|| split_atypical(g, d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rake_compress, bench_arb_decompose, bench_forest_split);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion wall-clock benchmarks for the end-to-end transformation
+//! pipelines (Theorem 12 and Theorem 15) and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelocal_algos::{EdgeColoringAlgo, MatchingAlgo, MisAlgo};
+use treelocal_core::{direct_baseline, ArbTransform, TreeTransform};
+use treelocal_gen::{random_tree, triangulated_grid};
+use treelocal_problems::{EdgeDegreeColoring, MaximalMatching, Mis};
+
+fn bench_tree_transform_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem12_mis");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let tree = random_tree(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| {
+                let out = TreeTransform::new(&Mis, &MisAlgo).run(tree);
+                assert!(out.valid);
+                out.total_rounds()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arb_transform_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem15_matching");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let tree = random_tree(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| {
+                let out = ArbTransform::new(&MaximalMatching, &MatchingAlgo).run(tree, 1);
+                assert!(out.valid);
+                out.total_rounds()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem3_edge_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem3_edge_coloring");
+    group.sample_size(10);
+    for &side in &[20usize, 45] {
+        let g = triangulated_grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
+                        .with_rho(2)
+                        .run(g, 3);
+                    assert!(out.valid);
+                    out.total_rounds()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_direct_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_baseline_mis");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let tree = random_tree(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| direct_baseline(&Mis, &MisAlgo, tree).total_rounds())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_transform_mis,
+    bench_arb_transform_matching,
+    bench_theorem3_edge_coloring,
+    bench_direct_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates the experiment tables (E1–E12).
+//!
+//! ```sh
+//! cargo run --release -p treelocal-bench --bin experiments -- all
+//! cargo run --release -p treelocal-bench --bin experiments -- e8 e10
+//! cargo run --release -p treelocal-bench --bin experiments -- --quick all
+//! ```
+//!
+//! CSV copies are written to `target/experiments/`.
+
+use std::path::PathBuf;
+use treelocal_bench::{all_experiment_ids, run_experiment, ExperimentSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let size = if quick { ExperimentSize::Quick } else { ExperimentSize::Full };
+    let requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.to_lowercase())
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
+        all_experiment_ids()
+    } else {
+        let known = all_experiment_ids();
+        for r in &requested {
+            if !known.contains(&r.as_str()) {
+                eprintln!("unknown experiment {r:?}; known: {known:?}");
+                std::process::exit(2);
+            }
+        }
+        known.into_iter().filter(|id| requested.iter().any(|r| r == id)).collect()
+    };
+
+    let csv_dir = PathBuf::from("target/experiments");
+    for id in ids {
+        let start = std::time::Instant::now();
+        for table in run_experiment(id, size) {
+            println!("{}", table.render());
+            if let Err(e) = table.write_csv(&csv_dir) {
+                eprintln!("(csv write failed: {e})");
+            }
+        }
+        println!("[{id} done in {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,81 @@
+//! The experiment harness regenerating every table/figure of the
+//! reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records).
+//!
+//! Run `cargo run --release -p treelocal-bench --bin experiments -- all`
+//! to print every table, or pass experiment ids (`e1 e8 e10 ...`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablations;
+mod lemmas;
+pub mod table;
+mod theorems;
+
+pub use table::Table;
+
+/// How large the experiment workloads should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentSize {
+    /// Small instances (seconds; used by tests).
+    Quick,
+    /// The full sweeps recorded in EXPERIMENTS.md (minutes).
+    Full,
+}
+
+/// All experiment ids, in presentation order.
+pub fn all_experiment_ids() -> Vec<&'static str> {
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    ]
+}
+
+/// Runs one experiment by id, returning its table(s).
+///
+/// # Panics
+///
+/// Panics on an unknown id (callers validate against
+/// [`all_experiment_ids`]) or if a pipeline produces an invalid solution —
+/// an invariant violation, not a reportable outcome.
+pub fn run_experiment(id: &str, size: ExperimentSize) -> Vec<Table> {
+    match id {
+        "e1" => vec![lemmas::e1(size)],
+        "e2" => vec![lemmas::e2(size)],
+        "e3" => vec![lemmas::e3(size)],
+        "e4" => vec![lemmas::e4(size)],
+        "e5" => vec![lemmas::e5(size)],
+        "e6" => vec![theorems::e6(size)],
+        "e7" => vec![theorems::e7(size)],
+        "e8" => vec![theorems::e8_executed(size), theorems::e8_model(size)],
+        "e9" => vec![theorems::e9(size)],
+        "e10" => vec![ablations::e10(size)],
+        "e11" => vec![ablations::e11(size), ablations::e11_model(size)],
+        "e12" => vec![ablations::e12(size)],
+        "e13" => vec![theorems::e13(size)],
+        "e14" => vec![ablations::e14(size)],
+        other => panic!("unknown experiment id {other:?}; known: {:?}", all_experiment_ids()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_dispatches() {
+        // Run the cheapest two to keep the unit test fast; the rest are
+        // covered by their module tests.
+        for id in ["e2", "e12"] {
+            let tables = run_experiment(id, ExperimentSize::Quick);
+            assert!(!tables.is_empty());
+        }
+        assert_eq!(all_experiment_ids().len(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = run_experiment("e99", ExperimentSize::Quick);
+    }
+}

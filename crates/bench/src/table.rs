@@ -1,0 +1,159 @@
+//! Plain-text tables for the experiment outputs (rendered to the terminal
+//! and to CSV files under `target/experiments/`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rendered experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id (e.g. `"E3"`).
+    pub id: String,
+    /// Human-readable description with the paper claim being reproduced.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (fit results, verdicts).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {} ===", self.id, self.title);
+        let head: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", head.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(head.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// CSV form (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<id>_<slug>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .take(40)
+            .collect();
+        let path = dir.join(format!("{}_{slug}.csv", self.id));
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e5 || x.abs() < 1e-2 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("E0", "demo", &["n", "rounds"]);
+        t.row(vec!["10".into(), "5".into()]);
+        t.row(vec!["100".into(), "9".into()]);
+        t.note("shape holds");
+        let r = t.render();
+        assert!(r.contains("E0"));
+        assert!(r.contains("rounds"));
+        assert!(r.contains("shape holds"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,rounds\n10,5\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(3.25), "3.25");
+        assert_eq!(fnum(1234567.0), "1.235e6");
+    }
+}

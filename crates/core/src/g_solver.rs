@@ -1,0 +1,157 @@
+//! Solving `g(n)^{f(g(n))} = n` — the parameter equation at the heart of
+//! the transformation.
+//!
+//! Taking logarithms, `g` is the unique solution of
+//! `f(g) · log₂(g) = log₂(n)`; existence and uniqueness follow from `f`
+//! being continuous, monotonically non-decreasing and non-zero (footnotes
+//! 6–7 of the paper). The solver works in log-space so the experiment
+//! harness can evaluate the asymptotic bounds at astronomically large `n`
+//! (e.g. `n = 2^{10000}`) without overflow.
+//!
+//! Worked examples from the paper:
+//! * `f(Δ) = Δ` (MIS, maximal matching): `g(n) = Θ(log n / log log n)`,
+//!   and `f(g(n)) = Θ(log n / log log n)` — the tight tree bound.
+//! * `f(Δ) = log^{12} Δ` (BBKO22b edge coloring): `f(g(n)) =
+//!   Θ(log^{12/13} n)` — Theorem 3.
+
+/// Solves `f(g) · log₂ g = log₂ n` for `log₂ g`, given `log₂ n` and `f`
+/// expressed in log-space (`f_of_log(x) = f(2^x)`).
+///
+/// Returns a value in `[lo, log₂ n]` where `lo` is a small positive floor;
+/// if even `g = n` cannot satisfy the equation (pathologically small `f`),
+/// the upper end is returned.
+///
+/// # Panics
+///
+/// Panics if `log2_n` is not positive and finite.
+pub fn solve_log2_g(log2_n: f64, f_of_log: impl Fn(f64) -> f64) -> f64 {
+    assert!(log2_n.is_finite() && log2_n > 0.0, "need log2(n) > 0, got {log2_n}");
+    let h = |lg: f64| f_of_log(lg) * lg;
+    let mut lo = 1e-9;
+    let mut hi = log2_n.max(lo * 2.0);
+    if h(hi) <= log2_n {
+        return hi;
+    }
+    if h(lo) >= log2_n {
+        return lo;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if h(mid) < log2_n {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Solves `g^{f(g)} = n` directly for moderate `n` (fits in `f64`).
+pub fn solve_g(n: f64, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(n.is_finite() && n >= 2.0, "need n >= 2, got {n}");
+    let lg = solve_log2_g(n.log2(), |x| f(x.exp2()));
+    lg.exp2()
+}
+
+/// The decomposition parameter `k` used by the transforms: `⌊g(n)⌋`
+/// clamped to at least 2 (rake-and-compress needs `k ≥ 2`).
+pub fn k_for(n: usize, f: impl Fn(f64) -> f64) -> usize {
+    if n < 4 {
+        return 2;
+    }
+    let g = solve_g(n as f64, f);
+    (g.floor() as usize).max(2)
+}
+
+/// The transformed complexity `f(g(n))` — the headline quantity of
+/// Theorems 1 and 2, computed in log-space for huge `n`.
+pub fn transformed_complexity_log2(log2_n: f64, f_of_log: impl Fn(f64) -> f64) -> f64 {
+    let lg = solve_log2_g(log2_n, &f_of_log);
+    f_of_log(lg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_f_gives_log_over_loglog() {
+        // f(Δ) = Δ: g satisfies g · log g = log n, so f(g) = g ≈
+        // log n / log log n.
+        for l2n in [64.0, 1024.0, 1_048_576.0] {
+            let got = transformed_complexity_log2(l2n, |lg| lg.exp2());
+            let expected = l2n / l2n.log2();
+            assert!(
+                (got / expected - 1.0).abs() < 0.6,
+                "l2n {l2n}: got {got}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn log12_f_gives_exponent_12_over_13() {
+        // f(Δ) = log^12 Δ: f(g(n)) = Θ(log^{12/13} n). Fit the exponent on
+        // a sweep of huge n.
+        let f = |lg: f64| lg.max(1e-12).powi(12);
+        let mut exps = Vec::new();
+        let mut prev: Option<(f64, f64)> = None;
+        for e in [1_000.0f64, 10_000.0, 100_000.0, 1_000_000.0] {
+            let v = transformed_complexity_log2(e, f);
+            if let Some((pe, pv)) = prev {
+                let slope = (v.ln() - pv.ln()) / (e.ln() - pe.ln());
+                exps.push(slope);
+            }
+            prev = Some((e, v));
+        }
+        for slope in exps {
+            assert!(
+                (slope - 12.0 / 13.0).abs() < 0.02,
+                "fitted exponent {slope} should be ~{}",
+                12.0 / 13.0
+            );
+        }
+    }
+
+    #[test]
+    fn solve_g_satisfies_equation() {
+        let f = |d: f64| d + 1.0;
+        for n in [16.0, 1e4, 1e9, 1e15] {
+            let g = solve_g(n, f);
+            let lhs = f(g) * g.log2();
+            assert!((lhs / n.log2() - 1.0).abs() < 1e-6, "n {n}: lhs {lhs}");
+        }
+    }
+
+    #[test]
+    fn g_is_monotone_in_n() {
+        let f = |d: f64| (d + 1.0) * (d + 4.0).log2();
+        let mut prev = 0.0;
+        for e in 2..40 {
+            let g = solve_g((1u64 << e) as f64, f);
+            assert!(g >= prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn k_for_realistic_sizes() {
+        // MIS-style f: k stays small but grows with n.
+        let f = |d: f64| (d + 1.0) * (d + 4.0).log2();
+        let k1k = k_for(1_000, f);
+        let k1m = k_for(1_000_000, f);
+        assert!(k1k >= 2);
+        assert!(k1m >= k1k);
+        assert!(k1m <= 64, "k(1e6) unexpectedly large: {k1m}");
+        assert_eq!(k_for(2, f), 2);
+    }
+
+    #[test]
+    fn pathological_f_clamps() {
+        // Tiny f: g runs to the upper end.
+        let lg = solve_log2_g(100.0, |_| 1e-6);
+        assert!(lg >= 99.0);
+        // Huge f: g clamps to the floor.
+        let lg = solve_log2_g(100.0, |_| 1e12);
+        assert!(lg <= 1e-6);
+    }
+}

@@ -1,0 +1,54 @@
+//! The Brandt–Narayanan transformation (PODC 2025): from truly local
+//! complexity to (near-)optimal deterministic LOCAL algorithms on trees
+//! and bounded-arboricity graphs.
+//!
+//! This crate is the paper's primary contribution, executable:
+//!
+//! * [`solve_g`] / [`solve_log2_g`] — the parameter equation
+//!   `g(n)^{f(g(n))} = n`,
+//! * [`TreeTransform`] — Theorem 12 (the formal Theorem 1): any
+//!   `O(f(Δ) + log* n)` algorithm for a `P1` problem becomes an
+//!   `O(f(g(n)) + log* n)` algorithm on trees,
+//! * [`ArbTransform`] — Theorem 15 (the formal Theorem 2): the dual for
+//!   `P2` problems on graphs of arboricity ≤ `a`,
+//! * Theorem 3 entry points ([`edge_coloring_on_tree`],
+//!   [`matching_on_tree`], [`mis_on_tree`], [`coloring_on_tree`]),
+//! * baselines ([`direct_baseline`], [`gather_baseline_node`],
+//!   [`gather_baseline_edge`]) and analytic bound evaluators
+//!   ([`tree_bound_log2`], [`arb_bound_log2`]) for the experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use treelocal_core::{mis_on_tree, TreeTransform};
+//! use treelocal_gen::random_tree;
+//! use treelocal_problems::classic;
+//!
+//! let tree = random_tree(1000, 1);
+//! let (outcome, set) = mis_on_tree(&tree);
+//! assert!(outcome.valid);
+//! assert!(classic::is_valid_mis(&tree, &set));
+//! println!("{}", outcome.executed); // per-phase round breakdown
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arb_transform;
+mod baselines;
+mod bounds;
+mod g_solver;
+mod report;
+mod theorem3;
+mod tree_transform;
+
+pub use arb_transform::ArbTransform;
+pub use baselines::{direct_baseline, gather_baseline_edge, gather_baseline_node};
+pub use bounds::{arb_bound_log2, fit_log_exponent, mis_lower_bound_log2, tree_bound_log2};
+pub use g_solver::{k_for, solve_g, solve_log2_g, transformed_complexity_log2};
+pub use report::{TransformOutcome, TransformParams, TransformStats};
+pub use theorem3::{
+    coloring_on_tree, edge_coloring_bounded_arboricity, edge_coloring_on_tree, matching_on_tree,
+    mis_on_tree,
+};
+pub use tree_transform::TreeTransform;

@@ -1,0 +1,119 @@
+//! Theorem 3 entry points: `(edge-degree+1)`-edge coloring in
+//! `O(log^{12/13} n)` rounds on trees and `O(a + log^{12/13} n)` on graphs
+//! of arboricity ≤ `a`, plus the Section 5.2 maximal matching result and
+//! the Theorem 1 instantiations for MIS and coloring.
+//!
+//! Each entry point wires the appropriate problem, inner algorithm,
+//! charged literature model and `ρ` together, runs the pipeline, and
+//! extracts the classic solution.
+
+use crate::arb_transform::ArbTransform;
+use crate::report::TransformOutcome;
+use crate::tree_transform::TreeTransform;
+use treelocal_algos::{
+    ChargedModel, DegColoringAlgo, EdgeColoringAlgo, MatchingAlgo, MisAlgo,
+};
+use treelocal_graph::Graph;
+use treelocal_problems::{
+    DegPlusOneColoring, EdgeColLabel, EdgeDegreeColoring, MatchLabel, MaximalMatching, Mis,
+    MisLabel,
+};
+
+/// Theorem 3 on trees: `(edge-degree+1)`-edge coloring via Theorem 15 with
+/// `a = 1, ρ = 1`, charged against the BBKO22b `O(log^12 Δ)` black box.
+///
+/// Returns the outcome and the extracted classic edge coloring.
+pub fn edge_coloring_on_tree(tree: &Graph) -> (TransformOutcome<EdgeColLabel>, Vec<u32>) {
+    let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
+        .with_charged(ChargedModel::bbko22b_edge_coloring())
+        .run(tree, 1);
+    let colors = EdgeDegreeColoring.extract(tree, &out.labeling);
+    (out, colors)
+}
+
+/// Theorem 3 on graphs of arboricity ≤ `a`: `ρ = 2`, per the paper's
+/// derivation (the `ρ/(ρ − log_g a)` factor is then a constant for
+/// `a ≤ g`).
+pub fn edge_coloring_bounded_arboricity(
+    g: &Graph,
+    a: usize,
+) -> (TransformOutcome<EdgeColLabel>, Vec<u32>) {
+    let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
+        .with_charged(ChargedModel::bbko22b_edge_coloring())
+        .with_rho(2)
+        .run(g, a);
+    let colors = EdgeDegreeColoring.extract(g, &out.labeling);
+    (out, colors)
+}
+
+/// Section 5.2: maximal matching on trees in `O(log n / log log n)` rounds
+/// via Theorem 15 (charged against PR01's `O(Δ)` algorithm).
+pub fn matching_on_tree(tree: &Graph) -> (TransformOutcome<MatchLabel>, Vec<bool>) {
+    let out = ArbTransform::new(&MaximalMatching, &MatchingAlgo)
+        .with_charged(ChargedModel::pr01_matching())
+        .run(tree, 1);
+    let matching = MaximalMatching.extract(tree, &out.labeling);
+    (out, matching)
+}
+
+/// Theorem 1 instantiated for MIS on trees: `O(log n / log log n)` rounds
+/// (charged against the tight `O(Δ)` truly local algorithm).
+pub fn mis_on_tree(tree: &Graph) -> (TransformOutcome<MisLabel>, Vec<bool>) {
+    let out = TreeTransform::new(&Mis, &MisAlgo)
+        .with_charged(ChargedModel::bek14_coloring())
+        .run(tree);
+    let set = Mis.extract(tree, &out.labeling);
+    (out, set)
+}
+
+/// Theorem 1 instantiated for `(deg+1)`-coloring on trees (charged against
+/// MT20's `O(√Δ log Δ)` list coloring).
+pub fn coloring_on_tree(tree: &Graph) -> (TransformOutcome<u32>, Vec<u32>) {
+    let out = TreeTransform::new(&DegPlusOneColoring, &DegColoringAlgo)
+        .with_charged(ChargedModel::mt20_coloring())
+        .run(tree);
+    let colors = treelocal_problems::extract_coloring(tree, &out.labeling);
+    (out, colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_gen::{balanced_regular_tree, random_tree, triangulated_grid};
+    use treelocal_problems::classic;
+
+    #[test]
+    fn theorem3_tree_pipeline() {
+        for seed in 0..3 {
+            let tree = random_tree(300, seed);
+            let (out, colors) = edge_coloring_on_tree(&tree);
+            assert!(out.valid);
+            assert!(classic::is_valid_edge_degree_coloring(&tree, &colors));
+            assert!(out.charged.is_some());
+        }
+    }
+
+    #[test]
+    fn theorem3_planar_pipeline() {
+        let g = triangulated_grid(9, 9);
+        let (out, colors) = edge_coloring_bounded_arboricity(&g, 3);
+        assert!(out.valid);
+        assert!(classic::is_valid_edge_degree_coloring(&g, &colors));
+    }
+
+    #[test]
+    fn matching_and_mis_and_coloring() {
+        let tree = balanced_regular_tree(6, 260);
+        let (mo, matching) = matching_on_tree(&tree);
+        assert!(mo.valid);
+        assert!(classic::is_valid_maximal_matching(&tree, &matching));
+
+        let (io, set) = mis_on_tree(&tree);
+        assert!(io.valid);
+        assert!(classic::is_valid_mis(&tree, &set));
+
+        let (co, colors) = coloring_on_tree(&tree);
+        assert!(co.valid);
+        assert!(classic::is_valid_deg_plus_one_coloring(&tree, &colors));
+    }
+}

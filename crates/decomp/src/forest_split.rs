@@ -1,0 +1,234 @@
+//! Splitting the atypical edges into `2a` rooted forests and `6a` star
+//! forests (Section 4 of the paper).
+//!
+//! Every node has at most `b = 2a` atypical edges toward higher layers, so
+//! coloring each node's higher-going atypical edges with distinct colors
+//! from `{1, ..., 2a}` partitions `E_1` into graphs `F_1, ..., F_{2a}` in
+//! which every node has at most one higher neighbor and none in its own
+//! layer — i.e. rooted forests (parent = the higher neighbor). A
+//! Cole–Vishkin 3-coloring of each forest then splits `F_i` into
+//! `F_{i,1}, F_{i,2}, F_{i,3}` by the color of an edge's **higher**
+//! endpoint; every connected component of `G[F_{i,j}]` is a star whose
+//! center is its highest node, so Algorithm 4 can solve each group in a
+//! constant number of rounds.
+
+use crate::arb_decomp::ArbDecomposition;
+use crate::order::LayerOrder;
+use treelocal_algos::three_color_rooted;
+use treelocal_graph::{
+    components, EdgeId, Graph, NodeId, RootedForest, SemiGraph,
+};
+use treelocal_sim::Ctx;
+
+/// The star-forest split of the atypical edges.
+#[derive(Clone, Debug)]
+pub struct ForestSplit {
+    /// For each atypical edge: its group `(i, j)` with `i < 2a`, `j < 3`.
+    pub group_of: Vec<Option<(u32, u8)>>,
+    /// Number of forests `F_i` (= `2a`).
+    pub forests: u32,
+    /// LOCAL rounds: the forest 3-colorings run in parallel, so the cost
+    /// is the maximum Cole–Vishkin round count over the `F_i`.
+    pub rounds: u64,
+}
+
+impl ForestSplit {
+    /// The edges of group `(i, j)`.
+    pub fn group_edges(&self, i: u32, j: u8) -> Vec<EdgeId> {
+        self.group_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g == Some((i, j)))
+            .map(|(e, _)| EdgeId::new(e))
+            .collect()
+    }
+
+    /// Iterates over all `6a` groups in the order Algorithm 4 processes
+    /// them.
+    pub fn groups(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        (0..self.forests).flat_map(|i| (0..3u8).map(move |j| (i, j)))
+    }
+}
+
+/// Builds the `F_i` forests and 3-colors each, producing the `F_{i,j}`
+/// star-forest split.
+pub fn split_atypical(g: &Graph, d: &ArbDecomposition) -> ForestSplit {
+    let order = d.layer_order();
+    let forests = (2 * d.a) as u32;
+    // Step 1: each node colors its higher-going atypical edges with
+    // distinct colors (deterministically: by neighbor identifier).
+    let mut forest_of: Vec<Option<u32>> = vec![None; g.edge_count()];
+    for &v in g.node_ids() {
+        let mut mine: Vec<(u64, EdgeId)> = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&(_, e)| {
+                d.atypical[e.index()] && order.lower_endpoint(g, e) == v
+            })
+            .map(|&(w, e)| (g.local_id(w), e))
+            .collect();
+        mine.sort_unstable();
+        assert!(
+            mine.len() <= forests as usize,
+            "node {v} has {} > b = {} atypical edges",
+            mine.len(),
+            forests
+        );
+        for (i, &(_, e)) in mine.iter().enumerate() {
+            forest_of[e.index()] = Some(i as u32);
+        }
+    }
+    // Step 2: 3-color each F_i (in parallel; rounds = max).
+    let mut group_of: Vec<Option<(u32, u8)>> = vec![None; g.edge_count()];
+    let mut rounds = 0u64;
+    for i in 0..forests {
+        let sub = SemiGraph::induced_by_edges(g, |e| forest_of[e.index()] == Some(i));
+        if sub.edges().is_empty() {
+            continue;
+        }
+        let forest = rooted_forest_towards_higher(g, &sub, &order);
+        let ctx = Ctx::restricted(&sub, g.node_count(), g.id_space());
+        let cv = three_color_rooted(&ctx, &forest);
+        rounds = rounds.max(cv.rounds);
+        for &e in sub.edges() {
+            let hi = order.higher_endpoint(g, e);
+            let j = cv.colors[hi.index()].expect("higher endpoint is colored");
+            group_of[e.index()] = Some((i, j));
+        }
+    }
+    ForestSplit { group_of, forests, rounds }
+}
+
+/// Parent pointers for an `F_i`: each node's (unique) higher neighbor.
+fn rooted_forest_towards_higher(
+    g: &Graph,
+    sub: &SemiGraph<'_>,
+    order: &LayerOrder,
+) -> RootedForest {
+    let n = g.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut member = vec![false; n];
+    for &v in sub.nodes() {
+        member[v.index()] = true;
+        let mut higher = sub
+            .underlying_neighbors(v)
+            .iter()
+            .filter(|&&(_, e)| order.lower_endpoint(g, e) == v)
+            .map(|&(w, _)| w);
+        parent[v.index()] = higher.next();
+        debug_assert!(higher.next().is_none(), "at most one higher neighbor per F_i");
+    }
+    RootedForest::from_parents(parent, member)
+}
+
+/// Checks the star property: every component of every `G[F_{i,j}]` is a
+/// star centered at its highest node.
+pub fn check_star_property(g: &Graph, d: &ArbDecomposition, split: &ForestSplit) -> bool {
+    let order = d.layer_order();
+    for (i, j) in split.groups() {
+        let edges = split.group_edges(i, j);
+        if edges.is_empty() {
+            continue;
+        }
+        let in_group: Vec<bool> = {
+            let mut v = vec![false; g.edge_count()];
+            for &e in &edges {
+                v[e.index()] = true;
+            }
+            v
+        };
+        let sub = SemiGraph::induced_by_edges(g, |e| in_group[e.index()]);
+        let cc = components(&sub);
+        for c in 0..cc.count() {
+            let members = cc.members(c);
+            // A star: some center adjacent to all others, no other edges.
+            let center = *members
+                .iter()
+                .max_by(|&&x, &&y| {
+                    let kx = (order.rank(x), g.local_id(x));
+                    let ky = (order.rank(y), g.local_id(y));
+                    kx.cmp(&ky)
+                })
+                .expect("non-empty component");
+            let deg_center = sub.underlying_degree(center);
+            if deg_center != members.len() - 1 {
+                return false;
+            }
+            for &v in members {
+                if v != center && sub.underlying_degree(v) != 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Checks that the split covers exactly the atypical edges.
+pub fn check_split_covers_atypical(d: &ArbDecomposition, split: &ForestSplit) -> bool {
+    d.atypical
+        .iter()
+        .zip(&split.group_of)
+        .all(|(&atyp, grp)| atyp == grp.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arb_decomp::arb_decompose;
+    use treelocal_gen::{random_arboricity_graph, random_tree, star, triangulated_grid};
+
+    fn check(g: &Graph, a: usize, k: usize) {
+        let d = arb_decompose(g, a, k);
+        let split = split_atypical(g, &d);
+        assert!(check_split_covers_atypical(&d, &split));
+        assert!(check_star_property(g, &d, &split));
+        assert_eq!(split.forests as usize, 2 * a);
+    }
+
+    #[test]
+    fn split_on_trees() {
+        for seed in 0..5 {
+            check(&random_tree(150, seed), 1, 5);
+        }
+        check(&star(40), 1, 5);
+    }
+
+    #[test]
+    fn split_on_arboricity_graphs() {
+        check(&triangulated_grid(9, 9), 3, 15);
+        for a in [2usize, 3] {
+            check(&random_arboricity_graph(130, a, 11), a, 5 * a);
+        }
+    }
+
+    #[test]
+    fn star_instance_splits_into_stars() {
+        let g = star(25);
+        let d = arb_decompose(&g, 1, 5);
+        let split = split_atypical(&g, &d);
+        // All 24 edges are atypical, all share the center: they must land
+        // in a single F_i (every leaf has one higher edge) and, within it,
+        // in groups by the center's color — i.e. one star.
+        let assigned = split.group_of.iter().filter(|g| g.is_some()).count();
+        assert_eq!(assigned, 24);
+        assert!(check_star_property(&g, &d, &split));
+    }
+
+    #[test]
+    fn rounds_are_log_star_like() {
+        let g = random_arboricity_graph(300, 2, 5);
+        let d = arb_decompose(&g, 2, 10);
+        let split = split_atypical(&g, &d);
+        assert!(split.rounds <= 30, "CV rounds {}", split.rounds);
+    }
+
+    #[test]
+    fn no_atypical_edges_no_groups() {
+        let g = treelocal_gen::path(30);
+        let d = arb_decompose(&g, 1, 5);
+        let split = split_atypical(&g, &d);
+        assert_eq!(split.rounds, 0);
+        assert!(split.group_of.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,462 @@
+//! Algorithm 1: the rake-and-compress decomposition of \[CHL+19\] used by
+//! Theorem 12.
+//!
+//! Each iteration on the remaining tree first **compresses** (marks every
+//! node whose own degree and all of whose neighbors' degrees are at most
+//! `k`), then **rakes** (marks every remaining node of degree ≤ 1). The
+//! iteration number and operation type induce the layer structure
+//! `C_1, R_1, C_2, R_2, ...`; Lemma 9 guarantees all nodes are marked
+//! within `⌈log_k n⌉ + 1` iterations, Lemma 10 bounds the degree of the
+//! graph induced by edges with compressed lower endpoints by `k`, and
+//! Lemma 11 bounds the diameter of raked components by
+//! `4(log_k n + 1) + 2`.
+//!
+//! Both a fast centralized implementation ([`rake_compress`]) and a
+//! round-faithful distributed one ([`rake_compress_distributed`], 3 LOCAL
+//! rounds per iteration) are provided; they produce identical layerings,
+//! which the test suite asserts.
+
+use crate::order::LayerOrder;
+use treelocal_graph::{
+    components, Graph, NodeId, SemiGraph, Topology,
+};
+use treelocal_sim::{ceil_log, run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+
+/// Which operation marked a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// Marked by a compress step (layer `C_i`).
+    Compress,
+    /// Marked by a rake step (layer `R_i`).
+    Rake,
+}
+
+/// The output of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct RakeCompress {
+    /// The iteration (1-based) at which each node was marked.
+    pub iteration_of: Vec<u32>,
+    /// Which operation marked each node.
+    pub mark_of: Vec<Mark>,
+    /// Number of iterations executed.
+    pub iterations: u32,
+    /// The degree parameter `k`.
+    pub k: usize,
+    /// LOCAL rounds of the distributed execution (3 per iteration).
+    pub rounds: u64,
+}
+
+impl RakeCompress {
+    /// Whether `v` was compressed.
+    pub fn is_compressed(&self, v: NodeId) -> bool {
+        self.mark_of[v.index()] == Mark::Compress
+    }
+
+    /// Whether `v` was raked.
+    pub fn is_raked(&self, v: NodeId) -> bool {
+        self.mark_of[v.index()] == Mark::Rake
+    }
+
+    /// The paper's total layer order: layer `C_i` has rank `2(i-1)`, layer
+    /// `R_i` rank `2(i-1) + 1` (compress precedes rake within an
+    /// iteration).
+    pub fn layer_order(&self) -> LayerOrder {
+        let layer_rank = self
+            .iteration_of
+            .iter()
+            .zip(&self.mark_of)
+            .map(|(&it, &mark)| {
+                debug_assert!(it >= 1);
+                2 * (it - 1) + u32::from(mark == Mark::Rake)
+            })
+            .collect();
+        LayerOrder { layer_rank }
+    }
+
+    /// The semi-graph `T_C` (induced by the compressed nodes).
+    pub fn compressed_semigraph<'g>(&self, g: &'g Graph) -> SemiGraph<'g> {
+        SemiGraph::induced_by_nodes(g, |v| self.is_compressed(v))
+    }
+
+    /// The semi-graph `T_R` (induced by the raked nodes).
+    pub fn raked_semigraph<'g>(&self, g: &'g Graph) -> SemiGraph<'g> {
+        SemiGraph::induced_by_nodes(g, |v| self.is_raked(v))
+    }
+}
+
+/// Centralized reference implementation of Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, if the graph is not a tree, or if the process fails
+/// to mark all nodes within a generous safety cap (which would indicate a
+/// bug, as Lemma 9 guarantees termination in `⌈log_k n⌉ + 1` iterations).
+pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
+    assert!(k >= 2, "rake-and-compress needs k >= 2");
+    assert!(treelocal_graph::is_tree(g) || g.node_count() <= 1, "Algorithm 1 runs on trees");
+    let n = g.node_count();
+    let mut iteration_of = vec![0u32; n];
+    let mut mark_of = vec![Mark::Rake; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut deg: Vec<usize> = (0..n).map(|i| g.degree(NodeId::new(i))).collect();
+    let mut remaining = n;
+    let mut iterations = 0u32;
+    let cap = lemma9_bound(n, k) * 4 + 16;
+    while remaining > 0 {
+        iterations += 1;
+        assert!(u64::from(iterations) <= cap, "rake-compress exceeded safety cap");
+        // Compress step on G[V_{i-1}].
+        let mut compressed = Vec::new();
+        for &v in g.node_ids() {
+            if !alive[v.index()] || deg[v.index()] > k {
+                continue;
+            }
+            let ok = g
+                .neighbors(v)
+                .iter()
+                .all(|&(w, _)| !alive[w.index()] || deg[w.index()] <= k);
+            if ok {
+                compressed.push(v);
+            }
+        }
+        let mut just_compressed = vec![false; n];
+        for &v in &compressed {
+            just_compressed[v.index()] = true;
+            iteration_of[v.index()] = iterations;
+            mark_of[v.index()] = Mark::Compress;
+        }
+        // Rake step on G[V_{i-1} \ C_i].
+        let mut raked = Vec::new();
+        for &v in g.node_ids() {
+            if !alive[v.index()] || just_compressed[v.index()] {
+                continue;
+            }
+            let d = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&(w, _)| alive[w.index()] && !just_compressed[w.index()])
+                .count();
+            if d <= 1 {
+                raked.push(v);
+                iteration_of[v.index()] = iterations;
+                mark_of[v.index()] = Mark::Rake;
+            }
+        }
+        // Remove marked nodes and update degrees.
+        for &v in compressed.iter().chain(&raked) {
+            alive[v.index()] = false;
+            remaining -= 1;
+            for &(w, _) in g.neighbors(v) {
+                if alive[w.index()] {
+                    deg[w.index()] -= 1;
+                }
+            }
+        }
+        // Recompute degrees exactly (removals within the same iteration
+        // interact; recompute keeps the reference implementation obviously
+        // correct).
+        for &v in g.node_ids() {
+            if alive[v.index()] {
+                deg[v.index()] =
+                    g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
+            }
+        }
+    }
+    RakeCompress {
+        iteration_of,
+        mark_of,
+        iterations,
+        k,
+        rounds: 3 * u64::from(iterations),
+    }
+}
+
+/// The Lemma 9 iteration bound `⌈log_k n⌉ + 1`.
+pub fn lemma9_bound(n: usize, k: usize) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    ceil_log(k as f64, n as f64) + 1
+}
+
+/// Checks Lemma 9: the recorded iteration count is within the bound.
+pub fn check_lemma9(rc: &RakeCompress, n: usize) -> bool {
+    u64::from(rc.iterations) <= lemma9_bound(n, rc.k)
+}
+
+/// The Lemma 10 quantity: the maximum degree of the graph induced by the
+/// edges whose **lower endpoint** lies in a compress layer.
+pub fn compress_edge_max_degree(g: &Graph, rc: &RakeCompress) -> usize {
+    let order = rc.layer_order();
+    let mut deg = vec![0usize; g.node_count()];
+    for e in g.edge_ids() {
+        let lo = order.lower_endpoint(g, e);
+        if rc.is_compressed(lo) {
+            let [u, v] = g.endpoints(e);
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+    }
+    deg.into_iter().max().unwrap_or(0)
+}
+
+/// Checks Lemma 10: `compress_edge_max_degree ≤ k`. Also implies the
+/// bound used by Theorem 12: the underlying degree of `T_C` is at most `k`.
+pub fn check_lemma10(g: &Graph, rc: &RakeCompress) -> bool {
+    compress_edge_max_degree(g, rc) <= rc.k
+        && rc.compressed_semigraph(g).underlying_max_degree() <= rc.k
+}
+
+/// The Lemma 11 quantity: the maximum diameter over connected components
+/// of the graph induced by the raked nodes.
+///
+/// Exact: raked components are subtrees of the input tree, so the sparse
+/// double sweep computes each diameter exactly in linear time.
+pub fn raked_component_max_diameter(g: &Graph, rc: &RakeCompress) -> u32 {
+    let tr = rc.raked_semigraph(g);
+    let cc = components(&tr);
+    let mut worst = 0;
+    for c in 0..cc.count() {
+        let start = cc.members(c)[0];
+        worst = worst.max(treelocal_graph::tree_component_diameter_sparse(&tr, start));
+    }
+    worst
+}
+
+/// The Lemma 11 bound `4(log_k n + 1) + 2`.
+pub fn lemma11_bound(n: usize, k: usize) -> u32 {
+    let lg = if n <= 1 { 0.0 } else { (n as f64).ln() / (k as f64).ln() };
+    (4.0 * (lg + 1.0) + 2.0).ceil() as u32
+}
+
+/// Checks Lemma 11 on an instance.
+pub fn check_lemma11(g: &Graph, rc: &RakeCompress) -> bool {
+    raked_component_max_diameter(g, rc) <= lemma11_bound(g.node_count(), rc.k)
+}
+
+// ---------------------------------------------------------------------
+// Distributed implementation
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RcState {
+    alive: bool,
+    /// Alive-degree, published in sub-round 1 of each iteration.
+    deg: usize,
+    /// Set during sub-round 2 of the iteration in which the node
+    /// compresses.
+    just_compressed: bool,
+    marked_at: Option<(u32, Mark)>,
+}
+
+struct RcDistributed {
+    k: usize,
+}
+
+impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
+    type State = RcState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<RcState> {
+        Verdict::Active(RcState {
+            alive: true,
+            deg: ctx.topo.degree(v),
+            just_compressed: false,
+            marked_at: None,
+        })
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &RcState,
+        prev: &Snapshot<'_, RcState>,
+    ) -> Verdict<RcState> {
+        let iteration = ((round - 1) / 3 + 1) as u32;
+        let sub = (round - 1) % 3;
+        let mut next = own.clone();
+        match sub {
+            0 => {
+                // Publish the current alive-degree.
+                next.deg = ctx
+                    .topo
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(w, _)| prev.get(w).alive)
+                    .count();
+                Verdict::Active(next)
+            }
+            1 => {
+                // Compress decision.
+                debug_assert!(own.alive);
+                let me_ok = own.deg <= self.k;
+                let nbrs_ok = ctx
+                    .topo
+                    .neighbors(v)
+                    .iter()
+                    .all(|&(w, _)| !prev.get(w).alive || prev.get(w).deg <= self.k);
+                if me_ok && nbrs_ok {
+                    next.just_compressed = true;
+                    next.marked_at = Some((iteration, Mark::Compress));
+                }
+                Verdict::Active(next)
+            }
+            _ => {
+                // Rake decision, then the iteration ends.
+                if own.just_compressed {
+                    next.alive = false;
+                    next.just_compressed = false;
+                    return Verdict::Halted(next);
+                }
+                let d = ctx
+                    .topo
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(w, _)| {
+                        let s = prev.get(w);
+                        s.alive && !s.just_compressed
+                    })
+                    .count();
+                if d <= 1 {
+                    next.alive = false;
+                    next.marked_at = Some((iteration, Mark::Rake));
+                    Verdict::Halted(next)
+                } else {
+                    Verdict::Active(next)
+                }
+            }
+        }
+    }
+}
+
+/// Distributed Algorithm 1: identical layering to [`rake_compress`],
+/// with honest LOCAL round counting (3 rounds per iteration).
+pub fn rake_compress_distributed(g: &Graph, k: usize) -> RakeCompress {
+    assert!(k >= 2, "rake-and-compress needs k >= 2");
+    let n = g.node_count();
+    if n == 0 {
+        return RakeCompress {
+            iteration_of: Vec::new(),
+            mark_of: Vec::new(),
+            iterations: 0,
+            k,
+            rounds: 0,
+        };
+    }
+    let ctx = Ctx::of(g);
+    let algo = RcDistributed { k };
+    let cap = (lemma9_bound(n, k) * 4 + 16) * 3;
+    let out = run(&ctx, &algo, cap);
+    let mut iteration_of = vec![0u32; n];
+    let mut mark_of = vec![Mark::Rake; n];
+    let mut iterations = 0u32;
+    for &v in g.node_ids() {
+        let st = out.states[v.index()].as_ref().expect("every node participated");
+        let (it, mark) = st.marked_at.expect("every node marked (Lemma 9)");
+        iteration_of[v.index()] = it;
+        mark_of[v.index()] = mark;
+        iterations = iterations.max(it);
+    }
+    RakeCompress { iteration_of, mark_of, iterations, k, rounds: out.rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_gen::{balanced_regular_tree, path, random_tree, star};
+
+    fn check_all_lemmas(g: &Graph, k: usize) {
+        let rc = rake_compress(g, k);
+        assert!(check_lemma9(&rc, g.node_count()), "Lemma 9: {} iterations", rc.iterations);
+        assert!(check_lemma10(g, &rc), "Lemma 10 violated (k = {k})");
+        assert!(check_lemma11(g, &rc), "Lemma 11 violated (k = {k})");
+    }
+
+    #[test]
+    fn lemmas_on_structured_trees() {
+        for k in [2usize, 3, 5, 10] {
+            check_all_lemmas(&path(50), k);
+            check_all_lemmas(&star(50), k);
+            check_all_lemmas(&balanced_regular_tree(3, 80), k);
+            check_all_lemmas(&balanced_regular_tree(8, 80), k);
+        }
+    }
+
+    #[test]
+    fn lemmas_on_random_trees() {
+        for seed in 0..8 {
+            let g = random_tree(200, seed);
+            for k in [2usize, 4, 16] {
+                check_all_lemmas(&g, k);
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_marked_exactly_once() {
+        let g = random_tree(100, 42);
+        let rc = rake_compress(&g, 3);
+        assert!(rc.iteration_of.iter().all(|&i| i >= 1));
+        let c = g.node_ids().iter().filter(|&&v| rc.is_compressed(v)).count();
+        let r = g.node_ids().iter().filter(|&&v| rc.is_raked(v)).count();
+        assert_eq!(c + r, 100);
+    }
+
+    #[test]
+    fn path_compresses_in_one_iteration() {
+        let g = path(30);
+        let rc = rake_compress(&g, 2);
+        assert_eq!(rc.iterations, 1);
+        assert!(g.node_ids().iter().all(|&v| rc.is_compressed(v)));
+    }
+
+    #[test]
+    fn star_rakes_leaves_then_compresses_center() {
+        let g = star(20);
+        let rc = rake_compress(&g, 3);
+        assert_eq!(rc.iterations, 2);
+        // The high-degree center survives iteration 1 (degree 19 > k) and
+        // is compressed once isolated (degree 0 ≤ k, no neighbors).
+        assert!(rc.is_compressed(NodeId::new(0)));
+        assert_eq!(rc.iteration_of[0], 2);
+        for v in 1..20 {
+            assert!(rc.is_raked(NodeId::new(v)));
+            assert_eq!(rc.iteration_of[v], 1);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        for seed in 0..5 {
+            let g = random_tree(120, seed);
+            for k in [2usize, 5] {
+                let a = rake_compress(&g, k);
+                let b = rake_compress_distributed(&g, k);
+                assert_eq!(a.iteration_of, b.iteration_of, "seed {seed} k {k}");
+                assert_eq!(a.mark_of, b.mark_of, "seed {seed} k {k}");
+                assert!(b.rounds <= 3 * u64::from(b.iterations));
+            }
+        }
+    }
+
+    #[test]
+    fn semigraph_views_partition_nodes() {
+        let g = random_tree(60, 9);
+        let rc = rake_compress(&g, 4);
+        let tc = rc.compressed_semigraph(&g);
+        let tr = rc.raked_semigraph(&g);
+        assert_eq!(tc.nodes().len() + tr.nodes().len(), 60);
+        // Half-edges partition (each edge's halves split by endpoint side).
+        assert_eq!(tc.half_edge_count() + tr.half_edge_count(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let rc = rake_compress(&g, 2);
+        assert_eq!(rc.iterations, 1);
+        // A solitary node has degree 0 ≤ k with no neighbors: compressed.
+        assert!(rc.is_compressed(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Bounded-arboricity workloads: forest unions, grids and triangulated
+//! grids.
+//!
+//! Theorem 2 / Theorem 15 of the paper applies to graphs of arboricity at
+//! most `a`; these generators produce such graphs *with the bound known by
+//! construction* (the paper likewise assumes `a` is known to the nodes).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treelocal_graph::{Graph, GraphBuilder};
+
+use crate::prufer::decode_prufer;
+
+/// A random graph of arboricity at most `a`: the union of `a` independent
+/// uniformly random spanning trees on the same `n` nodes (duplicate edges
+/// collapse, which can only lower the arboricity).
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_gen::random_arboricity_graph;
+/// use treelocal_graph::degeneracy;
+/// let g = random_arboricity_graph(200, 3, 1);
+/// // Degeneracy ≤ 2a - 1 for arboricity-a graphs.
+/// assert!(degeneracy(&g).degeneracy <= 5);
+/// ```
+pub fn random_arboricity_graph(n: usize, a: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(a >= 1, "arboricity bound must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xa2b0_c1d7);
+    let mut canon = std::collections::BTreeSet::new();
+    for _ in 0..a {
+        let edges = if n == 2 {
+            vec![(0, 1)]
+        } else {
+            let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+            decode_prufer(n, &seq)
+        };
+        for (u, v) in edges {
+            canon.insert((u.min(v), u.max(v)));
+        }
+    }
+    let edges: Vec<(usize, usize)> = canon.into_iter().collect();
+    Graph::from_edges(n, &edges).expect("union of trees is simple")
+}
+
+/// A random *forest* on `n` nodes with approximately `edge_fraction` of the
+/// maximum `n - 1` edges (each spanning-tree edge kept independently).
+pub fn random_forest(n: usize, edge_fraction: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&edge_fraction), "fraction in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xf0e5_0123);
+    if n < 2 {
+        return Graph::from_edges(n, &[]).expect("empty");
+    }
+    let tree_edges = if n == 2 {
+        vec![(0, 1)]
+    } else {
+        let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+        decode_prufer(n, &seq)
+    };
+    let kept: Vec<(usize, usize)> = tree_edges
+        .into_iter()
+        .filter(|_| rng.gen_bool(edge_fraction))
+        .collect();
+    Graph::from_edges(n, &kept).expect("subset of tree edges is a forest")
+}
+
+/// An `r × c` grid graph (planar; arboricity 2 for `r, c ≥ 2`).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.finish().expect("grid is simple")
+}
+
+/// An `r × c` grid with one diagonal per cell (planar triangulation-like;
+/// arboricity ≤ 3).
+pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                b.add_edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    b.finish().expect("triangulated grid is simple")
+}
+
+/// The arboricity bound each generator guarantees by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnownArboricity(pub usize);
+
+/// A labeled bounded-arboricity workload (graph + its guaranteed bound).
+pub fn arboricity_suite(n: usize, seed: u64) -> Vec<(String, Graph, KnownArboricity)> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    vec![
+        ("tree".into(), crate::prufer::random_tree(n, seed), KnownArboricity(1)),
+        ("grid".into(), grid(side, side), KnownArboricity(2)),
+        ("tri-grid".into(), triangulated_grid(side, side), KnownArboricity(3)),
+        ("union-2".into(), random_arboricity_graph(n, 2, seed), KnownArboricity(2)),
+        ("union-4".into(), random_arboricity_graph(n, 4, seed), KnownArboricity(4)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_graph::{degeneracy, forest_partition, is_forest, is_forest_partition};
+
+    #[test]
+    fn forest_union_respects_bound() {
+        for a in 1..5 {
+            let g = random_arboricity_graph(100, a, 7);
+            // Degeneracy is at most 2a - 1 for arboricity ≤ a.
+            assert!(
+                degeneracy(&g).degeneracy < 2 * a,
+                "a {a} degeneracy {}",
+                degeneracy(&g).degeneracy
+            );
+            let fp = forest_partition(&g);
+            assert!(is_forest_partition(&g, &fp));
+        }
+    }
+
+    #[test]
+    fn random_forest_is_forest() {
+        for frac in [0.0, 0.3, 0.7, 1.0] {
+            let g = random_forest(60, frac, 5);
+            assert!(is_forest(&g));
+        }
+        let full = random_forest(60, 1.0, 5);
+        assert_eq!(full.edge_count(), 59);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5); // horizontal + vertical
+        assert_eq!(g.max_degree(), 4);
+        assert!(degeneracy(&g).degeneracy <= 2);
+    }
+
+    #[test]
+    fn triangulated_grid_structure() {
+        let g = triangulated_grid(4, 4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 12 + 12 + 9);
+        assert!(degeneracy(&g).degeneracy <= 4); // arboricity ≤ 3
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid(1, 1).node_count(), 1);
+        assert_eq!(grid(1, 5).edge_count(), 4);
+        assert_eq!(triangulated_grid(1, 3).edge_count(), 2);
+    }
+
+    #[test]
+    fn suite_is_consistent() {
+        for (name, g, KnownArboricity(a)) in arboricity_suite(49, 3) {
+            assert!(g.node_count() >= 40, "{name}");
+            assert!(
+                degeneracy(&g).degeneracy <= 2 * a,
+                "{name}: degeneracy {} vs a {a}",
+                degeneracy(&g).degeneracy
+            );
+        }
+    }
+
+    #[test]
+    fn union_graph_deterministic() {
+        let a = random_arboricity_graph(80, 3, 11);
+        let b = random_arboricity_graph(80, 3, 11);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

@@ -1,0 +1,148 @@
+//! LOCAL identifier assignment strategies.
+//!
+//! The LOCAL model gives every node a globally unique identifier from
+//! `{1, ..., n^c}`. Deterministic algorithms (Linial color reduction,
+//! Cole–Vishkin) consume these identifiers, so the *assignment* is part of
+//! the workload. Generators default to sequential identifiers; experiments
+//! exercising the `log*` machinery use permuted or sparse assignments.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use treelocal_graph::{Graph, GraphBuilder};
+
+/// How LOCAL identifiers are assigned to nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdStrategy {
+    /// Node `i` gets identifier `i + 1`.
+    Sequential,
+    /// A pseudorandom permutation of `{1, ..., n}`.
+    Permuted {
+        /// Seed for the permutation.
+        seed: u64,
+    },
+    /// Distinct pseudorandom identifiers from `{1, ..., n^2}` — a "sparse"
+    /// identifier space exercising larger initial color counts.
+    Sparse {
+        /// Seed for the sampling.
+        seed: u64,
+    },
+    /// Adversarial for bitwise color reduction: identifiers alternate
+    /// between the low and high end of `{1, ..., n}` along the node order.
+    Alternating,
+}
+
+/// Produces `n` distinct positive identifiers per the strategy.
+pub fn assign_ids(n: usize, strategy: IdStrategy) -> Vec<u64> {
+    match strategy {
+        IdStrategy::Sequential => (1..=n as u64).collect(),
+        IdStrategy::Permuted { seed } => {
+            let mut ids: Vec<u64> = (1..=n as u64).collect();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x05ee_d1d5);
+            ids.shuffle(&mut rng);
+            ids
+        }
+        IdStrategy::Sparse { seed } => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x05ee_d2d5);
+            let space = (n as u64).saturating_mul(n as u64).max(n as u64) + 1;
+            let mut chosen = std::collections::BTreeSet::new();
+            while chosen.len() < n {
+                chosen.insert(rng.gen_range(1..space));
+            }
+            let mut ids: Vec<u64> = chosen.into_iter().collect();
+            // Shuffle so identifier magnitude is uncorrelated with index.
+            ids.shuffle(&mut rng);
+            ids
+        }
+        IdStrategy::Alternating => {
+            let mut ids = Vec::with_capacity(n);
+            let (mut lo, mut hi) = (1u64, n as u64);
+            for i in 0..n {
+                if i % 2 == 0 {
+                    ids.push(lo);
+                    lo += 1;
+                } else {
+                    ids.push(hi);
+                    hi -= 1;
+                }
+            }
+            ids
+        }
+    }
+}
+
+/// Rebuilds a graph with identifiers reassigned per the strategy.
+///
+/// # Panics
+///
+/// Panics only if the original graph was malformed, which [`Graph`]
+/// construction already prevents.
+pub fn relabel(g: &Graph, strategy: IdStrategy) -> Graph {
+    let mut b = GraphBuilder::new(g.node_count());
+    for e in g.edge_ids() {
+        let [u, v] = g.endpoints(e);
+        b.add_edge(u.index(), v.index());
+    }
+    b.local_ids(assign_ids(g.node_count(), strategy));
+    b.finish().expect("relabeling a valid graph stays valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_distinct(ids: &[u64]) -> bool {
+        let mut s = ids.to_vec();
+        s.sort_unstable();
+        s.windows(2).all(|w| w[0] != w[1])
+    }
+
+    #[test]
+    fn sequential_ids() {
+        assert_eq!(assign_ids(4, IdStrategy::Sequential), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn permuted_ids_are_a_permutation() {
+        let ids = assign_ids(100, IdStrategy::Permuted { seed: 7 });
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=100).collect::<Vec<u64>>());
+        assert_ne!(ids, (1..=100).collect::<Vec<u64>>(), "seed 7 should shuffle");
+    }
+
+    #[test]
+    fn permuted_is_deterministic_in_seed() {
+        let a = assign_ids(50, IdStrategy::Permuted { seed: 1 });
+        let b = assign_ids(50, IdStrategy::Permuted { seed: 1 });
+        let c = assign_ids(50, IdStrategy::Permuted { seed: 2 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_ids_distinct_and_bounded() {
+        let n = 64;
+        let ids = assign_ids(n, IdStrategy::Sparse { seed: 3 });
+        assert_eq!(ids.len(), n);
+        assert!(all_distinct(&ids));
+        assert!(ids.iter().all(|&x| x >= 1 && x <= (n * n) as u64));
+    }
+
+    #[test]
+    fn alternating_ids() {
+        assert_eq!(assign_ids(5, IdStrategy::Alternating), vec![1, 5, 2, 4, 3]);
+        assert!(all_distinct(&assign_ids(17, IdStrategy::Alternating)));
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let h = relabel(&g, IdStrategy::Permuted { seed: 5 });
+        assert_eq!(h.node_count(), 4);
+        assert_eq!(h.edge_count(), 3);
+        for e in g.edge_ids() {
+            assert_eq!(g.endpoints(e), h.endpoints(e));
+        }
+    }
+}

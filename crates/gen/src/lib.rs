@@ -1,0 +1,73 @@
+//! Deterministic workload generators for the `treelocal` experiments.
+//!
+//! Everything is seeded and reproducible. Provided families:
+//!
+//! * [`random_tree`] — uniformly random labeled trees (Prüfer),
+//! * [`balanced_regular_tree`] — the paper's lower-bound instances
+//!   (footnote 11 variant that exists for every `n`),
+//! * structured trees: [`path`], [`star`], [`caterpillar`], [`spider`],
+//!   [`broom`], [`complete_binary_tree`],
+//! * bounded-arboricity graphs: [`random_arboricity_graph`] (forest
+//!   unions), [`grid`], [`triangulated_grid`], [`random_forest`],
+//! * identifier strategies: [`IdStrategy`], [`assign_ids`], [`relabel`].
+//!
+//! # Examples
+//!
+//! ```
+//! use treelocal_gen::{random_tree, relabel, IdStrategy};
+//!
+//! let t = random_tree(1000, 7);
+//! let t = relabel(&t, IdStrategy::Permuted { seed: 7 });
+//! assert!(treelocal_graph::is_tree(&t));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arb;
+mod ids;
+mod prufer;
+mod shapes;
+
+pub use arb::{
+    arboricity_suite, grid, random_arboricity_graph, random_forest, triangulated_grid,
+    KnownArboricity,
+};
+pub use ids::{assign_ids, relabel, IdStrategy};
+pub use prufer::{decode_prufer, random_tree};
+pub use shapes::{
+    balanced_regular_tree, balanced_regular_tree_of_depth, broom, caterpillar,
+    complete_binary_tree, path, spider, star,
+};
+
+/// A named collection of tree workloads at size roughly `n`, spanning the
+/// shapes the experiments sweep over.
+pub fn tree_suite(n: usize, seed: u64) -> Vec<(String, treelocal_graph::Graph)> {
+    let mut v = vec![
+        ("random".to_string(), random_tree(n, seed)),
+        ("path".to_string(), path(n)),
+        ("balanced-d3".to_string(), balanced_regular_tree(3, n)),
+        ("balanced-d8".to_string(), balanced_regular_tree(8, n)),
+    ];
+    let spine = (n / 4).max(1);
+    v.push(("caterpillar".to_string(), caterpillar(spine, 3)));
+    if n >= 9 {
+        let legs = (n as f64).sqrt() as usize;
+        v.push(("spider".to_string(), spider(legs, (n - 1) / legs.max(1))));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_graph::is_tree;
+
+    #[test]
+    fn tree_suite_members_are_trees() {
+        for (name, g) in tree_suite(64, 1) {
+            assert!(is_tree(&g), "{name} is not a tree");
+            assert!(g.node_count() >= 16, "{name} too small: {}", g.node_count());
+        }
+    }
+}

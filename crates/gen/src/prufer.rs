@@ -1,0 +1,147 @@
+//! Uniformly random labeled trees via Prüfer sequences.
+//!
+//! A uniformly random sequence in `{0, ..., n-1}^{n-2}` decodes to a
+//! uniformly random labeled tree on `n` nodes (Cayley's bijection). The
+//! decoder below is the linear-time pointer variant.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treelocal_graph::Graph;
+
+/// Decodes a Prüfer sequence into the edge list of the corresponding tree.
+///
+/// # Panics
+///
+/// Panics if `seq.len() + 2` does not fit the implied node count or any
+/// entry is out of range.
+pub fn decode_prufer(n: usize, seq: &[usize]) -> Vec<(usize, usize)> {
+    assert!(n >= 2, "Prüfer decoding needs n >= 2");
+    assert_eq!(seq.len(), n - 2, "sequence length must be n - 2");
+    assert!(seq.iter().all(|&x| x < n), "sequence entries must be < n");
+    let mut degree = vec![1usize; n];
+    for &x in seq {
+        degree[x] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // `ptr` scans for the smallest leaf; `leaf` tracks the current leaf,
+    // possibly below `ptr` when removing an entry creates a smaller leaf.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in seq {
+        edges.push((leaf, x));
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    edges.push((leaf, n - 1));
+    edges
+}
+
+/// A uniformly random labeled tree on `n` nodes (`n ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_gen::random_tree;
+/// let t = random_tree(100, 42);
+/// assert!(treelocal_graph::is_tree(&t));
+/// ```
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "tree needs at least one node");
+    if n == 1 {
+        return Graph::from_edges(1, &[]).expect("single node");
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("edge");
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7275_6665);
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let edges = decode_prufer(n, &seq);
+    Graph::from_edges(n, &edges).expect("Prüfer decoding yields a tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use treelocal_graph::is_tree;
+
+    #[test]
+    fn decode_known_sequence() {
+        // Classic example: seq = [3, 3, 3, 4] over n = 6 gives a tree where
+        // node 3 has degree 4.
+        let edges = decode_prufer(6, &[3, 3, 3, 4]);
+        let g = Graph::from_edges(6, &edges).unwrap();
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(treelocal_graph::NodeId::new(3)), 4);
+    }
+
+    #[test]
+    fn all_sequences_of_small_n_decode_to_trees() {
+        // n = 5: all 125 sequences decode to valid (and distinct) trees.
+        let n = 5;
+        let mut seen = std::collections::BTreeSet::new();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let edges = decode_prufer(n, &[a, b, c]);
+                    let g = Graph::from_edges(n, &edges).unwrap();
+                    assert!(is_tree(&g), "seq {:?}", (a, b, c));
+                    let mut canon: Vec<(usize, usize)> = edges
+                        .iter()
+                        .map(|&(u, v)| (u.min(v), u.max(v)))
+                        .collect();
+                    canon.sort_unstable();
+                    seen.insert(canon);
+                }
+            }
+        }
+        // Cayley: 5^3 = 125 labeled trees on 5 nodes, all distinct.
+        assert_eq!(seen.len(), 125);
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        for n in [1usize, 2, 3, 10, 100, 1000] {
+            for seed in 0..3 {
+                assert!(is_tree(&random_tree(n, seed)), "n {n} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_in_seed() {
+        let a = random_tree(50, 9);
+        let b = random_tree(50, 9);
+        let ea: Vec<_> = a.edge_ids().map(|e| a.endpoints(e)).collect();
+        let eb: Vec<_> = b.edge_ids().map(|e| b.endpoints(e)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn degree_distribution_is_plausible() {
+        // In a uniform random tree the expected number of leaves is ~ n/e.
+        let n = 2000;
+        let g = random_tree(n, 123);
+        let leaves = g.node_ids().iter().filter(|&&v| g.degree(v) == 1).count();
+        let ratio = leaves as f64 / n as f64;
+        assert!((0.30..0.44).contains(&ratio), "leaf ratio {ratio}");
+        // Max degree of a random tree is O(log n / log log n); allow slack.
+        assert!(g.max_degree() < 30, "max degree {}", g.max_degree());
+        let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+        for &v in g.node_ids() {
+            *hist.entry(g.degree(v)).or_default() += 1;
+        }
+        assert!(hist.len() > 3, "degenerate degree histogram {hist:?}");
+    }
+}

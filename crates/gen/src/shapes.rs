@@ -1,0 +1,239 @@
+//! Structured tree families: paths, stars, caterpillars, spiders, brooms,
+//! complete binary trees and the paper's balanced ∆-regular trees.
+//!
+//! The balanced regular trees are the instances on which the round
+//! elimination lower bounds discussed in Section 1.1 of the paper already
+//! hold; they are the canonical "hard" workloads for the experiments.
+
+use treelocal_graph::Graph;
+
+fn build(n: usize, edges: Vec<(usize, usize)>) -> Graph {
+    Graph::from_edges(n, &edges).expect("generator produced a valid simple graph")
+}
+
+/// A path on `n` nodes (`n ≥ 1`).
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path needs at least one node");
+    build(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect())
+}
+
+/// A star with one center (node 0) and `n - 1` leaves (`n ≥ 1`).
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star needs at least one node");
+    build(n, (1..n).map(|i| (0, i)).collect())
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs`
+/// pendant leaves.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar needs a spine");
+    let n = spine + spine * legs;
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 0..spine.saturating_sub(1) {
+        edges.push((i, i + 1));
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    build(n, edges)
+}
+
+/// A spider: `legs` paths of length `leg_len` joined at a center node.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    let n = 1 + legs * leg_len;
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut next = 1;
+    for _ in 0..legs {
+        let mut prev = 0;
+        for _ in 0..leg_len {
+            edges.push((prev, next));
+            prev = next;
+            next += 1;
+        }
+    }
+    build(n, edges)
+}
+
+/// A broom: a handle path of `handle` nodes whose last node carries
+/// `bristles` extra leaves.
+pub fn broom(handle: usize, bristles: usize) -> Graph {
+    assert!(handle >= 1, "broom needs a handle");
+    let n = handle + bristles;
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 0..handle - 1 {
+        edges.push((i, i + 1));
+    }
+    for b in 0..bristles {
+        edges.push((handle - 1, handle + b));
+    }
+    build(n, edges)
+}
+
+/// A complete binary tree with `depth` levels of edges (`depth = 0` is a
+/// single node).
+pub fn complete_binary_tree(depth: u32) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        edges.push(((v - 1) / 2, v));
+    }
+    build(n, edges)
+}
+
+/// The paper's balanced ∆-regular tree, adapted (footnote 11) so that it
+/// exists for **every** node count `n`: nodes are added in BFS order, the
+/// root receiving up to `delta` children and every other node up to
+/// `delta - 1`, so every non-leaf above the last layer has degree exactly
+/// `delta`.
+///
+/// # Panics
+///
+/// Panics if `delta < 2` and `n > 2` (no such tree exists).
+pub fn balanced_regular_tree(delta: usize, n: usize) -> Graph {
+    assert!(n >= 1, "tree needs at least one node");
+    if n == 1 {
+        return build(1, Vec::new());
+    }
+    assert!(delta >= 1, "delta must be positive");
+    if delta == 1 {
+        assert!(n <= 2, "a 1-regular tree has at most 2 nodes");
+        return path(n);
+    }
+    if delta == 2 {
+        return path(n);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // parent capacity: root takes `delta` children, others `delta - 1`.
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((0usize, delta));
+    let mut next = 1usize;
+    while next < n {
+        let (p, cap) = queue.pop_front().expect("capacity left while nodes remain");
+        for _ in 0..cap {
+            if next >= n {
+                break;
+            }
+            edges.push((p, next));
+            queue.push_back((next, delta - 1));
+            next += 1;
+        }
+    }
+    build(n, edges)
+}
+
+/// The exact perfectly balanced ∆-regular tree of the given `depth`: every
+/// non-leaf has degree `delta`, every leaf is at distance `depth` from the
+/// root. Returns the number of nodes such a tree has alongside the graph.
+pub fn balanced_regular_tree_of_depth(delta: usize, depth: u32) -> Graph {
+    assert!(delta >= 2, "regular balanced trees need delta >= 2");
+    if depth == 0 {
+        return build(1, Vec::new());
+    }
+    if delta == 2 {
+        return path(2 * depth as usize + 1);
+    }
+    // n = 1 + delta * ((delta-1)^depth - 1) / (delta - 2)
+    let mut layer = delta as u128;
+    let mut n: u128 = 1 + layer;
+    for _ in 1..depth {
+        layer *= (delta - 1) as u128;
+        n += layer;
+    }
+    let n = usize::try_from(n).expect("tree too large");
+    balanced_regular_tree(delta, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_graph::{components, is_tree, NodeId};
+
+    #[test]
+    fn path_star_shapes() {
+        assert!(is_tree(&path(10)));
+        assert_eq!(path(10).max_degree(), 2);
+        assert!(is_tree(&star(10)));
+        assert_eq!(star(10).max_degree(), 9);
+        assert!(is_tree(&path(1)));
+        assert!(is_tree(&star(1)));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert!(is_tree(&g));
+        assert_eq!(g.node_count(), 5 + 15);
+        // Interior spine nodes have degree 2 + legs.
+        assert_eq!(g.degree(NodeId::new(2)), 5);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let g = spider(4, 3);
+        assert!(is_tree(&g));
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.degree(NodeId::new(0)), 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(4, 6);
+        assert!(is_tree(&g));
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.degree(NodeId::new(3)), 7);
+    }
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let g = complete_binary_tree(4);
+        assert!(is_tree(&g));
+        assert_eq!(g.node_count(), 31);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(components(&g).count(), 1);
+    }
+
+    #[test]
+    fn balanced_regular_tree_every_n() {
+        for delta in [3usize, 4, 5, 8] {
+            for n in 1..60 {
+                let g = balanced_regular_tree(delta, n);
+                assert!(is_tree(&g), "delta {delta} n {n}");
+                assert!(g.max_degree() <= delta);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_regular_tree_interior_degrees() {
+        // For n exactly filling full layers, all non-leaves have degree delta.
+        let g = balanced_regular_tree_of_depth(3, 3);
+        assert!(is_tree(&g));
+        assert_eq!(g.node_count(), 1 + 3 + 6 + 12);
+        let leaves = g.node_ids().iter().filter(|&&v| g.degree(v) == 1).count();
+        let interior_ok = g
+            .node_ids()
+            .iter()
+            .filter(|&&v| g.degree(v) > 1)
+            .all(|&v| g.degree(v) == 3);
+        assert!(interior_ok);
+        assert_eq!(leaves, 12);
+    }
+
+    #[test]
+    fn balanced_degree_two_is_path() {
+        let g = balanced_regular_tree(2, 9);
+        assert_eq!(g.max_degree(), 2);
+        assert!(is_tree(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2 nodes")]
+    fn degree_one_rejects_large_n() {
+        let _ = balanced_regular_tree(1, 5);
+    }
+}

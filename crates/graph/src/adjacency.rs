@@ -1,0 +1,417 @@
+//! Simple undirected graphs with LOCAL-model identifiers.
+//!
+//! A [`Graph`] is an immutable simple undirected graph built through a
+//! [`GraphBuilder`]. Every node carries a *LOCAL identifier*: the globally
+//! unique value from `{1, ..., n^c}` that the LOCAL model (Definition 5 of
+//! the paper) makes visible to the node's algorithm. Node indices
+//! ([`NodeId`]) are a packed `0..n` representation used for storage and are
+//! never exposed to simulated algorithms.
+
+use crate::ids::{EdgeId, NodeId, Side};
+use crate::GraphError;
+
+/// An immutable simple undirected graph.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_graph::{Graph, NodeId};
+///
+/// // A path on three nodes: 0 - 1 - 2.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert_eq!(g.max_degree(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// LOCAL identifier of each node.
+    ids: Vec<u64>,
+    /// Endpoints of each edge (`endpoints[e] = [u, v]` with `u != v`).
+    endpoints: Vec<[NodeId; 2]>,
+    /// Adjacency lists: `adj[v]` holds `(neighbor, edge)` pairs.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// All node indices, in order (cached for cheap iteration).
+    node_list: Vec<NodeId>,
+    max_degree: usize,
+}
+
+/// Incrementally builds a [`Graph`].
+///
+/// The builder validates simplicity: self-loops and parallel edges are
+/// rejected when [`finish`](GraphBuilder::finish) is called.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 3);
+/// let g = b.finish().unwrap();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    ids: Option<Vec<u64>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, ids: None, edges: Vec::new() }
+    }
+
+    /// Adds an undirected edge `{u, v}` (given as raw node indices).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator of index pairs.
+    pub fn add_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Sets explicit LOCAL identifiers (one per node, all distinct).
+    ///
+    /// Without this call, node `i` receives identifier `i + 1` (identifiers
+    /// are positive as in the paper's `{1, ..., n^c}` convention).
+    pub fn local_ids(&mut self, ids: Vec<u64>) -> &mut Self {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates and produces the immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an edge references a node index `>= n`, if a
+    /// self-loop or parallel edge is present, or if identifiers are
+    /// malformed (wrong length, duplicate, or zero).
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        let ids = match self.ids {
+            Some(ids) => {
+                if ids.len() != n {
+                    return Err(GraphError::IdCountMismatch { expected: n, got: ids.len() });
+                }
+                if ids.contains(&0) {
+                    return Err(GraphError::ZeroId);
+                }
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                if sorted.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(GraphError::DuplicateId);
+                }
+                ids
+            }
+            None => (1..=n as u64).collect(),
+        };
+
+        let mut endpoints = Vec::with_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            if u >= n || v >= n {
+                return Err(GraphError::NodeOutOfRange { index: u.max(v), n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            endpoints.push([NodeId::new(u), NodeId::new(v)]);
+        }
+        // Reject parallel edges.
+        let mut canon: Vec<(u32, u32)> = endpoints
+            .iter()
+            .map(|&[a, b]| {
+                let (x, y) = (a.index() as u32, b.index() as u32);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        canon.sort_unstable();
+        if let Some(w) = canon.windows(2).find(|w| w[0] == w[1]) {
+            return Err(GraphError::ParallelEdge { u: w[0].0 as usize, v: w[0].1 as usize });
+        }
+
+        let mut adj = vec![Vec::new(); n];
+        for (i, &[u, v]) in endpoints.iter().enumerate() {
+            let e = EdgeId::new(i);
+            adj[u.index()].push((v, e));
+            adj[v.index()].push((u, e));
+        }
+        // Deterministic neighbor order: by neighbor index.
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(w, _)| w);
+        }
+        let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0);
+        let node_list = (0..n).map(NodeId::new).collect();
+        Ok(Graph { ids, endpoints, adj, node_list, max_degree })
+    }
+}
+
+impl Graph {
+    /// Builds a graph directly from `(u, v)` index pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::finish`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treelocal_graph::Graph;
+    /// let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    /// assert!(g.edge_between(treelocal_graph::NodeId::new(0), treelocal_graph::NodeId::new(1)).is_some());
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        b.add_edges(edges.iter().copied());
+        b.finish()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// All node indices in increasing order.
+    #[inline]
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_list
+    }
+
+    /// Iterates over all edge indices.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId::new)
+    }
+
+    /// The two endpoints of `e`, in storage order (side 0, side 1).
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> [NodeId; 2] {
+        self.endpoints[e.index()]
+    }
+
+    /// The endpoint of `e` on the given side.
+    #[inline]
+    pub fn endpoint(&self, e: EdgeId, side: Side) -> NodeId {
+        self.endpoints[e.index()][side.index()]
+    }
+
+    /// The side of edge `e` at which node `v` sits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn side_of(&self, e: EdgeId, v: NodeId) -> Side {
+        let [a, b] = self.endpoints(e);
+        if a == v {
+            Side::First
+        } else if b == v {
+            Side::Second
+        } else {
+            panic!("{v:?} is not an endpoint of {e:?}")
+        }
+    }
+
+    /// The endpoint of `e` other than `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let [a, b] = self.endpoints(e);
+        if a == v {
+            b
+        } else if b == v {
+            a
+        } else {
+            panic!("{v:?} is not an endpoint of {e:?}")
+        }
+    }
+
+    /// Adjacency list of `v`: `(neighbor, connecting edge)` pairs sorted by
+    /// neighbor index.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree Δ of the graph.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// The *edge degree* of `e`: the number of edges adjacent to `e`
+    /// (sharing an endpoint), i.e. `deg(u) + deg(v) - 2`.
+    #[inline]
+    pub fn edge_degree(&self, e: EdgeId) -> usize {
+        let [u, v] = self.endpoints(e);
+        self.degree(u) + self.degree(v) - 2
+    }
+
+    /// LOCAL identifier of node `v`.
+    #[inline]
+    pub fn local_id(&self, v: NodeId) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// An exclusive upper bound on the identifier space (`max id + 1`).
+    ///
+    /// The LOCAL model assumes identifiers come from `{1, ..., n^c}` for a
+    /// known constant `c`; algorithms may use this bound as the initial color
+    /// space for color-reduction schemes.
+    pub fn id_space(&self) -> u64 {
+        self.ids.iter().copied().max().map_or(1, |m| m + 1)
+    }
+
+    /// Looks up the edge connecting `u` and `v`, if any.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a)
+            .binary_search_by_key(&b, |&(w, _)| w)
+            .ok()
+            .map(|i| self.neighbors(a)[i].1)
+    }
+
+    /// Sum of all degrees (twice the edge count); useful for sanity checks.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.id_space(), 1);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 0);
+        assert_eq!(g.local_id(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn path_adjacency() {
+        let g = path(5);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        let nbrs: Vec<_> = g.neighbors(NodeId::new(2)).iter().map(|&(w, _)| w.index()).collect();
+        assert_eq!(nbrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn endpoints_and_sides() {
+        let g = Graph::from_edges(3, &[(2, 0), (0, 1)]).unwrap();
+        let e0 = EdgeId::new(0);
+        assert_eq!(g.endpoints(e0), [NodeId::new(2), NodeId::new(0)]);
+        assert_eq!(g.side_of(e0, NodeId::new(2)), Side::First);
+        assert_eq!(g.side_of(e0, NodeId::new(0)), Side::Second);
+        assert_eq!(g.other_endpoint(e0, NodeId::new(2)), NodeId::new(0));
+        assert_eq!(g.endpoint(e0, Side::First), NodeId::new(2));
+    }
+
+    #[test]
+    fn edge_degree_star() {
+        // Star with center 0 and 4 leaves.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        for e in g.edge_ids() {
+            assert_eq!(g.edge_degree(e), 3);
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(matches!(Graph::from_edges(2, &[(1, 1)]), Err(GraphError::SelfLoop { node: 1 })));
+    }
+
+    #[test]
+    fn rejects_parallel_edge() {
+        let err = Graph::from_edges(2, &[(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::ParallelEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { index: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_ids() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).local_ids(vec![7]);
+        assert!(matches!(b.finish(), Err(GraphError::IdCountMismatch { .. })));
+
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).local_ids(vec![7, 7]);
+        assert!(matches!(b.finish(), Err(GraphError::DuplicateId)));
+
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).local_ids(vec![0, 1]);
+        assert!(matches!(b.finish(), Err(GraphError::ZeroId)));
+    }
+
+    #[test]
+    fn custom_ids_and_id_space() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2).local_ids(vec![10, 4, 99]);
+        let g = b.finish().unwrap();
+        assert_eq!(g.local_id(NodeId::new(2)), 99);
+        assert_eq!(g.id_space(), 100);
+    }
+
+    #[test]
+    fn edge_between_lookup() {
+        let g = path(4);
+        assert!(g.edge_between(NodeId::new(0), NodeId::new(1)).is_some());
+        assert!(g.edge_between(NodeId::new(0), NodeId::new(2)).is_none());
+        let e = g.edge_between(NodeId::new(2), NodeId::new(1)).unwrap();
+        let mut ends = g.endpoints(e).map(|x| x.index());
+        ends.sort_unstable();
+        assert_eq!(ends, [1, 2]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Index newtypes for nodes, edges and half-edges.
+//!
+//! All structures in this workspace address nodes and edges through these
+//! newtypes rather than raw `usize` values, so that a node index can never be
+//! accidentally used where an edge index is expected ([C-NEWTYPE]).
+//!
+//! A [`NodeId`] is an *index* into a [`Graph`](crate::Graph)'s node table; it
+//! is distinct from the node's LOCAL-model *identifier* (see
+//! [`Graph::local_id`](crate::Graph::local_id)), which is the value visible to
+//! distributed algorithms.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`](crate::Graph).
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+/// Index of an edge in a [`Graph`](crate::Graph).
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_graph::EdgeId;
+/// let e = EdgeId::new(0);
+/// assert_eq!(e.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+/// One of the two sides of an edge; identifies a half-edge together with an
+/// [`EdgeId`].
+///
+/// Side `0` corresponds to the first endpoint stored for the edge, side `1`
+/// to the second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Side {
+    /// The half-edge at the first stored endpoint.
+    First,
+    /// The half-edge at the second stored endpoint.
+    Second,
+}
+
+/// A half-edge `(v, e)`: the attachment point of edge `e` at node `v`.
+///
+/// Half-edges are the unit that node-edge-checkable problems label
+/// (Definition 6 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HalfEdge {
+    /// The edge this half-edge belongs to.
+    pub edge: EdgeId,
+    /// Which endpoint of the edge this half-edge sits at.
+    pub side: Side,
+}
+
+impl NodeId {
+    /// Creates a node index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an edge index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32"))
+    }
+
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Side {
+    /// Returns the opposite side.
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::First => Side::Second,
+            Side::Second => Side::First,
+        }
+    }
+
+    /// Returns the side as an array index (`0` or `1`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Side::First => 0,
+            Side::Second => 1,
+        }
+    }
+
+    /// Converts an array index (`0` or `1`) into a side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[inline]
+    pub fn from_index(index: usize) -> Side {
+        match index {
+            0 => Side::First,
+            1 => Side::Second,
+            _ => panic!("side index must be 0 or 1, got {index}"),
+        }
+    }
+}
+
+impl HalfEdge {
+    /// Creates the half-edge of `edge` at `side`.
+    #[inline]
+    pub fn new(edge: EdgeId, side: Side) -> Self {
+        HalfEdge { edge, side }
+    }
+
+    /// Returns the half-edge on the opposite side of the same edge.
+    #[inline]
+    pub fn opposite(self) -> Self {
+        HalfEdge { edge: self.edge, side: self.side.other() }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(v: NodeId) -> usize {
+        v.index()
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(e: EdgeId) -> usize {
+        e.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(format!("{v:?}"), "n42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn side_other_is_involution() {
+        assert_eq!(Side::First.other(), Side::Second);
+        assert_eq!(Side::Second.other(), Side::First);
+        assert_eq!(Side::First.other().other(), Side::First);
+    }
+
+    #[test]
+    fn side_index_roundtrip() {
+        for i in 0..2 {
+            assert_eq!(Side::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side index")]
+    fn side_from_bad_index_panics() {
+        let _ = Side::from_index(2);
+    }
+
+    #[test]
+    fn half_edge_opposite() {
+        let h = HalfEdge::new(EdgeId::new(3), Side::First);
+        assert_eq!(h.opposite().edge, EdgeId::new(3));
+        assert_eq!(h.opposite().side, Side::Second);
+        assert_eq!(h.opposite().opposite(), h);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(9));
+    }
+}

@@ -1,0 +1,135 @@
+//! The [`Topology`] abstraction: anything a LOCAL algorithm can run on.
+//!
+//! Both [`Graph`] and [`SemiGraph`] expose the structure a synchronous
+//! message-passing algorithm needs: the set of participating nodes, the
+//! rank-2 (communication) adjacency, and LOCAL identifiers. The simulator
+//! and all distributed algorithms are generic over this trait, so the same
+//! implementation runs on whole graphs and on the restricted semi-graphs
+//! produced by the decompositions.
+
+use crate::adjacency::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::semigraph::SemiGraph;
+
+/// A communication topology for LOCAL algorithms.
+///
+/// Node indices refer to the *parent* graph's index space; topologies over a
+/// subset of the parent's nodes simply report fewer nodes. This allows
+/// per-node state tables to be indexed uniformly by parent node index.
+pub trait Topology {
+    /// The parent graph (for identifier and endpoint lookups).
+    fn graph(&self) -> &Graph;
+
+    /// Size of the node *index space* (the parent's node count); per-node
+    /// tables should be allocated with this length.
+    fn index_space(&self) -> usize {
+        self.graph().node_count()
+    }
+
+    /// The participating nodes, in increasing index order.
+    fn nodes(&self) -> &[NodeId];
+
+    /// Whether `v` participates in this topology.
+    fn contains_node(&self, v: NodeId) -> bool;
+
+    /// The communication neighbors of `v` with their connecting edges
+    /// (rank-2 adjacency), sorted by neighbor index.
+    fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)];
+
+    /// The communication degree of `v`.
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The maximum communication degree over participating nodes.
+    fn max_degree(&self) -> usize;
+
+    /// The LOCAL identifier of `v`.
+    fn local_id(&self, v: NodeId) -> u64 {
+        self.graph().local_id(v)
+    }
+}
+
+impl Topology for Graph {
+    fn graph(&self) -> &Graph {
+        self
+    }
+
+    fn nodes(&self) -> &[NodeId] {
+        self.node_ids()
+    }
+
+    fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        Graph::neighbors(self, v)
+    }
+
+    fn max_degree(&self) -> usize {
+        Graph::max_degree(self)
+    }
+}
+
+impl Topology for SemiGraph<'_> {
+    fn graph(&self) -> &Graph {
+        self.parent()
+    }
+
+    fn nodes(&self) -> &[NodeId] {
+        SemiGraph::nodes(self)
+    }
+
+    fn contains_node(&self, v: NodeId) -> bool {
+        SemiGraph::contains_node(self, v)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        self.underlying_neighbors(v)
+    }
+
+    fn max_degree(&self) -> usize {
+        self.underlying_max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_its_own_topology() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let t: &dyn Fn() = &|| {};
+        let _ = t; // silence lints about unused closures in doc-like test
+        assert_eq!(Topology::max_degree(&g), 2);
+        assert_eq!(Topology::nodes(&g).len(), 3);
+        assert!(Topology::contains_node(&g, NodeId::new(2)));
+        assert_eq!(Topology::degree(&g, NodeId::new(1)), 2);
+        assert_eq!(Topology::local_id(&g, NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn semigraph_topology_uses_rank2_adjacency() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = SemiGraph::induced_by_nodes(&g, |v| v.index() <= 1);
+        assert_eq!(Topology::nodes(&s).len(), 2);
+        // Node 1 communicates only with node 0: its edge to node 2 has rank 1.
+        assert_eq!(Topology::degree(&s, NodeId::new(1)), 1);
+        assert_eq!(Topology::max_degree(&s), 1);
+        assert_eq!(s.index_space(), 4);
+    }
+
+    fn generic_total_degree<T: Topology>(t: &T) -> usize {
+        t.nodes().iter().map(|&v| t.degree(v)).sum()
+    }
+
+    #[test]
+    fn works_generically() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(generic_total_degree(&g), 6);
+        let s = SemiGraph::whole(&g);
+        assert_eq!(generic_total_degree(&s), 6);
+    }
+}

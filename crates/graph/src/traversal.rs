@@ -1,0 +1,293 @@
+//! Breadth-first traversal, connected components and distance utilities.
+//!
+//! All functions are generic over [`Topology`] so they apply equally to
+//! whole graphs and to semi-graph restrictions (where "connected" means
+//! connected in the underlying graph, as in the paper).
+
+use crate::ids::NodeId;
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// The partition of a topology's nodes into connected components.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `component_of[v]` is the component index of node `v`, or `usize::MAX`
+    /// for nodes outside the topology.
+    component_of: Vec<usize>,
+    /// The members of each component, in increasing node order.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The component index of `v`, if `v` participates in the topology.
+    pub fn component_of(&self, v: NodeId) -> Option<usize> {
+        match self.component_of.get(v.index()) {
+            Some(&c) if c != usize::MAX => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The members of component `c`.
+    pub fn members(&self, c: usize) -> &[NodeId] {
+        &self.members[c]
+    }
+
+    /// Iterates over all components as member slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        match (self.component_of(u), self.component_of(v)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Size of the largest component (0 if there are none).
+    pub fn max_size(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Computes the connected components of a topology.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_graph::{Graph, components, NodeId};
+/// let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+/// let cc = components(&g);
+/// assert_eq!(cc.count(), 2);
+/// assert!(cc.same_component(NodeId::new(0), NodeId::new(1)));
+/// assert!(!cc.same_component(NodeId::new(1), NodeId::new(2)));
+/// ```
+pub fn components<T: Topology>(topo: &T) -> Components {
+    let mut component_of = vec![usize::MAX; topo.index_space()];
+    let mut members = Vec::new();
+    let mut queue = VecDeque::new();
+    for &start in topo.nodes() {
+        if component_of[start.index()] != usize::MAX {
+            continue;
+        }
+        let c = members.len();
+        let mut comp = vec![start];
+        component_of[start.index()] = c;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &(w, _) in topo.neighbors(v) {
+                if component_of[w.index()] == usize::MAX {
+                    component_of[w.index()] = c;
+                    comp.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        members.push(comp);
+    }
+    Components { component_of, members }
+}
+
+/// Single-source BFS distances within a topology.
+///
+/// Returns a vector over the node index space with `None` for unreachable
+/// (or non-participating) nodes.
+pub fn bfs_distances<T: Topology>(topo: &T, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; topo.index_space()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued node has a distance");
+        for &(w, _) in topo.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The eccentricity of `v` within its connected component: the maximum BFS
+/// distance from `v` to any reachable node.
+pub fn eccentricity<T: Topology>(topo: &T, v: NodeId) -> u32 {
+    bfs_distances(topo, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// The eccentricity of `v`, computed with memory proportional to `v`'s
+/// component rather than the whole index space — use when processing many
+/// small components of a large parent graph.
+pub fn eccentricity_sparse<T: Topology>(topo: &T, v: NodeId) -> u32 {
+    sparse_bfs_farthest(topo, v).1
+}
+
+/// Sparse BFS from `v`: returns a farthest node in the component and its
+/// distance.
+fn sparse_bfs_farthest<T: Topology>(topo: &T, v: NodeId) -> (NodeId, u32) {
+    use std::collections::HashMap;
+    let mut dist: HashMap<NodeId, u32> = HashMap::new();
+    let mut queue = VecDeque::new();
+    dist.insert(v, 0);
+    queue.push_back(v);
+    let mut far = (v, 0u32);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        if d > far.1 {
+            far = (u, d);
+        }
+        for &(w, _) in topo.neighbors(u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    far
+}
+
+/// The exact diameter of the **tree-shaped** component containing `start`,
+/// by sparse double sweep (`O(component)` time and memory). On components
+/// with cycles the double sweep is only a lower bound; use the exact
+/// variants for those.
+pub fn tree_component_diameter_sparse<T: Topology>(topo: &T, start: NodeId) -> u32 {
+    let (far, _) = sparse_bfs_farthest(topo, start);
+    sparse_bfs_farthest(topo, far).1
+}
+
+/// The exact diameter of the component containing `start`.
+///
+/// Uses repeated BFS from the farthest node found; exact on trees, and on
+/// general graphs falls back to a full per-node sweep when `exact` is
+/// requested via [`component_diameter_exact`]. This double-sweep variant is
+/// a lower bound on general graphs but exact on trees/forests, which is
+/// where the paper's Lemma 11 applies.
+pub fn component_diameter_double_sweep<T: Topology>(topo: &T, start: NodeId) -> u32 {
+    let dist = bfs_distances(topo, start);
+    let (far, _) = farthest(&dist, start);
+    let dist2 = bfs_distances(topo, far);
+    let (_, d) = farthest(&dist2, far);
+    d
+}
+
+/// The exact diameter of the component containing `start`, by BFS from every
+/// member. Quadratic in the component size; intended for checkers and tests.
+pub fn component_diameter_exact<T: Topology>(topo: &T, start: NodeId) -> u32 {
+    let dist = bfs_distances(topo, start);
+    let mut best = 0;
+    for v in topo.nodes() {
+        if dist[v.index()].is_some() {
+            best = best.max(eccentricity(topo, *v));
+        }
+    }
+    best
+}
+
+fn farthest(dist: &[Option<u32>], default: NodeId) -> (NodeId, u32) {
+    let mut far = default;
+    let mut best = 0;
+    for (i, d) in dist.iter().enumerate() {
+        if let Some(d) = *d {
+            if d > best {
+                best = d;
+                far = NodeId::new(i);
+            }
+        }
+    }
+    (far, best)
+}
+
+/// A node of maximum BFS-distance from `source` (used to pick gather
+/// centers and for diameter arguments).
+pub fn farthest_from<T: Topology>(topo: &T, source: NodeId) -> (NodeId, u32) {
+    let dist = bfs_distances(topo, source);
+    farthest(&dist, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Graph;
+    use crate::semigraph::SemiGraph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        let cc = components(&g);
+        assert_eq!(cc.count(), 3); // {0,1,2}, {3}, {4,5}
+        assert_eq!(cc.members(0), &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(cc.max_size(), 3);
+        assert_eq!(cc.component_of(NodeId::new(3)), Some(1));
+    }
+
+    #[test]
+    fn components_respect_semigraph_rank2_edges() {
+        // Path 0-1-2: restricting to nodes {0, 2} leaves no rank-2 edges, so
+        // the two nodes are separate components even though the parent path
+        // connects them.
+        let g = path(3);
+        let s = SemiGraph::induced_by_nodes(&g, |v| v.index() != 1);
+        let cc = components(&s);
+        assert_eq!(cc.count(), 2);
+        assert_eq!(cc.component_of(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn bfs_distance_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId::new(0));
+        let got: Vec<_> = d.into_iter().map(|x| x.unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn eccentricity_and_diameter_on_path() {
+        let g = path(6);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 5);
+        assert_eq!(eccentricity(&g, NodeId::new(2)), 3);
+        assert_eq!(component_diameter_double_sweep(&g, NodeId::new(3)), 5);
+        assert_eq!(component_diameter_exact(&g, NodeId::new(3)), 5);
+    }
+
+    #[test]
+    fn diameter_on_star_is_two() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(component_diameter_double_sweep(&g, NodeId::new(0)), 2);
+        assert_eq!(component_diameter_exact(&g, NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn farthest_from_endpoint() {
+        let g = path(4);
+        let (far, d) = farthest_from(&g, NodeId::new(0));
+        assert_eq!(far, NodeId::new(3));
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn sparse_eccentricity_matches_dense() {
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
+        for v in g.node_ids() {
+            assert_eq!(eccentricity(&g, *v), eccentricity_sparse(&g, *v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_distance() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert!(d[2].is_none());
+        assert!(d[3].is_none());
+    }
+}

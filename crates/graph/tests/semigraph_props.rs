@@ -1,0 +1,87 @@
+//! Property tests for the semi-graph algebra that Theorems 12 and 15 rely
+//! on: node partitions split half-edges exactly, edge partitions split
+//! edges exactly, and degrees/ranks behave.
+
+use proptest::prelude::*;
+use treelocal_graph::{components, Graph, NodeId, SemiGraph, Side, Topology};
+
+/// A random simple graph from a seeded edge subset of a clique.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let mut edges = Vec::new();
+        let mut state = seed | 1;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                // xorshift
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state % 5 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges).expect("simple by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn node_partition_partitions_half_edges(g in arb_graph(), mask_seed in any::<u64>()) {
+        let in_a = |v: NodeId| (mask_seed >> (v.index() % 64)) & 1 == 0;
+        let a = SemiGraph::induced_by_nodes(&g, in_a);
+        let b = SemiGraph::induced_by_nodes(&g, |v| !in_a(v));
+        prop_assert_eq!(a.nodes().len() + b.nodes().len(), g.node_count());
+        prop_assert_eq!(a.half_edge_count() + b.half_edge_count(), 2 * g.edge_count());
+        // Each half-edge present in exactly one side.
+        for e in g.edge_ids() {
+            for side in [Side::First, Side::Second] {
+                let ia = a.contains_edge(e) && a.half_present(e, side);
+                let ib = b.contains_edge(e) && b.half_present(e, side);
+                prop_assert!(ia ^ ib);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_partition_partitions_edges(g in arb_graph(), mask_seed in any::<u64>()) {
+        let in_a = |e: treelocal_graph::EdgeId| (mask_seed >> (e.index() % 64)) & 1 == 0;
+        let a = SemiGraph::induced_by_edges(&g, in_a);
+        let b = SemiGraph::induced_by_edges(&g, |e| !in_a(e));
+        prop_assert_eq!(a.edges().len() + b.edges().len(), g.edge_count());
+        // All contained edges have rank 2, and per-node half-degrees sum to
+        // the full degree.
+        for &v in g.node_ids() {
+            let da = if a.contains_node(v) { a.half_degree(v) } else { 0 };
+            let db = if b.contains_node(v) { b.half_degree(v) } else { 0 };
+            prop_assert_eq!(da + db, g.degree(v));
+        }
+        for &e in a.edges() {
+            prop_assert_eq!(a.rank(e), 2);
+        }
+    }
+
+    #[test]
+    fn node_induced_members_keep_full_half_degree(g in arb_graph(), mask_seed in any::<u64>()) {
+        // The Theorem 12 invariant: a member of a node-induced semi-graph
+        // sees ALL of its parent half-edges (some at rank 1).
+        let in_a = |v: NodeId| (mask_seed >> (v.index() % 64)) & 1 == 0;
+        let s = SemiGraph::induced_by_nodes(&g, in_a);
+        for &v in s.nodes() {
+            prop_assert_eq!(s.half_degree(v), g.degree(v));
+            prop_assert!(s.underlying_degree(v) <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn whole_semigraph_mirrors_graph(g in arb_graph()) {
+        let s = SemiGraph::whole(&g);
+        prop_assert_eq!(s.underlying_max_degree(), g.max_degree());
+        prop_assert_eq!(components(&s).count(), components(&g).count());
+        for &v in g.node_ids() {
+            prop_assert_eq!(Topology::degree(&s, v), g.degree(v));
+        }
+    }
+}

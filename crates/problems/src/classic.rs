@@ -1,0 +1,231 @@
+//! Classic (non-formalism) verifiers and shared extraction helpers.
+//!
+//! Section 5 of the paper establishes 1-round equivalences between the
+//! node-edge-checkable formulations and the classic problems. These
+//! verifiers check the classic side, so every end-to-end test can confirm
+//! both that the half-edge labeling satisfies `Π` *and* that its extraction
+//! is a textbook-valid solution.
+
+use crate::labeling::HalfEdgeLabeling;
+use treelocal_graph::{Graph, HalfEdge, NodeId};
+
+/// Per-node membership induced by a labeling: a node is a member iff all
+/// its half-edges carry `member_label`; isolated nodes count as members.
+///
+/// Shared by the MIS extraction (where `M` on all halves means "in the
+/// set").
+pub fn node_membership<L: Copy + Eq>(
+    g: &Graph,
+    labeling: &HalfEdgeLabeling<L>,
+    member_label: L,
+) -> Vec<bool> {
+    g.node_ids()
+        .iter()
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .all(|&(_, e)| labeling.get(HalfEdge::new(e, g.side_of(e, v))) == Some(member_label))
+        })
+        .collect()
+}
+
+/// Whether `in_set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+    g.edge_ids().all(|e| {
+        let [u, v] = g.endpoints(e);
+        !(in_set[u.index()] && in_set[v.index()])
+    })
+}
+
+/// Whether `in_set` is a *maximal* independent set of `g`.
+pub fn is_valid_mis(g: &Graph, in_set: &[bool]) -> bool {
+    if in_set.len() != g.node_count() || !is_independent_set(g, in_set) {
+        return false;
+    }
+    // Maximality: every non-member has a member neighbor.
+    g.node_ids().iter().all(|&v| {
+        in_set[v.index()] || g.neighbors(v).iter().any(|&(w, _)| in_set[w.index()])
+    })
+}
+
+/// Whether `in_matching` is a matching of `g` (no two chosen edges share a
+/// node).
+pub fn is_matching(g: &Graph, in_matching: &[bool]) -> bool {
+    if in_matching.len() != g.edge_count() {
+        return false;
+    }
+    let mut used = vec![false; g.node_count()];
+    for e in g.edge_ids() {
+        if in_matching[e.index()] {
+            let [u, v] = g.endpoints(e);
+            if used[u.index()] || used[v.index()] {
+                return false;
+            }
+            used[u.index()] = true;
+            used[v.index()] = true;
+        }
+    }
+    true
+}
+
+/// Whether `in_matching` is a *maximal* matching of `g`.
+pub fn is_valid_maximal_matching(g: &Graph, in_matching: &[bool]) -> bool {
+    if !is_matching(g, in_matching) {
+        return false;
+    }
+    let mut matched = vec![false; g.node_count()];
+    for e in g.edge_ids() {
+        if in_matching[e.index()] {
+            let [u, v] = g.endpoints(e);
+            matched[u.index()] = true;
+            matched[v.index()] = true;
+        }
+    }
+    // Maximality: no edge with both endpoints unmatched.
+    g.edge_ids().all(|e| {
+        let [u, v] = g.endpoints(e);
+        matched[u.index()] || matched[v.index()]
+    })
+}
+
+/// Whether `colors` is a proper vertex coloring of `g`.
+pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
+    colors.len() == g.node_count()
+        && colors.iter().all(|&c| c >= 1)
+        && g.edge_ids().all(|e| {
+            let [u, v] = g.endpoints(e);
+            colors[u.index()] != colors[v.index()]
+        })
+}
+
+/// Whether `colors` is a proper `(deg+1)`-coloring (`c(v) ≤ deg(v) + 1`).
+pub fn is_valid_deg_plus_one_coloring(g: &Graph, colors: &[u32]) -> bool {
+    is_proper_coloring(g, colors)
+        && g.node_ids().iter().all(|&v| colors[v.index()] as usize <= g.degree(v) + 1)
+}
+
+/// Whether `colors` is a proper coloring with every color at most
+/// `palette`.
+pub fn is_valid_palette_coloring(g: &Graph, colors: &[u32], palette: u32) -> bool {
+    is_proper_coloring(g, colors) && colors.iter().all(|&c| c <= palette)
+}
+
+/// Whether `colors` (per edge) is a proper edge coloring of `g`.
+pub fn is_proper_edge_coloring(g: &Graph, colors: &[u32]) -> bool {
+    if colors.len() != g.edge_count() || colors.iter().any(|&c| c < 1) {
+        return false;
+    }
+    g.node_ids().iter().all(|&v| {
+        let mut seen: Vec<u32> =
+            g.neighbors(v).iter().map(|&(_, e)| colors[e.index()]).collect();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    })
+}
+
+/// Whether `colors` is a proper edge coloring with
+/// `color(e) ≤ edge-degree(e) + 1` — the classic `(edge-degree+1)`-edge
+/// coloring.
+pub fn is_valid_edge_degree_coloring(g: &Graph, colors: &[u32]) -> bool {
+    is_proper_edge_coloring(g, colors)
+        && g.edge_ids().all(|e| colors[e.index()] as usize <= g.edge_degree(e) + 1)
+}
+
+/// Whether `colors` is a proper edge coloring with palette `{1, ..., k}`.
+pub fn is_valid_palette_edge_coloring(g: &Graph, colors: &[u32], k: u32) -> bool {
+    is_proper_edge_coloring(g, colors) && colors.iter().all(|&c| c <= k)
+}
+
+/// Greedy reference MIS (by node order) — used as a baseline and by tests.
+pub fn greedy_mis(g: &Graph, order: &[NodeId]) -> Vec<bool> {
+    let mut in_set = vec![false; g.node_count()];
+    let mut blocked = vec![false; g.node_count()];
+    for &v in order {
+        if !blocked[v.index()] {
+            in_set[v.index()] = true;
+            for &(w, _) in g.neighbors(v) {
+                blocked[w.index()] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy reference maximal matching (by edge order).
+pub fn greedy_matching(g: &Graph, order: &[treelocal_graph::EdgeId]) -> Vec<bool> {
+    let mut in_matching = vec![false; g.edge_count()];
+    let mut matched = vec![false; g.node_count()];
+    for &e in order {
+        let [u, v] = g.endpoints(e);
+        if !matched[u.index()] && !matched[v.index()] {
+            in_matching[e.index()] = true;
+            matched[u.index()] = true;
+            matched[v.index()] = true;
+        }
+    }
+    in_matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn mis_validation() {
+        let g = path(5);
+        assert!(is_valid_mis(&g, &[true, false, true, false, true]));
+        assert!(!is_valid_mis(&g, &[true, true, false, false, true])); // not independent
+        assert!(!is_valid_mis(&g, &[true, false, false, false, true])); // not maximal
+    }
+
+    #[test]
+    fn matching_validation() {
+        let g = path(5);
+        assert!(is_valid_maximal_matching(&g, &[true, false, true, false]));
+        assert!(!is_valid_maximal_matching(&g, &[true, true, false, false])); // share node
+        assert!(!is_valid_maximal_matching(&g, &[false, true, false, false])); // 3-4 uncovered
+    }
+
+    #[test]
+    fn coloring_validation() {
+        let g = path(4);
+        assert!(is_valid_deg_plus_one_coloring(&g, &[1, 2, 1, 2]));
+        assert!(!is_proper_coloring(&g, &[1, 1, 2, 1]));
+        assert!(!is_valid_deg_plus_one_coloring(&g, &[3, 2, 1, 2])); // leaf color 3 > 2
+        assert!(is_valid_palette_coloring(&g, &[1, 2, 1, 2], 2));
+        assert!(!is_valid_palette_coloring(&g, &[1, 3, 1, 2], 2));
+    }
+
+    #[test]
+    fn edge_coloring_validation() {
+        let g = path(4); // edges 0-1, 1-2, 2-3; middle edge has edge-degree 2
+        assert!(is_valid_edge_degree_coloring(&g, &[1, 2, 1]));
+        assert!(!is_proper_edge_coloring(&g, &[1, 1, 2]));
+        // End edges have edge-degree 1, so their colors must be ≤ 2.
+        assert!(is_valid_edge_degree_coloring(&g, &[2, 3, 1]));
+        assert!(!is_valid_edge_degree_coloring(&g, &[1, 2, 3]));
+        assert!(is_valid_palette_edge_coloring(&g, &[1, 2, 1], 2));
+        assert!(!is_valid_palette_edge_coloring(&g, &[1, 3, 1], 2));
+    }
+
+    #[test]
+    fn edge_degree_bound_is_enforced() {
+        // Star with 3 leaves: every edge has edge-degree 2, palette ≤ 3.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(is_valid_edge_degree_coloring(&g, &[1, 2, 3]));
+        assert!(!is_valid_edge_degree_coloring(&g, &[1, 2, 4]));
+    }
+
+    #[test]
+    fn greedy_references_are_valid() {
+        let g = path(9);
+        let order: Vec<NodeId> = g.node_ids().to_vec();
+        assert!(is_valid_mis(&g, &greedy_mis(&g, &order)));
+        let eorder: Vec<_> = g.edge_ids().collect();
+        assert!(is_valid_maximal_matching(&g, &greedy_matching(&g, &eorder)));
+    }
+}

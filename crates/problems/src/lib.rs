@@ -1,0 +1,69 @@
+//! Node-edge-checkable problems, their list variants, sequential solvers
+//! and verifiers — Definitions 6–8 and Section 5 of Brandt–Narayanan
+//! (PODC 2025), executable.
+//!
+//! # Layout
+//!
+//! * [`Problem`] — the formalism `Π = (Σ, N_Π, E_Π)` as membership
+//!   predicates; [`verify_graph`] / [`verify_semigraph`] check solutions.
+//! * [`HalfEdgeLabeling`] — (partial) half-edge label assignments shared
+//!   across semi-graph restrictions of one parent instance.
+//! * [`node_list_ok`] / [`edge_list_ok`] — the list variants `Π*` / `Π×`
+//!   as residual membership checks.
+//! * [`NodeSequential`] / [`EdgeSequential`] — the 1-local sequential
+//!   solvers whose existence defines the paper's classes `P1` and `P2`;
+//!   [`solve_nodes_sequential`] / [`solve_edges_sequential`] drive them.
+//! * Concrete problems: [`Mis`], [`DegPlusOneColoring`],
+//!   [`DeltaPlusOneColoring`] (class `P1`); [`MaximalMatching`],
+//!   [`EdgeDegreeColoring`], [`PaletteEdgeColoring`] (class `P2`).
+//! * [`brute_force_complete`] — an exhaustive oracle for small instances.
+//! * [`classic`] — textbook verifiers for the extracted solutions.
+//!
+//! # Examples
+//!
+//! ```
+//! use treelocal_graph::Graph;
+//! use treelocal_problems::{
+//!     solve_edges_sequential, verify_graph, HalfEdgeLabeling, MaximalMatching,
+//! };
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let mut labeling = HalfEdgeLabeling::for_graph(&g);
+//! let order: Vec<_> = g.edge_ids().collect();
+//! solve_edges_sequential(&MaximalMatching, &g, &order, &mut labeling).unwrap();
+//! verify_graph(&MaximalMatching, &g, &labeling).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod b_matching;
+pub mod classic;
+mod coloring;
+mod edge_coloring;
+mod labeling;
+mod list_coloring;
+mod matching;
+mod mis;
+mod oracle;
+mod problem;
+mod seq;
+
+pub use b_matching::{BMatchLabel, BMatching};
+
+pub use coloring::{
+    encode_coloring, extract_coloring, Color, DegPlusOneColoring, DeltaPlusOneColoring,
+};
+pub use list_coloring::ListColoring;
+pub use edge_coloring::{
+    edge_degree_to_palette, EdgeColLabel, EdgeDegreeColoring, PaletteEdgeColoring, PaletteLabel,
+};
+pub use labeling::HalfEdgeLabeling;
+pub use matching::{MatchLabel, MaximalMatching};
+pub use mis::{Mis, MisLabel};
+pub use oracle::{brute_force_complete, Enumerable};
+pub use problem::{edge_list_ok, node_list_ok, verify_graph, verify_semigraph, Problem, Violation};
+pub use seq::{
+    edge_orders_for_tests, node_orders_for_tests, solve_edges_sequential, solve_nodes_sequential,
+    EdgeSequential, NodeSequential, SeqStuck, StuckAt,
+};

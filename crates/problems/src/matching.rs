@@ -1,0 +1,235 @@
+//! Maximal matching in the node-edge-checkability formalism — Section 5.2
+//! of the paper, verbatim.
+//!
+//! # Formalization (paper, Section 5.2)
+//!
+//! `Σ = {M, P, O, D}` where, on a half-edge `(v, e)`:
+//! * `M` — `e` is in the matching,
+//! * `P` — `v` is matched, via some *other* edge,
+//! * `O` — `v` is unmatched,
+//! * `D` — `e` has rank 1 (dead end in the semi-graph).
+//!
+//! Node constraints `N^i`: (i) exactly one `M` and the rest in `{P, O, D}`,
+//! or (ii) no `M` and all labels in `{O, D}` (an unmatched node may not
+//! claim `P`).
+//!
+//! Edge constraints: `E^0 = {∅}`, `E^1 = {{D}}`,
+//! `E^2 = {{P,O}, {M,M}, {P,P}}`. Note `{O,O} ∉ E^2`: an edge between two
+//! unmatched nodes would contradict maximality.
+//!
+//! Maximal matching is the flagship member of class `P2`; Lemma 17 provides
+//! the per-edge sequential solver implemented here as
+//! [`EdgeSequential::decide_edge`].
+
+use crate::labeling::HalfEdgeLabeling;
+use crate::problem::Problem;
+use crate::seq::EdgeSequential;
+use treelocal_graph::{EdgeId, Graph, HalfEdge, NodeId, Side};
+
+/// Labels of the maximal matching formalization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MatchLabel {
+    /// This edge is in the matching.
+    M,
+    /// This node is matched via another edge.
+    P,
+    /// This node is unmatched.
+    O,
+    /// Rank-1 edge marker.
+    D,
+}
+
+/// The maximal matching problem.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_problems::{MaximalMatching, Problem, MatchLabel::*};
+/// let p = MaximalMatching;
+/// assert!(p.node_ok(&[M, P, O]));    // matched node
+/// assert!(p.node_ok(&[O, O, D]));    // unmatched node
+/// assert!(!p.node_ok(&[M, M]));      // matched twice
+/// assert!(!p.node_ok(&[P, O]));      // unmatched node claiming P
+/// assert!(p.edge_ok(&[M, M]));
+/// assert!(p.edge_ok(&[P, O]));
+/// assert!(!p.edge_ok(&[O, O]));      // not maximal
+/// assert!(!p.edge_ok(&[M, P]));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaximalMatching;
+
+impl Problem for MaximalMatching {
+    type Label = MatchLabel;
+
+    fn name(&self) -> &'static str {
+        "maximal-matching"
+    }
+
+    fn node_ok(&self, labels: &[MatchLabel]) -> bool {
+        use MatchLabel::*;
+        let m = labels.iter().filter(|&&l| l == M).count();
+        match m {
+            0 => labels.iter().all(|&l| matches!(l, O | D)),
+            1 => labels.iter().all(|&l| matches!(l, M | P | O | D)),
+            _ => false,
+        }
+    }
+
+    fn edge_ok(&self, labels: &[MatchLabel]) -> bool {
+        use MatchLabel::*;
+        match labels {
+            [] => true,
+            [single] => *single == D,
+            [a, b] => {
+                let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+                matches!((lo, hi), (M, M) | (P, P) | (P, O))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Whether the node at `v` is already matched according to the labels
+/// currently assigned around it: it carries an `M` half-edge.
+fn is_matched(g: &Graph, labeling: &HalfEdgeLabeling<MatchLabel>, v: NodeId) -> bool {
+    labeling.labels_at_node(g, v).contains(&MatchLabel::M)
+}
+
+impl EdgeSequential for MaximalMatching {
+    /// Lemma 17's labeling process, case for one rank-2 edge:
+    /// * neither endpoint matched → `{M, M}` (greedily match),
+    /// * exactly one endpoint matched → `P` on the matched side, `O` on the
+    ///   other,
+    /// * both matched → `{P, P}`.
+    fn decide_edge(
+        &self,
+        g: &Graph,
+        labeling: &HalfEdgeLabeling<MatchLabel>,
+        e: EdgeId,
+    ) -> Option<Vec<(HalfEdge, MatchLabel)>> {
+        use MatchLabel::*;
+        let [u, v] = g.endpoints(e);
+        let hu = HalfEdge::new(e, Side::First);
+        let hv = HalfEdge::new(e, Side::Second);
+        let mu = is_matched(g, labeling, u);
+        let mv = is_matched(g, labeling, v);
+        let (lu, lv) = match (mu, mv) {
+            (false, false) => (M, M),
+            (true, false) => (P, O),
+            (false, true) => (O, P),
+            (true, true) => (P, P),
+        };
+        Some(vec![(hu, lu), (hv, lv)])
+    }
+}
+
+impl MaximalMatching {
+    /// Extracts the matched edge set from a valid labeling.
+    pub fn extract(&self, g: &Graph, labeling: &HalfEdgeLabeling<MatchLabel>) -> Vec<bool> {
+        g.edge_ids()
+            .map(|e| labeling.edge_labels(e) == [Some(MatchLabel::M), Some(MatchLabel::M)])
+            .collect()
+    }
+
+    /// Encodes a classic maximal matching as a labeling (Section 5.2's
+    /// reverse equivalence map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_matching` has the wrong length. (The result only
+    /// verifies if the input really is a maximal matching.)
+    pub fn encode(&self, g: &Graph, in_matching: &[bool]) -> HalfEdgeLabeling<MatchLabel> {
+        assert_eq!(in_matching.len(), g.edge_count());
+        let mut matched_node = vec![false; g.node_count()];
+        for e in g.edge_ids() {
+            if in_matching[e.index()] {
+                let [u, v] = g.endpoints(e);
+                matched_node[u.index()] = true;
+                matched_node[v.index()] = true;
+            }
+        }
+        let mut l = HalfEdgeLabeling::for_graph(g);
+        for e in g.edge_ids() {
+            let [u, v] = g.endpoints(e);
+            if in_matching[e.index()] {
+                l.set(HalfEdge::new(e, Side::First), MatchLabel::M);
+                l.set(HalfEdge::new(e, Side::Second), MatchLabel::M);
+            } else {
+                let lu = if matched_node[u.index()] { MatchLabel::P } else { MatchLabel::O };
+                let lv = if matched_node[v.index()] { MatchLabel::P } else { MatchLabel::O };
+                l.set(HalfEdge::new(e, Side::First), lu);
+                l.set(HalfEdge::new(e, Side::Second), lv);
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use crate::problem::verify_graph;
+    use crate::seq::{edge_orders_for_tests, solve_edges_sequential};
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn sequential_solver_any_order_is_valid() {
+        let g = path(8);
+        for order in edge_orders_for_tests(&g) {
+            let mut l = HalfEdgeLabeling::for_graph(&g);
+            solve_edges_sequential(&MaximalMatching, &g, &order, &mut l).unwrap();
+            verify_graph(&MaximalMatching, &g, &l).unwrap();
+            let m = MaximalMatching.extract(&g, &l);
+            assert!(classic::is_valid_maximal_matching(&g, &m));
+        }
+    }
+
+    #[test]
+    fn star_matches_exactly_one_edge() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let mut l = HalfEdgeLabeling::for_graph(&g);
+        let order: Vec<EdgeId> = g.edge_ids().collect();
+        solve_edges_sequential(&MaximalMatching, &g, &order, &mut l).unwrap();
+        verify_graph(&MaximalMatching, &g, &l).unwrap();
+        let m = MaximalMatching.extract(&g, &l);
+        assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn encode_extract_roundtrip() {
+        let g = path(6);
+        // Matching {0-1, 2-3, 4-5} = edges 0, 2, 4.
+        let m = vec![true, false, true, false, true];
+        let l = MaximalMatching.encode(&g, &m);
+        verify_graph(&MaximalMatching, &g, &l).unwrap();
+        assert_eq!(MaximalMatching.extract(&g, &l), m);
+    }
+
+    #[test]
+    fn encode_of_non_maximal_fails_verification() {
+        let g = path(5);
+        // Empty matching: every edge becomes {O, O}, which E^2 rejects.
+        let l = MaximalMatching.encode(&g, &[false; 4]);
+        assert!(verify_graph(&MaximalMatching, &g, &l).is_err());
+    }
+
+    #[test]
+    fn node_constraint_rejects_unmatched_pointer() {
+        use MatchLabel::*;
+        assert!(!MaximalMatching.node_ok(&[P]));
+        assert!(MaximalMatching.node_ok(&[M]));
+        assert!(MaximalMatching.node_ok(&[D, D, O]));
+        assert!(MaximalMatching.node_ok(&[]));
+    }
+
+    #[test]
+    fn rank1_requires_d() {
+        assert!(MaximalMatching.edge_ok(&[MatchLabel::D]));
+        assert!(!MaximalMatching.edge_ok(&[MatchLabel::M]));
+        assert!(!MaximalMatching.edge_ok(&[MatchLabel::O]));
+    }
+}

@@ -1,0 +1,242 @@
+//! Maximal independent set in the node-edge-checkability formalism.
+//!
+//! MIS is the flagship member of the paper's class `P1` (node-labeling
+//! problems with a 1-local sequential solver), handled by Theorem 12.
+//!
+//! # Formalization
+//!
+//! `Σ = {M, P, O}` where, on a half-edge `(v, e)`:
+//! * `M` — `v` is in the independent set,
+//! * `P` — `v` is not in the set and *points* along `e` at a neighbor that
+//!   is (the witness for maximality),
+//! * `O` — `v` is not in the set and makes no claim along `e`.
+//!
+//! Node constraints `N^i`: either all incident half-edges are `M` (member),
+//! or none is `M` and at least one is `P` (non-member with witness; a
+//! degree-0 node must be a member).
+//!
+//! Edge constraints: `E^2 = {{M,P}, {M,O}, {O,O}}` (two members may not be
+//! adjacent; a pointer must point at a member; a pointer's target being
+//! labeled `O`/`P` on the far half would contradict the far node's own
+//! constraint). `E^1 = {{M}, {O}}`: rank-1 edges may not carry pointers —
+//! this is what makes the edge-list variant `Π×` always solvable, which
+//! Theorem 12 requires. `E^0 = {∅}`.
+
+use crate::classic;
+use crate::labeling::HalfEdgeLabeling;
+use crate::problem::Problem;
+use crate::seq::NodeSequential;
+use treelocal_graph::{Graph, HalfEdge, NodeId};
+
+/// Labels of the MIS formalization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MisLabel {
+    /// The node is in the independent set.
+    M,
+    /// The node is not in the set and points at a member along this edge.
+    P,
+    /// The node is not in the set; no claim along this edge.
+    O,
+}
+
+/// The maximal independent set problem.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_problems::{Mis, Problem, MisLabel::*};
+/// let p = Mis;
+/// assert!(p.node_ok(&[M, M, M]));       // member
+/// assert!(p.node_ok(&[P, O, O]));       // non-member with witness
+/// assert!(!p.node_ok(&[O, O]));         // non-member without witness
+/// assert!(!p.node_ok(&[M, O]));         // mixed
+/// assert!(p.node_ok(&[]));              // isolated node is a member
+/// assert!(p.edge_ok(&[M, P]));
+/// assert!(!p.edge_ok(&[M, M]));
+/// assert!(!p.edge_ok(&[P, O]));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Mis;
+
+impl Problem for Mis {
+    type Label = MisLabel;
+
+    fn name(&self) -> &'static str {
+        "mis"
+    }
+
+    fn node_ok(&self, labels: &[MisLabel]) -> bool {
+        if labels.iter().all(|&l| l == MisLabel::M) {
+            // Includes the empty multiset: an isolated node is a member.
+            return true;
+        }
+        labels.iter().all(|&l| l != MisLabel::M) && labels.contains(&MisLabel::P)
+    }
+
+    fn edge_ok(&self, labels: &[MisLabel]) -> bool {
+        use MisLabel::*;
+        match labels {
+            [] => true,
+            [single] => matches!(single, M | O),
+            [a, b] => {
+                let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+                matches!((lo, hi), (M, P) | (M, O) | (O, O))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl NodeSequential for Mis {
+    fn decide_node(
+        &self,
+        g: &Graph,
+        labeling: &HalfEdgeLabeling<MisLabel>,
+        v: NodeId,
+    ) -> Option<Vec<(HalfEdge, MisLabel)>> {
+        // A neighbor is a known member iff its half of our shared edge is M
+        // (members label every incident half-edge M).
+        let mut witness: Option<HalfEdge> = None;
+        for &(w, e) in g.neighbors(v) {
+            let their_half = HalfEdge::new(e, g.side_of(e, w));
+            if labeling.get(their_half) == Some(MisLabel::M) {
+                witness = Some(HalfEdge::new(e, g.side_of(e, v)));
+                break;
+            }
+        }
+        let mut out = Vec::with_capacity(g.degree(v));
+        match witness {
+            None => {
+                // No member neighbor: join the set.
+                for &(_, e) in g.neighbors(v) {
+                    out.push((HalfEdge::new(e, g.side_of(e, v)), MisLabel::M));
+                }
+            }
+            Some(pointer) => {
+                for &(_, e) in g.neighbors(v) {
+                    let h = HalfEdge::new(e, g.side_of(e, v));
+                    let label = if h == pointer { MisLabel::P } else { MisLabel::O };
+                    out.push((h, label));
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+impl Mis {
+    /// Extracts the member set from a valid labeling (Section 5-style
+    /// equivalence: a node is a member iff its half-edges are labeled `M`;
+    /// degree-0 nodes are members).
+    pub fn extract(&self, g: &Graph, labeling: &HalfEdgeLabeling<MisLabel>) -> Vec<bool> {
+        classic::node_membership(g, labeling, MisLabel::M)
+    }
+
+    /// Encodes a classic MIS as a labeling (the reverse equivalence map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_set` has the wrong length or is not an independent
+    /// dominating set (a non-member without member neighbor has no valid
+    /// pointer).
+    pub fn encode(&self, g: &Graph, in_set: &[bool]) -> HalfEdgeLabeling<MisLabel> {
+        assert_eq!(in_set.len(), g.node_count());
+        let mut l = HalfEdgeLabeling::for_graph(g);
+        for &v in g.node_ids() {
+            if in_set[v.index()] {
+                for &(_, e) in g.neighbors(v) {
+                    l.set(HalfEdge::new(e, g.side_of(e, v)), MisLabel::M);
+                }
+            } else {
+                let witness_edge = g
+                    .neighbors(v)
+                    .iter()
+                    .find(|&&(w, _)| in_set[w.index()])
+                    .map(|&(_, e)| e)
+                    .expect("non-member must have a member neighbor");
+                for &(_, e) in g.neighbors(v) {
+                    let label = if e == witness_edge { MisLabel::P } else { MisLabel::O };
+                    l.set(HalfEdge::new(e, g.side_of(e, v)), label);
+                }
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::verify_graph;
+    use crate::seq::solve_nodes_sequential;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn sequential_solver_on_path_is_valid() {
+        let g = path(7);
+        let mut l = HalfEdgeLabeling::for_graph(&g);
+        let order: Vec<NodeId> = g.node_ids().to_vec();
+        solve_nodes_sequential(&Mis, &g, &order, &mut l).unwrap();
+        verify_graph(&Mis, &g, &l).unwrap();
+        let set = Mis.extract(&g, &l);
+        assert!(classic::is_valid_mis(&g, &set));
+    }
+
+    #[test]
+    fn sequential_solver_any_order_on_star() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        // Center first: center joins, leaves point at it.
+        let mut l = HalfEdgeLabeling::for_graph(&g);
+        let order: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        solve_nodes_sequential(&Mis, &g, &order, &mut l).unwrap();
+        verify_graph(&Mis, &g, &l).unwrap();
+        assert!(Mis.extract(&g, &l)[0]);
+
+        // Leaves first: all leaves join, center points.
+        let mut l = HalfEdgeLabeling::for_graph(&g);
+        let order: Vec<NodeId> = (0..5).rev().map(NodeId::new).collect();
+        solve_nodes_sequential(&Mis, &g, &order, &mut l).unwrap();
+        verify_graph(&Mis, &g, &l).unwrap();
+        let set = Mis.extract(&g, &l);
+        assert!(!set[0]);
+        assert!(set[1..].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn encode_extract_roundtrip() {
+        let g = path(6);
+        // {0, 2, 4} is a valid MIS of the 6-path... node 5 has neighbor 4 ✓.
+        let set = vec![true, false, true, false, true, false];
+        let l = Mis.encode(&g, &set);
+        verify_graph(&Mis, &g, &l).unwrap();
+        assert_eq!(Mis.extract(&g, &l), set);
+    }
+
+    #[test]
+    #[should_panic(expected = "member neighbor")]
+    fn encode_rejects_non_maximal() {
+        let g = path(3);
+        // Empty set is independent but not maximal.
+        let set = vec![false, false, false];
+        let _ = Mis.encode(&g, &set);
+    }
+
+    #[test]
+    fn isolated_node_must_join() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let mut l = HalfEdgeLabeling::for_graph(&g);
+        solve_nodes_sequential(&Mis, &g, &[NodeId::new(0)], &mut l).unwrap();
+        verify_graph(&Mis, &g, &l).unwrap();
+        assert!(Mis.extract(&g, &l)[0]);
+    }
+
+    #[test]
+    fn rank1_edge_constraint_rejects_pointer() {
+        assert!(Mis.edge_ok(&[MisLabel::M]));
+        assert!(Mis.edge_ok(&[MisLabel::O]));
+        assert!(!Mis.edge_ok(&[MisLabel::P]));
+    }
+}

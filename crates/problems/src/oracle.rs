@@ -1,0 +1,214 @@
+//! A brute-force completion oracle for small instances.
+//!
+//! The paper's Theorems 12 and 15 *assume* that the list variants `Π×` /
+//! `Π*` admit valid solutions on all valid inputs; our sequential solvers
+//! *construct* them. The oracle provides an independent ground truth on
+//! small graphs: exhaustive search over all completions of a partial
+//! labeling. Property tests assert that whenever the oracle finds any
+//! completion, the greedy sequential solver finds one too (and that both
+//! verify).
+
+use crate::coloring::{DegPlusOneColoring, DeltaPlusOneColoring};
+use crate::edge_coloring::{EdgeColLabel, EdgeDegreeColoring, PaletteEdgeColoring, PaletteLabel};
+use crate::labeling::HalfEdgeLabeling;
+use crate::matching::{MatchLabel, MaximalMatching};
+use crate::mis::{Mis, MisLabel};
+use crate::problem::{verify_graph, Problem};
+use treelocal_graph::{Graph, HalfEdge, NodeId, Side};
+
+/// A problem with a finite, per-half-edge candidate label set on whole
+/// graphs — enough for exhaustive search.
+pub trait Enumerable: Problem {
+    /// All labels worth trying on half-edge `h` of `g`.
+    fn universe(&self, g: &Graph, h: HalfEdge) -> Vec<Self::Label>;
+}
+
+impl Enumerable for Mis {
+    fn universe(&self, _g: &Graph, _h: HalfEdge) -> Vec<MisLabel> {
+        vec![MisLabel::M, MisLabel::P, MisLabel::O]
+    }
+}
+
+impl Enumerable for MaximalMatching {
+    fn universe(&self, _g: &Graph, _h: HalfEdge) -> Vec<MatchLabel> {
+        // D never appears on rank-2 edges, and whole graphs have no rank-1
+        // edges.
+        vec![MatchLabel::M, MatchLabel::P, MatchLabel::O]
+    }
+}
+
+impl Enumerable for DegPlusOneColoring {
+    fn universe(&self, g: &Graph, h: HalfEdge) -> Vec<u32> {
+        let v = g.endpoint(h.edge, h.side);
+        (1..=(g.degree(v) as u32 + 1)).collect()
+    }
+}
+
+impl Enumerable for crate::list_coloring::ListColoring {
+    fn universe(&self, g: &Graph, h: HalfEdge) -> Vec<u32> {
+        self.list(g.endpoint(h.edge, h.side)).to_vec()
+    }
+}
+
+impl Enumerable for DeltaPlusOneColoring {
+    fn universe(&self, _g: &Graph, _h: HalfEdge) -> Vec<u32> {
+        (1..=(self.delta as u32 + 1)).collect()
+    }
+}
+
+impl Enumerable for EdgeDegreeColoring {
+    fn universe(&self, g: &Graph, h: HalfEdge) -> Vec<EdgeColLabel> {
+        let v = g.endpoint(h.edge, h.side);
+        let max_a = g.degree(v) as u32;
+        let max_b = g.edge_degree(h.edge) as u32 + 1;
+        let mut out = Vec::with_capacity((max_a * max_b) as usize);
+        for a in 1..=max_a {
+            for b in 1..=max_b {
+                out.push(EdgeColLabel::C(a, b));
+            }
+        }
+        out
+    }
+}
+
+impl Enumerable for PaletteEdgeColoring {
+    fn universe(&self, _g: &Graph, _h: HalfEdge) -> Vec<PaletteLabel> {
+        (1..=self.palette).map(PaletteLabel::C).collect()
+    }
+}
+
+/// Exhaustively searches for a completion of `partial` into a valid
+/// solution of `p` on the whole graph `g`. Returns the first completion
+/// found, or `None` if none exists.
+///
+/// Exponential; intended for graphs with at most a few dozen half-edges.
+pub fn brute_force_complete<P: Enumerable>(
+    p: &P,
+    g: &Graph,
+    partial: &HalfEdgeLabeling<P::Label>,
+) -> Option<HalfEdgeLabeling<P::Label>> {
+    // Unassigned half-edges, grouped edge-by-edge so edge constraints prune
+    // early.
+    let mut targets: Vec<HalfEdge> = Vec::new();
+    for e in g.edge_ids() {
+        for side in [Side::First, Side::Second] {
+            if partial.get_at(e, side).is_none() {
+                targets.push(HalfEdge::new(e, side));
+            }
+        }
+    }
+    // Remaining-unassigned counters per node for node-completion checks.
+    let mut remaining: Vec<usize> = vec![0; g.node_count()];
+    for &h in &targets {
+        remaining[g.endpoint(h.edge, h.side).index()] += 1;
+    }
+    let mut work = partial.clone();
+    if dfs(p, g, &targets, 0, &mut remaining, &mut work) {
+        debug_assert!(verify_graph(p, g, &work).is_ok());
+        Some(work)
+    } else {
+        None
+    }
+}
+
+fn node_complete_ok<P: Problem>(
+    p: &P,
+    g: &Graph,
+    labeling: &HalfEdgeLabeling<P::Label>,
+    v: NodeId,
+) -> bool {
+    let labels = labeling.labels_at_node(g, v);
+    debug_assert_eq!(labels.len(), g.degree(v));
+    p.node_ok(&labels)
+}
+
+fn dfs<P: Enumerable>(
+    p: &P,
+    g: &Graph,
+    targets: &[HalfEdge],
+    i: usize,
+    remaining: &mut Vec<usize>,
+    work: &mut HalfEdgeLabeling<P::Label>,
+) -> bool {
+    let Some(&h) = targets.get(i) else {
+        // All assigned: constraints were checked incrementally.
+        return true;
+    };
+    let v = g.endpoint(h.edge, h.side);
+    for label in p.universe(g, h) {
+        work.set(h, label);
+        remaining[v.index()] -= 1;
+        // Prune: if the edge is now fully labeled, check it.
+        let edge_done = work.get_at(h.edge, h.side.other()).is_some();
+        let edge_ok = !edge_done || {
+            let [a, b] = work.edge_labels(h.edge);
+            p.edge_ok(&[a.expect("assigned"), b.expect("assigned")])
+        };
+        // Prune: if the node is now fully labeled, check it.
+        let node_ok = !edge_ok
+            || remaining[v.index()] > 0
+            || node_complete_ok(p, g, work, v);
+        if edge_ok && node_ok && dfs(p, g, targets, i + 1, remaining, work) {
+            return true;
+        }
+        remaining[v.index()] += 1;
+    }
+    // Clear the slot so siblings of an ancestor never observe stale labels
+    // through the "is the opposite half assigned" check.
+    work.unset(h);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::verify_graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn oracle_solves_mis_from_scratch() {
+        let g = path(4);
+        let partial = HalfEdgeLabeling::for_graph(&g);
+        let sol = brute_force_complete(&Mis, &g, &partial).expect("MIS exists");
+        verify_graph(&Mis, &g, &sol).unwrap();
+    }
+
+    #[test]
+    fn oracle_respects_partial_fixing() {
+        // Fix node 1 as a member; the completion must not put node 0 or 2
+        // in the set.
+        let g = path(3);
+        let mut partial = HalfEdgeLabeling::for_graph(&g);
+        let v1 = NodeId::new(1);
+        for &(_, e) in g.neighbors(v1) {
+            partial.set(HalfEdge::new(e, g.side_of(e, v1)), MisLabel::M);
+        }
+        let sol = brute_force_complete(&Mis, &g, &partial).expect("completable");
+        verify_graph(&Mis, &g, &sol).unwrap();
+        let set = Mis.extract(&g, &sol);
+        assert_eq!(set, vec![false, true, false]);
+    }
+
+    #[test]
+    fn oracle_detects_unsolvable() {
+        // Palette 1 edge coloring of a path with adjacent edges: impossible.
+        let g = path(3);
+        let p = PaletteEdgeColoring { palette: 1 };
+        let partial = HalfEdgeLabeling::for_graph(&g);
+        assert!(brute_force_complete(&p, &g, &partial).is_none());
+    }
+
+    #[test]
+    fn oracle_solves_matching_and_colorings() {
+        let g = path(5);
+        assert!(brute_force_complete(&MaximalMatching, &g, &HalfEdgeLabeling::for_graph(&g))
+            .is_some());
+        assert!(brute_force_complete(&DegPlusOneColoring, &g, &HalfEdgeLabeling::for_graph(&g))
+            .is_some());
+        assert!(brute_force_complete(&EdgeDegreeColoring, &g, &HalfEdgeLabeling::for_graph(&g))
+            .is_some());
+    }
+}

@@ -1,0 +1,311 @@
+//! The synchronous execution engine.
+//!
+//! Definition 5 of the paper: in each round every node sends messages of
+//! arbitrary size to its neighbors, receives theirs, and computes. Because
+//! message size is unbounded, exchanging full local state is equivalent to
+//! arbitrary messaging; the engine therefore models a round as "every node
+//! reads the previous-round state of each neighbor and computes a new
+//! state". Round counts are exactly those of a real deployment of the same
+//! algorithm.
+
+use std::fmt::Debug;
+use treelocal_graph::{NodeId, Topology};
+
+/// Everything a node is allowed to know globally (Definition 5): the number
+/// of nodes `n`, the identifier space, and the maximum degree.
+#[derive(Clone, Debug)]
+pub struct Ctx<'t, T> {
+    /// The communication topology the algorithm runs on.
+    pub topo: &'t T,
+    /// The number of nodes of the *original* instance (nodes of a restricted
+    /// semi-graph still know the global `n`).
+    pub n: usize,
+    /// Exclusive upper bound on LOCAL identifiers (the `n^c` of the model).
+    pub id_space: u64,
+    /// The maximum degree the algorithm may assume (`Δ` of the instance the
+    /// algorithm is invoked on).
+    pub max_degree: usize,
+}
+
+impl<'t, T: Topology> Ctx<'t, T> {
+    /// A context with parameters taken directly from the topology.
+    pub fn of(topo: &'t T) -> Self {
+        Ctx {
+            topo,
+            n: topo.nodes().len(),
+            id_space: topo.graph().id_space(),
+            max_degree: topo.max_degree(),
+        }
+    }
+
+    /// A context for running on a restriction of an instance with `n_global`
+    /// nodes and the given identifier space.
+    pub fn restricted(topo: &'t T, n_global: usize, id_space: u64) -> Self {
+        Ctx { topo, n: n_global, id_space, max_degree: topo.max_degree() }
+    }
+}
+
+/// A node's per-round decision: keep running or fix the output and stop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict<S> {
+    /// Continue with the given state.
+    Active(S),
+    /// Terminate with the given (final) state. The state stays visible to
+    /// neighbors for the remainder of the execution.
+    Halted(S),
+}
+
+/// Read-only view of the previous round's states.
+#[derive(Debug)]
+pub struct Snapshot<'a, S> {
+    states: &'a [Option<S>],
+}
+
+impl<S> Snapshot<'_, S> {
+    /// The previous-round state of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not participate in the execution. Algorithms only
+    /// read states of their topology neighbors, which always participate.
+    pub fn get(&self, v: NodeId) -> &S {
+        self.states[v.index()].as_ref().expect("neighbor participates in the execution")
+    }
+
+    /// The previous-round state of `v`, or `None` when `v` is not running.
+    pub fn try_get(&self, v: NodeId) -> Option<&S> {
+        self.states[v.index()].as_ref()
+    }
+}
+
+/// A deterministic synchronous LOCAL algorithm as a per-node state machine.
+///
+/// `init` is evaluated before any communication (round 0); each `step`
+/// consumes exactly one communication round, in which the node observes the
+/// previous-round states of its topology neighbors via [`Snapshot`].
+pub trait SyncAlgorithm<T: Topology> {
+    /// Per-node state; its full content is what neighbors can read (LOCAL
+    /// messages are unbounded).
+    type State: Clone + Debug;
+
+    /// The state of `v` before any communication happened.
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Self::State>;
+
+    /// One synchronous round at node `v`.
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &Self::State,
+        prev: &Snapshot<'_, Self::State>,
+    ) -> Verdict<Self::State>;
+}
+
+/// The result of running an algorithm to quiescence.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<S> {
+    /// Final per-node states (indexed by the parent graph's node space;
+    /// `None` for non-participating nodes).
+    pub states: Vec<Option<S>>,
+    /// Number of communication rounds executed (the maximum halting round
+    /// over all nodes).
+    pub rounds: u64,
+}
+
+impl<S> RunOutcome<S> {
+    /// The final state of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` did not participate.
+    pub fn state(&self, v: NodeId) -> &S {
+        self.states[v.index()].as_ref().expect("node participated in the run")
+    }
+}
+
+/// Runs `algo` on `ctx.topo` until every node halts.
+///
+/// # Panics
+///
+/// Panics if the algorithm has not fully halted after `max_rounds` rounds —
+/// a deterministic LOCAL algorithm that exceeds a generous round budget is a
+/// bug, not a runtime condition.
+pub fn run<T: Topology, A: SyncAlgorithm<T>>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    max_rounds: u64,
+) -> RunOutcome<A::State> {
+    let space = ctx.topo.index_space();
+    let mut states: Vec<Option<A::State>> = vec![None; space];
+    let mut halted: Vec<bool> = vec![true; space];
+    let mut active = 0usize;
+    for &v in ctx.topo.nodes() {
+        match algo.init(ctx, v) {
+            Verdict::Active(s) => {
+                states[v.index()] = Some(s);
+                halted[v.index()] = false;
+                active += 1;
+            }
+            Verdict::Halted(s) => {
+                states[v.index()] = Some(s);
+            }
+        }
+    }
+    let mut rounds = 0u64;
+    let mut next: Vec<Option<A::State>> = vec![None; space];
+    while active > 0 {
+        assert!(
+            rounds < max_rounds,
+            "algorithm did not halt within {max_rounds} rounds (still {active} active)"
+        );
+        rounds += 1;
+        {
+            let snap = Snapshot { states: &states };
+            for &v in ctx.topo.nodes() {
+                let i = v.index();
+                if halted[i] {
+                    next[i] = states[i].clone();
+                    continue;
+                }
+                let own = states[i].as_ref().expect("active node has a state");
+                match algo.step(ctx, v, rounds, own, &snap) {
+                    Verdict::Active(s) => next[i] = Some(s),
+                    Verdict::Halted(s) => {
+                        next[i] = Some(s);
+                        halted[i] = true;
+                        active -= 1;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut states, &mut next);
+    }
+    RunOutcome { states, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_graph::Graph;
+
+    /// Every node computes its eccentricity-capped hop distance from the
+    /// minimum-id node by flooding.
+    struct Flood;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Dist(Option<u64>);
+
+    impl<T: Topology> SyncAlgorithm<T> for Flood {
+        type State = Dist;
+
+        fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Dist> {
+            let my = ctx.topo.local_id(v);
+            let is_min = ctx.topo.nodes().iter().all(|&w| ctx.topo.local_id(w) >= my);
+            // Knowing the global minimum id is NOT something a LOCAL node can
+            // do; this test algorithm only uses it because ids are index+1
+            // here, making node 0 the source. Fine for engine testing.
+            if is_min {
+                Verdict::Active(Dist(Some(0)))
+            } else {
+                Verdict::Active(Dist(None))
+            }
+        }
+
+        fn step(
+            &self,
+            ctx: &Ctx<T>,
+            v: NodeId,
+            _round: u64,
+            own: &Dist,
+            prev: &Snapshot<'_, Dist>,
+        ) -> Verdict<Dist> {
+            if let Dist(Some(d)) = own {
+                return Verdict::Halted(Dist(Some(*d)));
+            }
+            let best = ctx
+                .topo
+                .neighbors(v)
+                .iter()
+                .filter_map(|&(w, _)| prev.get(w).0)
+                .min();
+            match best {
+                Some(d) => Verdict::Active(Dist(Some(d + 1))),
+                None => Verdict::Active(Dist(None)),
+            }
+        }
+    }
+
+    #[test]
+    fn flood_on_path_counts_rounds() {
+        let g = Graph::from_edges(5, &(0..4).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let ctx = Ctx::of(&g);
+        let out = run(&ctx, &Flood, 100);
+        for i in 0..5 {
+            assert_eq!(out.state(NodeId::new(i)).0, Some(i as u64));
+        }
+        // The farthest node learns its distance in round 4 and halts in
+        // round 5.
+        assert_eq!(out.rounds, 5);
+    }
+
+    #[test]
+    fn zero_round_algorithm() {
+        struct Instant;
+        impl<T: Topology> SyncAlgorithm<T> for Instant {
+            type State = u64;
+            fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<u64> {
+                Verdict::Halted(ctx.topo.local_id(v))
+            }
+            fn step(
+                &self,
+                _: &Ctx<T>,
+                _: NodeId,
+                _: u64,
+                s: &u64,
+                _: &Snapshot<'_, u64>,
+            ) -> Verdict<u64> {
+                Verdict::Halted(*s)
+            }
+        }
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let ctx = Ctx::of(&g);
+        let out = run(&ctx, &Instant, 10);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(*out.state(NodeId::new(2)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn runaway_algorithm_is_detected() {
+        struct Forever;
+        impl<T: Topology> SyncAlgorithm<T> for Forever {
+            type State = ();
+            fn init(&self, _: &Ctx<T>, _: NodeId) -> Verdict<()> {
+                Verdict::Active(())
+            }
+            fn step(
+                &self,
+                _: &Ctx<T>,
+                _: NodeId,
+                _: u64,
+                _: &(),
+                _: &Snapshot<'_, ()>,
+            ) -> Verdict<()> {
+                Verdict::Active(())
+            }
+        }
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let ctx = Ctx::of(&g);
+        let _ = run(&ctx, &Forever, 5);
+    }
+
+    #[test]
+    fn empty_topology_runs_zero_rounds() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let ctx = Ctx::of(&g);
+        let out = run(&ctx, &Flood, 10);
+        assert_eq!(out.rounds, 0);
+        assert!(out.states.is_empty());
+    }
+}

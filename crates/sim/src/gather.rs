@@ -1,0 +1,108 @@
+//! Honest round accounting for "gather, solve centrally, redistribute".
+//!
+//! Both Algorithm 2 and Algorithm 4 of the paper contain steps of the form
+//! *"let the highest node in the connected component collect the entire
+//! component, compute a solution, and inform all other nodes"*. In the
+//! LOCAL model this costs `ecc` rounds to collect plus `ecc` rounds to
+//! redistribute, where `ecc` is the eccentricity of the collector within
+//! its component. This module computes that cost exactly.
+
+use treelocal_graph::{eccentricity_sparse, NodeId, Topology};
+
+/// Rounds for one component gathered at `center`: `2 · ecc(center)`.
+pub fn gather_rounds_at<T: Topology>(topo: &T, center: NodeId) -> u64 {
+    2 * u64::from(eccentricity_sparse(topo, center))
+}
+
+/// Rounds for solving a family of components *in parallel*, each gathered at
+/// the center chosen by `pick_center`: the maximum single-component cost.
+///
+/// `component_members` must list each component's nodes; centers must be
+/// members of their component.
+pub fn parallel_gather_rounds<T: Topology>(
+    topo: &T,
+    components: impl IntoIterator<Item = Vec<NodeId>>,
+    mut pick_center: impl FnMut(&[NodeId]) -> NodeId,
+) -> u64 {
+    let mut worst = 0u64;
+    for comp in components {
+        let center = pick_center(&comp);
+        debug_assert!(comp.contains(&center), "center must belong to the component");
+        worst = worst.max(gather_rounds_at(topo, center));
+    }
+    worst
+}
+
+/// Rounds for solving a family of components *sequentially* (one after the
+/// other, as Algorithm 4 does with the `2a · 3` star-forest groups): the sum
+/// of the per-component costs, where each gather costs at least one round of
+/// coordination even for singleton components.
+pub fn sequential_gather_rounds<T: Topology>(
+    topo: &T,
+    components: impl IntoIterator<Item = Vec<NodeId>>,
+    mut pick_center: impl FnMut(&[NodeId]) -> NodeId,
+) -> u64 {
+    let mut total = 0u64;
+    for comp in components {
+        let center = pick_center(&comp);
+        debug_assert!(comp.contains(&center));
+        total += gather_rounds_at(topo, center).max(1);
+    }
+    total
+}
+
+/// Picks the component member with the maximum LOCAL identifier — the
+/// paper's "highest node" tie-break within a layer.
+pub fn highest_id_center<T: Topology>(topo: &T) -> impl FnMut(&[NodeId]) -> NodeId + '_ {
+    move |comp: &[NodeId]| {
+        *comp
+            .iter()
+            .max_by_key(|&&v| topo.local_id(v))
+            .expect("components are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelocal_graph::{components, Graph, SemiGraph};
+
+    #[test]
+    fn gather_on_path_component() {
+        let g = Graph::from_edges(5, &(0..4).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        // Gathering at an endpoint costs 2*4, at the middle 2*2.
+        assert_eq!(gather_rounds_at(&g, NodeId::new(0)), 8);
+        assert_eq!(gather_rounds_at(&g, NodeId::new(2)), 4);
+    }
+
+    #[test]
+    fn parallel_takes_max_sequential_takes_sum() {
+        // Two components: a path of 3 and an isolated node.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let cc = components(&g);
+        let comps: Vec<Vec<NodeId>> = cc.iter().map(|m| m.to_vec()).collect();
+        let par = parallel_gather_rounds(&g, comps.clone(), |c| c[0]);
+        // Path gathered at node 0: ecc 2 -> 4 rounds; singleton: 0.
+        assert_eq!(par, 4);
+        let seq = sequential_gather_rounds(&g, comps, |c| c[0]);
+        // 4 + max(0,1) = 5.
+        assert_eq!(seq, 5);
+    }
+
+    #[test]
+    fn highest_id_center_picks_max_id() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut pick = highest_id_center(&g);
+        let comp = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        // ids are index + 1, so node 2 has the highest id.
+        assert_eq!(pick(&comp), NodeId::new(2));
+    }
+
+    #[test]
+    fn gather_on_semigraph_component_uses_rank2_distance() {
+        // Path 0-1-2-3 restricted to {0,1}: component {0,1}, ecc 1.
+        let g = Graph::from_edges(4, &(0..3).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let s = SemiGraph::induced_by_nodes(&g, |v| v.index() <= 1);
+        assert_eq!(gather_rounds_at(&s, NodeId::new(0)), 2);
+    }
+}

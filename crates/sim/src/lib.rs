@@ -1,0 +1,63 @@
+//! A synchronous LOCAL-model simulator with honest round accounting.
+//!
+//! This crate executes deterministic distributed algorithms exactly as the
+//! LOCAL model (Definition 5 of Brandt–Narayanan, PODC 2025) prescribes:
+//! synchronous rounds, unbounded messages (modeled as full state exchange),
+//! unique identifiers, and knowledge of `n` and `Δ`. It provides:
+//!
+//! * [`SyncAlgorithm`] / [`run`] — per-node state machines executed in
+//!   lockstep with exact round counting,
+//! * [`RoundReport`] — per-phase accounting used by every pipeline,
+//! * [`gather_rounds_at`] and friends — the honest cost of the paper's
+//!   "gather the component at its highest node" steps,
+//! * [`log_star_f64`] / [`ceil_log`] — the complexity-function helpers, and
+//! * [`next_prime`] — support for Linial-style color reduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use treelocal_graph::{Graph, NodeId, Topology};
+//! use treelocal_sim::{run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+//!
+//! /// Each node halts with the maximum identifier among its neighbors.
+//! struct MaxNeighbor;
+//! impl<T: Topology> SyncAlgorithm<T> for MaxNeighbor {
+//!     type State = u64;
+//!     fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<u64> {
+//!         Verdict::Active(ctx.topo.local_id(v))
+//!     }
+//!     fn step(&self, ctx: &Ctx<T>, v: NodeId, _r: u64, own: &u64,
+//!             prev: &Snapshot<'_, u64>) -> Verdict<u64> {
+//!         let m = ctx.topo.neighbors(v).iter()
+//!             .map(|&(w, _)| *prev.get(w))
+//!             .max()
+//!             .unwrap_or(*own);
+//!         Verdict::Halted(m.max(*own))
+//!     }
+//! }
+//!
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+//! let ctx = Ctx::of(&g);
+//! let out = run(&ctx, &MaxNeighbor, 10);
+//! assert_eq!(out.rounds, 1);
+//! assert_eq!(*out.state(NodeId::new(0)), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod gather;
+mod msg_engine;
+mod logstar;
+mod primes;
+mod rounds;
+
+pub use engine::{run, Ctx, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
+pub use msg_engine::{run_messages, MessageAlgorithm};
+pub use gather::{
+    gather_rounds_at, highest_id_center, parallel_gather_rounds, sequential_gather_rounds,
+};
+pub use logstar::{ceil_log, log_star_f64, log_star_u64};
+pub use primes::{is_prime, next_prime};
+pub use rounds::{Phase, RoundReport};

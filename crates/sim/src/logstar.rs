@@ -1,0 +1,107 @@
+//! The iterated logarithm `log*` and related small numeric helpers.
+
+/// The iterated base-2 logarithm: the number of times `log2` must be applied
+/// to `x` before the value drops to at most 1.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_sim::log_star_f64;
+/// assert_eq!(log_star_f64(1.0), 0);
+/// assert_eq!(log_star_f64(2.0), 1);
+/// assert_eq!(log_star_f64(4.0), 2);
+/// assert_eq!(log_star_f64(16.0), 3);
+/// assert_eq!(log_star_f64(65536.0), 4);
+/// assert_eq!(log_star_f64(1e9), 5);
+/// ```
+pub fn log_star_f64(x: f64) -> u32 {
+    let mut x = x;
+    let mut k = 0;
+    while x > 1.0 {
+        x = x.log2();
+        k += 1;
+        debug_assert!(k < 64, "log* diverged");
+    }
+    k
+}
+
+/// `log*` of an unsigned integer.
+pub fn log_star_u64(x: u64) -> u32 {
+    log_star_f64(x as f64)
+}
+
+/// `⌈log_b(x)⌉` for real-valued base `b > 1`, with `x ≥ 1`; used by the
+/// decomposition iteration bounds (`⌈log_k n⌉ + 1` and `⌈10·log_{k/a} n⌉+1`).
+pub fn ceil_log(base: f64, x: f64) -> u64 {
+    assert!(base > 1.0, "ceil_log requires base > 1, got {base}");
+    assert!(x >= 1.0, "ceil_log requires x >= 1, got {x}");
+    if x == 1.0 {
+        return 0;
+    }
+    // Compute via natural logs and patch floating-point boundary cases.
+    let raw = x.ln() / base.ln();
+    let mut k = raw.ceil() as u64;
+    // Guard against rounding: ensure base^(k-1) < x <= base^k.
+    while k > 0 && base.powf((k - 1) as f64) >= x {
+        k -= 1;
+    }
+    while base.powf(k as f64) < x {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_small_values() {
+        assert_eq!(log_star_u64(0), 0);
+        assert_eq!(log_star_u64(1), 0);
+        assert_eq!(log_star_u64(2), 1);
+        assert_eq!(log_star_u64(3), 2);
+        assert_eq!(log_star_u64(4), 2);
+        assert_eq!(log_star_u64(5), 3);
+        assert_eq!(log_star_u64(16), 3);
+        assert_eq!(log_star_u64(17), 4);
+        assert_eq!(log_star_u64(65536), 4);
+        assert_eq!(log_star_u64(65537), 5);
+    }
+
+    #[test]
+    fn log_star_is_monotone() {
+        let mut prev = 0;
+        for x in 1..100_000u64 {
+            let v = log_star_u64(x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ceil_log_exact_powers() {
+        assert_eq!(ceil_log(2.0, 8.0), 3);
+        assert_eq!(ceil_log(2.0, 9.0), 4);
+        assert_eq!(ceil_log(3.0, 27.0), 3);
+        assert_eq!(ceil_log(10.0, 1.0), 0);
+        assert_eq!(ceil_log(10.0, 10.0), 1);
+    }
+
+    #[test]
+    fn ceil_log_boundaries_are_tight() {
+        for k in [2.0f64, 3.0, 5.0, 7.5] {
+            for e in 1..12u32 {
+                let x = k.powi(e as i32);
+                assert_eq!(ceil_log(k, x), u64::from(e), "base {k} exp {e}");
+                assert_eq!(ceil_log(k, x + 0.5), u64::from(e) + 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base > 1")]
+    fn ceil_log_rejects_base_one() {
+        let _ = ceil_log(1.0, 10.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The literal Definition 5 engine: explicit per-round messages through
+//! numbered ports.
+//!
+//! The main engine ([`run`](crate::run)) models a round as "read all
+//! neighbor states", which is equivalent to message passing because LOCAL
+//! messages have unbounded size. This module provides the message-passing
+//! semantics verbatim — *send (potentially different) messages to
+//! neighbors, receive theirs, compute* — so the equivalence is a tested
+//! fact rather than an assumption: `tests` runs the same algorithm under
+//! both engines and compares outputs and round counts.
+//!
+//! Ports are positions in a node's neighbor list; the engine precomputes
+//! the reverse port map so routing is O(1) per message.
+
+use crate::engine::{Ctx, RunOutcome, Verdict};
+use std::fmt::Debug;
+use treelocal_graph::{NodeId, Topology};
+
+/// A deterministic LOCAL algorithm in explicit message-passing form.
+pub trait MessageAlgorithm<T: Topology> {
+    /// Per-node private state (not visible to neighbors).
+    type State: Clone + Debug;
+    /// The message alphabet.
+    type Msg: Clone + Debug;
+
+    /// State before any communication.
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Self::State;
+
+    /// Messages to send this round, one slot per port (position in the
+    /// neighbor list); `None` sends nothing on that port.
+    fn send(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        state: &Self::State,
+    ) -> Vec<Option<Self::Msg>>;
+
+    /// Consumes this round's inbox (aligned with ports: `inbox[p]` came
+    /// from the neighbor at port `p`) and produces the next state or
+    /// halts.
+    fn receive(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        state: Self::State,
+        inbox: &[Option<Self::Msg>],
+    ) -> Verdict<Self::State>;
+}
+
+/// Runs a message-passing algorithm until every node halts.
+///
+/// # Panics
+///
+/// Panics if the algorithm exceeds `max_rounds` or sends a malformed
+/// message vector (wrong port count).
+pub fn run_messages<T: Topology, A: MessageAlgorithm<T>>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    max_rounds: u64,
+) -> RunOutcome<A::State> {
+    let space = ctx.topo.index_space();
+    // Reverse port map: for node v's port p leading to w, the port of w
+    // that leads back to v.
+    let mut back_port: Vec<Vec<usize>> = vec![Vec::new(); space];
+    for &v in ctx.topo.nodes() {
+        back_port[v.index()] = ctx
+            .topo
+            .neighbors(v)
+            .iter()
+            .map(|&(w, _)| {
+                ctx.topo
+                    .neighbors(w)
+                    .iter()
+                    .position(|&(x, _)| x == v)
+                    .expect("adjacency is symmetric")
+            })
+            .collect();
+    }
+    let mut states: Vec<Option<A::State>> = vec![None; space];
+    let mut halted = vec![true; space];
+    let mut active = 0usize;
+    for &v in ctx.topo.nodes() {
+        states[v.index()] = Some(algo.init(ctx, v));
+        halted[v.index()] = false;
+        active += 1;
+    }
+    let mut rounds = 0u64;
+    let mut inboxes: Vec<Vec<Option<A::Msg>>> =
+        ctx.topo.nodes().iter().map(|&v| vec![None; ctx.topo.degree(v)]).collect();
+    // Map node -> dense inbox index.
+    let mut inbox_of = vec![usize::MAX; space];
+    for (i, &v) in ctx.topo.nodes().iter().enumerate() {
+        inbox_of[v.index()] = i;
+    }
+    while active > 0 {
+        assert!(rounds < max_rounds, "algorithm did not halt within {max_rounds} rounds");
+        rounds += 1;
+        // Send phase: route every message into the recipient's inbox slot.
+        for inbox in &mut inboxes {
+            inbox.iter_mut().for_each(|m| *m = None);
+        }
+        for &v in ctx.topo.nodes() {
+            if halted[v.index()] {
+                continue; // terminated nodes are silent
+            }
+            let state = states[v.index()].as_ref().expect("active node has state");
+            let out = algo.send(ctx, v, rounds, state);
+            assert_eq!(out.len(), ctx.topo.degree(v), "one message slot per port");
+            for (p, msg) in out.into_iter().enumerate() {
+                if let Some(m) = msg {
+                    let (w, _) = ctx.topo.neighbors(v)[p];
+                    let bp = back_port[v.index()][p];
+                    inboxes[inbox_of[w.index()]][bp] = Some(m);
+                }
+            }
+        }
+        // Receive phase.
+        for &v in ctx.topo.nodes() {
+            if halted[v.index()] {
+                continue;
+            }
+            let state = states[v.index()].take().expect("active node has state");
+            let inbox = &inboxes[inbox_of[v.index()]];
+            match algo.receive(ctx, v, rounds, state, inbox) {
+                Verdict::Active(s) => states[v.index()] = Some(s),
+                Verdict::Halted(s) => {
+                    states[v.index()] = Some(s);
+                    halted[v.index()] = true;
+                    active -= 1;
+                }
+            }
+        }
+    }
+    RunOutcome { states, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, Snapshot, SyncAlgorithm};
+    use treelocal_graph::Graph;
+
+    /// Reference task: every node computes the maximum identifier within
+    /// distance R, implemented under BOTH engines.
+    const R: u64 = 4;
+
+    struct MaxIdMsg;
+
+    impl<T: Topology> MessageAlgorithm<T> for MaxIdMsg {
+        type State = u64;
+        type Msg = u64;
+
+        fn init(&self, ctx: &Ctx<T>, v: NodeId) -> u64 {
+            ctx.topo.local_id(v)
+        }
+
+        fn send(&self, ctx: &Ctx<T>, v: NodeId, _round: u64, state: &u64) -> Vec<Option<u64>> {
+            vec![Some(*state); ctx.topo.degree(v)]
+        }
+
+        fn receive(
+            &self,
+            _ctx: &Ctx<T>,
+            _v: NodeId,
+            round: u64,
+            state: u64,
+            inbox: &[Option<u64>],
+        ) -> Verdict<u64> {
+            let best = inbox.iter().flatten().copied().fold(state, u64::max);
+            if round == R {
+                Verdict::Halted(best)
+            } else {
+                Verdict::Active(best)
+            }
+        }
+    }
+
+    struct MaxIdState;
+
+    impl<T: Topology> SyncAlgorithm<T> for MaxIdState {
+        type State = u64;
+
+        fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<u64> {
+            Verdict::Active(ctx.topo.local_id(v))
+        }
+
+        fn step(
+            &self,
+            ctx: &Ctx<T>,
+            v: NodeId,
+            round: u64,
+            own: &u64,
+            prev: &Snapshot<'_, u64>,
+        ) -> Verdict<u64> {
+            let best = ctx
+                .topo
+                .neighbors(v)
+                .iter()
+                .map(|&(w, _)| *prev.get(w))
+                .fold(*own, u64::max);
+            if round == R {
+                Verdict::Halted(best)
+            } else {
+                Verdict::Active(best)
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_outputs_and_rounds() {
+        for seed in 0..5 {
+            let g = treelocal_gen::relabel(
+                &treelocal_gen::random_tree(80, seed),
+                treelocal_gen::IdStrategy::Permuted { seed },
+            );
+            let ctx = Ctx::of(&g);
+            let via_msgs = run_messages(&ctx, &MaxIdMsg, 100);
+            let via_state = run(&ctx, &MaxIdState, 100);
+            assert_eq!(via_msgs.rounds, via_state.rounds);
+            for v in g.node_ids() {
+                assert_eq!(via_msgs.state(*v), via_state.state(*v), "{v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn silent_ports_deliver_nothing() {
+        /// Nodes send only on port 0 in round 1, then halt with the count
+        /// of received messages.
+        struct Selective;
+        impl<T: Topology> MessageAlgorithm<T> for Selective {
+            type State = usize;
+            type Msg = ();
+            fn init(&self, _: &Ctx<T>, _: NodeId) -> usize {
+                0
+            }
+            fn send(&self, ctx: &Ctx<T>, v: NodeId, _: u64, _: &usize) -> Vec<Option<()>> {
+                let mut out = vec![None; ctx.topo.degree(v)];
+                if let Some(slot) = out.first_mut() {
+                    *slot = Some(());
+                }
+                out
+            }
+            fn receive(
+                &self,
+                _: &Ctx<T>,
+                _: NodeId,
+                _: u64,
+                _: usize,
+                inbox: &[Option<()>],
+            ) -> Verdict<usize> {
+                Verdict::Halted(inbox.iter().flatten().count())
+            }
+        }
+        // Path 0-1-2: port 0 is the lowest-index neighbor.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let ctx = Ctx::of(&g);
+        let out = run_messages(&ctx, &Selective, 10);
+        // Node 0's port 0 -> 1; node 1's port 0 -> 0; node 2's port 0 -> 1.
+        // So node 0 receives 1 message (from 1), node 1 receives 2 (from 0
+        // and 2), node 2 receives 0.
+        assert_eq!(*out.state(NodeId::new(0)), 1);
+        assert_eq!(*out.state(NodeId::new(1)), 2);
+        assert_eq!(*out.state(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn works_on_semigraph_restrictions() {
+        let g = treelocal_gen::random_tree(40, 3);
+        let s = treelocal_graph::SemiGraph::induced_by_nodes(&g, |v| v.index() % 3 != 0);
+        let ctx = Ctx::restricted(&s, g.node_count(), g.id_space());
+        let out = run_messages(&ctx, &MaxIdMsg, 100);
+        assert_eq!(out.rounds, R);
+        for &v in s.nodes() {
+            assert!(out.states[v.index()].is_some());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Small prime utilities for Linial-style color reduction.
+//!
+//! The polynomial construction behind Linial's coloring needs, per
+//! iteration, the smallest prime `q` at least some bound derived from the
+//! degree and the current color count. The bounds involved are tiny
+//! (polynomial in `Δ` and `log n`), so trial division is entirely adequate.
+
+/// Whether `n` is prime (deterministic trial division).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// The smallest prime `>= n` (Bertrand's postulate guarantees one below
+/// `2n`, so this always terminates quickly).
+pub fn next_prime(n: u64) -> u64 {
+    let mut p = n.max(2);
+    while !is_prime(p) {
+        p += 1;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> =
+            (0..30).filter(|&x| is_prime(x)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(7919), 7919);
+        assert_eq!(next_prime(7920), 7927);
+    }
+
+    #[test]
+    fn next_prime_is_prime_and_minimal() {
+        for n in 0..2000u64 {
+            let p = next_prime(n);
+            assert!(is_prime(p));
+            assert!(p >= n);
+            for q in n..p {
+                assert!(!is_prime(q));
+            }
+        }
+    }
+
+    #[test]
+    fn large_prime_check() {
+        assert!(is_prime(1_000_003));
+        assert!(!is_prime(1_000_001)); // 101 * 9901
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-phase round accounting.
+//!
+//! Every pipeline in this workspace reports where its rounds went: the
+//! decomposition, the truly local algorithm, the forest colorings, the
+//! gather-and-solve steps. A [`RoundReport`] is an ordered list of named
+//! phases whose total is the end-to-end round complexity.
+
+use std::fmt;
+
+/// One named phase of an execution and the rounds it consumed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Human-readable phase name (e.g. `"rake-compress"`).
+    pub name: String,
+    /// Rounds consumed by the phase.
+    pub rounds: u64,
+}
+
+/// An ordered collection of phases with helpers for totals and merging.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_sim::RoundReport;
+/// let mut r = RoundReport::new();
+/// r.push("decompose", 12);
+/// r.push("solve", 30);
+/// assert_eq!(r.total(), 42);
+/// assert_eq!(r.phases().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    phases: Vec<Phase>,
+}
+
+impl RoundReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RoundReport { phases: Vec::new() }
+    }
+
+    /// A report with a single phase.
+    pub fn single(name: impl Into<String>, rounds: u64) -> Self {
+        let mut r = RoundReport::new();
+        r.push(name, rounds);
+        r
+    }
+
+    /// Appends a phase.
+    pub fn push(&mut self, name: impl Into<String>, rounds: u64) -> &mut Self {
+        self.phases.push(Phase { name: name.into(), rounds });
+        self
+    }
+
+    /// Appends every phase of `other`, prefixing names with `prefix/`.
+    pub fn absorb(&mut self, prefix: &str, other: &RoundReport) -> &mut Self {
+        for p in &other.phases {
+            self.phases.push(Phase { name: format!("{prefix}/{}", p.name), rounds: p.rounds });
+        }
+        self
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total rounds across phases.
+    pub fn total(&self) -> u64 {
+        self.phases.iter().map(|p| p.rounds).sum()
+    }
+
+    /// The rounds of the named phase, summed over occurrences.
+    pub fn rounds_of(&self, name: &str) -> u64 {
+        self.phases.iter().filter(|p| p.name == name).map(|p| p.rounds).sum()
+    }
+
+    /// The rounds of all phases whose name starts with `prefix` (e.g. the
+    /// `"A/"` sub-phases absorbed from an inner algorithm).
+    pub fn rounds_with_prefix(&self, prefix: &str) -> u64 {
+        self.phases.iter().filter(|p| p.name.starts_with(prefix)).map(|p| p.rounds).sum()
+    }
+}
+
+impl fmt::Display for RoundReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.phases.is_empty() {
+            return write!(f, "(no rounds)");
+        }
+        for p in &self.phases {
+            writeln!(f, "{:>8}  {}", p.rounds, p.name)?;
+        }
+        write!(f, "{:>8}  total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_lookup() {
+        let mut r = RoundReport::new();
+        r.push("a", 3).push("b", 4).push("a", 5);
+        assert_eq!(r.total(), 12);
+        assert_eq!(r.rounds_of("a"), 8);
+        assert_eq!(r.rounds_of("b"), 4);
+        assert_eq!(r.rounds_of("c"), 0);
+    }
+
+    #[test]
+    fn absorb_prefixes_names() {
+        let inner = RoundReport::single("solve", 7);
+        let mut outer = RoundReport::single("pre", 1);
+        outer.absorb("phase1", &inner);
+        assert_eq!(outer.total(), 8);
+        assert_eq!(outer.rounds_of("phase1/solve"), 7);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut r = RoundReport::new();
+        r.push("x", 2);
+        let s = r.to_string();
+        assert!(s.contains("x"));
+        assert!(s.contains("total"));
+        assert_eq!(RoundReport::new().to_string(), "(no rounds)");
+    }
+}

@@ -1,0 +1,75 @@
+//! Explore the paper's two decompositions on a workload of your choice:
+//! layer histograms, lemma bounds, and the typical/atypical edge split.
+//!
+//! ```sh
+//! cargo run --example decomposition_explorer [n] [k]
+//! ```
+
+use treelocal::decomp::{
+    arb_decompose, check_lemma10, check_lemma11, check_lemma13, check_lemma14, check_lemma9,
+    compress_edge_max_degree, lemma11_bound, lemma9_bound, rake_compress,
+    raked_component_max_diameter, split_atypical, typical_max_degree, Mark,
+};
+use treelocal::gen::random_tree;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let tree = random_tree(n, 1);
+
+    println!("=== Algorithm 1: rake-and-compress (n = {n}, k = {k}) ===");
+    let rc = rake_compress(&tree, k);
+    println!(
+        "iterations: {} (Lemma 9 bound {}; holds: {})",
+        rc.iterations,
+        lemma9_bound(n, k),
+        check_lemma9(&rc, n)
+    );
+    let mut hist = vec![[0usize; 2]; rc.iterations as usize + 1];
+    for v in tree.node_ids() {
+        let it = rc.iteration_of[v.index()] as usize;
+        hist[it][usize::from(rc.mark_of[v.index()] == Mark::Rake)] += 1;
+    }
+    println!("{:>5} {:>10} {:>10}", "iter", "compressed", "raked");
+    for (i, [c, r]) in hist.iter().enumerate().skip(1) {
+        println!("{i:>5} {c:>10} {r:>10}");
+    }
+    println!(
+        "compress-edge max degree: {} ≤ k (Lemma 10 holds: {})",
+        compress_edge_max_degree(&tree, &rc),
+        check_lemma10(&tree, &rc)
+    );
+    println!(
+        "raked component max diameter: {} ≤ {} (Lemma 11 holds: {})",
+        raked_component_max_diameter(&tree, &rc),
+        lemma11_bound(n, k),
+        check_lemma11(&tree, &rc)
+    );
+
+    println!("\n=== Algorithm 3: (b,k)-decomposition (a = 1, k = {}) ===", 5.max(k));
+    let d = arb_decompose(&tree, 1, 5.max(k));
+    println!("iterations: {} (Lemma 13 holds: {})", d.iterations, check_lemma13(&d, n));
+    println!(
+        "typical-edge max degree: {} ≤ k (Lemma 14 holds: {})",
+        typical_max_degree(&tree, &d),
+        check_lemma14(&tree, &d)
+    );
+    let atypical = d.atypical_edges().len();
+    println!(
+        "edges: {} typical + {} atypical (of {})",
+        tree.edge_count() - atypical,
+        atypical,
+        tree.edge_count()
+    );
+    let split = split_atypical(&tree, &d);
+    let nonempty = split
+        .groups()
+        .filter(|&(i, j)| !split.group_edges(i, j).is_empty())
+        .count();
+    println!(
+        "star-forest groups: {nonempty} non-empty of {} (3-coloring rounds: {})",
+        3 * split.forests,
+        split.rounds
+    );
+}

@@ -1,0 +1,53 @@
+//! Theorem 3 (headline result): `(edge-degree+1)`-edge coloring on trees,
+//! breaking the `Ω(log n / log log n)` barrier.
+//!
+//! Runs the real pipeline on simulable sizes and evaluates the analytic
+//! Theorem 3 bound at asymptotic sizes, showing the `log^{12/13} n` shape
+//! and the separation from the MIS/matching barrier.
+//!
+//! ```sh
+//! cargo run --example edge_coloring_tree
+//! ```
+
+use treelocal::core::{
+    edge_coloring_on_tree, fit_log_exponent, mis_lower_bound_log2, tree_bound_log2,
+};
+use treelocal::gen::random_tree;
+use treelocal::problems::classic;
+
+fn main() {
+    // Executed pipeline at simulable sizes.
+    println!("=== executed pipeline (real inner algorithm) ===");
+    println!("{:>9} {:>6} {:>9} {:>9} {:>7}", "n", "k", "executed", "charged", "valid");
+    for &n in &[1_000usize, 4_000, 16_000, 64_000] {
+        let tree = random_tree(n, 7);
+        let (out, colors) = edge_coloring_on_tree(&tree);
+        assert!(out.valid);
+        assert!(classic::is_valid_edge_degree_coloring(&tree, &colors));
+        println!(
+            "{:>9} {:>6} {:>9} {:>9} {:>7}",
+            n,
+            out.params.k,
+            out.total_rounds(),
+            out.total_charged().unwrap_or(0),
+            out.valid
+        );
+    }
+
+    // The asymptotic claim: Theorem 3's bound behaves like log^{12/13} n
+    // and eventually undercuts the MIS/matching lower bound
+    // Ω(log n / log log n).
+    println!("\n=== Theorem 3 bound (BBKO22b model, log-space evaluation) ===");
+    println!("{:>12} {:>16} {:>16} {:>8}", "log2(n)", "edge-col bound", "MIS barrier", "winner");
+    let f_log = |x: f64| x.max(1e-12).powi(12);
+    let mut samples = Vec::new();
+    for &l2n in &[1e3, 1e6, 1e9, 1e20, 1e30, 1e40, 1e60] {
+        let edge = tree_bound_log2(l2n, f_log);
+        let mis = mis_lower_bound_log2(l2n);
+        samples.push((l2n, edge));
+        let winner = if edge < mis { "edge-col" } else { "MIS-barrier" };
+        println!("{l2n:>12.0e} {edge:>16.3e} {mis:>16.3e} {winner:>8}");
+    }
+    let beta = fit_log_exponent(&samples[3..]);
+    println!("\nfitted exponent of the edge coloring bound: {beta:.4} (paper: 12/13 = {:.4})", 12.0 / 13.0);
+}

@@ -1,0 +1,46 @@
+//! The separation story of the paper, condensed: on trees, MIS and maximal
+//! matching are stuck at Θ(log n / log log n), while (edge-degree+1)-edge
+//! coloring drops to O(log^{12/13} n).
+//!
+//! Compares measured rounds of the transformed pipelines across problems
+//! on the same trees, and the analytic bounds at asymptotic sizes.
+//!
+//! ```sh
+//! cargo run --release --example separation
+//! ```
+
+use treelocal::core::{
+    matching_on_tree, mis_on_tree, mis_lower_bound_log2, tree_bound_log2,
+};
+use treelocal::gen::random_tree;
+
+fn main() {
+    println!("=== measured rounds on the same trees (executed pipelines) ===");
+    println!("{:>8} {:>12} {:>12}", "n", "MIS", "matching");
+    for &n in &[1_000usize, 8_000, 64_000] {
+        let tree = random_tree(n, 3);
+        let (mis, _) = mis_on_tree(&tree);
+        let (mat, _) = matching_on_tree(&tree);
+        assert!(mis.valid && mat.valid);
+        println!("{:>8} {:>12} {:>12}", n, mis.total_rounds(), mat.total_rounds());
+    }
+
+    println!("\n=== analytic bounds: where edge coloring escapes the barrier ===");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "log2(n)", "MIS barrier", "edge-col bound", "ratio"
+    );
+    let bbko = |x: f64| x.max(1e-12).powi(12);
+    for &l2n in &[1e6f64, 1e13, 1e20, 1e27, 1e34, 1e41, 1e48] {
+        let barrier = mis_lower_bound_log2(l2n);
+        let edge = tree_bound_log2(l2n, bbko);
+        println!(
+            "{:>10.0e} {:>14.3e} {:>14.3e} {:>14.4}",
+            l2n,
+            barrier,
+            edge,
+            edge / barrier
+        );
+    }
+    println!("\nThe ratio falls below 1 and keeps shrinking: the separation of Theorem 3.");
+}

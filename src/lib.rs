@@ -1,0 +1,42 @@
+//! `treelocal` — deterministic LOCAL algorithms on trees.
+//!
+//! A faithful, executable reproduction of *“Towards Optimal Deterministic
+//! LOCAL Algorithms on Trees”* (Brandt & Narayanan, PODC 2025): the
+//! node-edge-checkability formalism, the rake-and-compress and `(b, k)`
+//! decompositions, truly local algorithms, and the paper's transformation
+//! turning any `O(f(Δ) + log* n)`-round algorithm into an
+//! `O(f(g(n)) + log* n)`-round algorithm on trees (Theorem 12) and its
+//! bounded-arboricity counterpart (Theorem 15).
+//!
+//! This facade crate re-exports the workspace members under stable paths:
+//!
+//! * [`graph`] — graphs, semi-graphs, half-edges,
+//! * [`gen`] — seeded workload generators,
+//! * [`sim`] — the LOCAL-model simulator,
+//! * [`problems`] — node-edge-checkable problems and list variants,
+//! * [`algos`] — truly local algorithms (Linial, Cole–Vishkin, MIS, ...),
+//! * [`decomp`] — the two decompositions with lemma checkers,
+//! * [`core`] — the transformation itself (Theorems 12 and 15).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use treelocal::gen::random_tree;
+//! use treelocal::graph::is_tree;
+//!
+//! let t = random_tree(500, 1);
+//! assert!(is_tree(&t));
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end run of the Theorem 12
+//! pipeline.
+
+#![forbid(unsafe_code)]
+
+pub use treelocal_algos as algos;
+pub use treelocal_core as core;
+pub use treelocal_decomp as decomp;
+pub use treelocal_gen as gen;
+pub use treelocal_graph as graph;
+pub use treelocal_problems as problems;
+pub use treelocal_sim as sim;

@@ -1,0 +1,95 @@
+//! End-to-end Theorem 12 runs for the `P1` problems (MIS, colorings)
+//! across the full workload suite: every run must produce a labeling that
+//! verifies against the formalism *and* extracts to a textbook-valid
+//! classic solution.
+
+use treelocal::algos::{DegColoringAlgo, DeltaColoringAlgo, MisAlgo};
+use treelocal::core::TreeTransform;
+use treelocal::gen::{relabel, tree_suite, IdStrategy};
+use treelocal::problems::{
+    classic, extract_coloring, verify_graph, DegPlusOneColoring, DeltaPlusOneColoring, Mis,
+};
+
+#[test]
+fn mis_across_tree_suite_and_id_strategies() {
+    for (name, base) in tree_suite(180, 11) {
+        for strat in [
+            IdStrategy::Sequential,
+            IdStrategy::Permuted { seed: 5 },
+            IdStrategy::Sparse { seed: 6 },
+            IdStrategy::Alternating,
+        ] {
+            let tree = relabel(&base, strat);
+            let out = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+            assert!(out.valid, "{name} with {strat:?}");
+            verify_graph(&Mis, &tree, &out.labeling).unwrap();
+            let set = Mis.extract(&tree, &out.labeling);
+            assert!(classic::is_valid_mis(&tree, &set), "{name} with {strat:?}");
+        }
+    }
+}
+
+#[test]
+fn deg_coloring_across_tree_suite() {
+    for (name, tree) in tree_suite(160, 23) {
+        let out = TreeTransform::new(&DegPlusOneColoring, &DegColoringAlgo).run(&tree);
+        assert!(out.valid, "{name}");
+        let colors = extract_coloring(&tree, &out.labeling);
+        assert!(classic::is_valid_deg_plus_one_coloring(&tree, &colors), "{name}");
+    }
+}
+
+#[test]
+fn delta_coloring_across_tree_suite() {
+    for (name, tree) in tree_suite(140, 37) {
+        let p = DeltaPlusOneColoring { delta: tree.max_degree() };
+        let out = TreeTransform::new(&p, &DeltaColoringAlgo).run(&tree);
+        assert!(out.valid, "{name}");
+        let colors = extract_coloring(&tree, &out.labeling);
+        assert!(
+            classic::is_valid_palette_coloring(&tree, &colors, tree.max_degree() as u32 + 1),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn k_sweep_never_breaks_validity() {
+    let tree = treelocal::gen::random_tree(400, 77);
+    for k in [2usize, 3, 4, 6, 10, 20, 50, 200] {
+        let out = TreeTransform::new(&Mis, &MisAlgo).with_k(k).run(&tree);
+        assert!(out.valid, "k = {k}");
+        // Lemma 10 must hold for every k.
+        assert!(out.stats.sub_max_degree <= k, "k = {k}");
+    }
+}
+
+#[test]
+fn transform_stats_are_consistent() {
+    let tree = treelocal::gen::random_tree(600, 5);
+    let out = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+    assert!(out.valid);
+    // Every half-edge labeled exactly once.
+    assert_eq!(out.labeling.assigned_count(), 2 * tree.edge_count());
+    // The executed report contains all three pipeline phases.
+    assert!(out.executed.rounds_of("rake-compress(Alg1)") > 0);
+    assert!(out.executed.phases().iter().any(|p| p.name.starts_with("A/")));
+    // The residual gather is bounded by Lemma 11's diameter bound.
+    let bound = treelocal::decomp::lemma11_bound(tree.node_count(), out.params.k);
+    assert!(out.stats.max_gather_rounds <= 2 * u64::from(bound) + 2);
+}
+
+#[test]
+fn rounds_scale_sublinearly_on_paths() {
+    // A path has diameter n-1; the transform must not degenerate to
+    // gathering everything (which would cost Θ(n)).
+    let small = TreeTransform::new(&Mis, &MisAlgo).run(&treelocal::gen::path(1_000));
+    let large = TreeTransform::new(&Mis, &MisAlgo).run(&treelocal::gen::path(8_000));
+    assert!(small.valid && large.valid);
+    let (r_small, r_large) = (small.total_rounds(), large.total_rounds());
+    // 8x the nodes must cost far less than 8x the rounds.
+    assert!(
+        r_large < r_small * 4,
+        "rounds should grow ~logarithmically: {r_small} -> {r_large}"
+    );
+}

@@ -1,0 +1,58 @@
+//! The whole stack is deterministic: identical inputs produce identical
+//! labelings, round counts and reports — across repeated runs and across
+//! the centralized/distributed decomposition implementations.
+
+use treelocal::algos::{MatchingAlgo, MisAlgo};
+use treelocal::core::{ArbTransform, TreeTransform};
+use treelocal::gen::{random_arboricity_graph, random_tree, relabel, IdStrategy};
+use treelocal::problems::{MaximalMatching, Mis};
+
+#[test]
+fn tree_transform_is_deterministic() {
+    let tree = relabel(&random_tree(400, 5), IdStrategy::Sparse { seed: 5 });
+    let a = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+    let b = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+    assert_eq!(a.labeling, b.labeling);
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.params.k, b.params.k);
+}
+
+#[test]
+fn arb_transform_is_deterministic() {
+    let g = random_arboricity_graph(300, 2, 11);
+    let a = ArbTransform::new(&MaximalMatching, &MatchingAlgo).run(&g, 2);
+    let b = ArbTransform::new(&MaximalMatching, &MatchingAlgo).run(&g, 2);
+    assert_eq!(a.labeling, b.labeling);
+    assert_eq!(a.executed, b.executed);
+}
+
+#[test]
+fn generators_are_deterministic() {
+    for seed in [0u64, 7, 99] {
+        let a = random_tree(200, seed);
+        let b = random_tree(200, seed);
+        let ea: Vec<_> = a.edge_ids().map(|e| a.endpoints(e)).collect();
+        let eb: Vec<_> = b.edge_ids().map(|e| b.endpoints(e)).collect();
+        assert_eq!(ea, eb);
+    }
+}
+
+#[test]
+fn id_relabeling_changes_solution_not_validity() {
+    // Different identifier assignments may change the concrete MIS but
+    // never its validity — and the transform's structural phases (the
+    // decomposition is identifier-independent except for tie-breaks).
+    let base = random_tree(300, 21);
+    let mut sizes = Vec::new();
+    for seed in 0..3 {
+        let tree = relabel(&base, IdStrategy::Permuted { seed });
+        let out = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+        assert!(out.valid);
+        let size = Mis.extract(&tree, &out.labeling).iter().filter(|&&x| x).count();
+        sizes.push(size);
+        assert_eq!(out.params.k, 2, "k depends only on n and f");
+    }
+    // MIS sizes on a tree vary by at most a factor ~2 between maximal sets.
+    let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    assert!(hi - lo <= base.node_count() / 3, "sizes {sizes:?}");
+}

@@ -1,0 +1,140 @@
+//! Property tests for the node-edge-checkability formalism: Section 5's
+//! 1-round equivalences (encode/extract round trips), agreement between
+//! the constructive sequential solvers and the exhaustive oracle, and
+//! order-independence of the `P1`/`P2` sequential processes.
+
+use proptest::prelude::*;
+use treelocal::gen::random_tree;
+use treelocal::graph::{Graph, HalfEdge, NodeId};
+use treelocal::problems::{
+    brute_force_complete, classic, edge_orders_for_tests, node_orders_for_tests,
+    solve_edges_sequential, solve_nodes_sequential, verify_graph, DegPlusOneColoring,
+    EdgeDegreeColoring, HalfEdgeLabeling, MaximalMatching, Mis, MisLabel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mis_sequential_solver_is_order_independent_valid(
+        n in 1usize..60,
+        seed in 0u64..500,
+    ) {
+        let g = random_tree(n, seed);
+        for order in node_orders_for_tests(&g) {
+            let mut l = HalfEdgeLabeling::for_graph(&g);
+            solve_nodes_sequential(&Mis, &g, &order, &mut l).unwrap();
+            verify_graph(&Mis, &g, &l).unwrap();
+            let set = Mis.extract(&g, &l);
+            prop_assert!(classic::is_valid_mis(&g, &set));
+        }
+    }
+
+    #[test]
+    fn matching_and_edge_coloring_order_independent(
+        n in 2usize..60,
+        seed in 0u64..500,
+    ) {
+        let g = random_tree(n, seed);
+        for order in edge_orders_for_tests(&g) {
+            let mut l = HalfEdgeLabeling::for_graph(&g);
+            solve_edges_sequential(&MaximalMatching, &g, &order, &mut l).unwrap();
+            verify_graph(&MaximalMatching, &g, &l).unwrap();
+
+            let mut l = HalfEdgeLabeling::for_graph(&g);
+            solve_edges_sequential(&EdgeDegreeColoring, &g, &order, &mut l).unwrap();
+            verify_graph(&EdgeDegreeColoring, &g, &l).unwrap();
+            let colors = EdgeDegreeColoring.extract(&g, &l);
+            prop_assert!(classic::is_valid_edge_degree_coloring(&g, &colors));
+        }
+    }
+
+    #[test]
+    fn sequential_matches_oracle_solvability(
+        n in 2usize..10,
+        seed in 0u64..300,
+    ) {
+        // On instances small enough for exhaustive search: whenever the
+        // oracle can complete the empty labeling, the greedy sequential
+        // process must too (and vice versa — greedy success implies a
+        // solution exists).
+        let g = random_tree(n, seed);
+        let oracle = brute_force_complete(&Mis, &g, &HalfEdgeLabeling::for_graph(&g));
+        prop_assert!(oracle.is_some(), "MIS always exists");
+        let mut greedy = HalfEdgeLabeling::for_graph(&g);
+        let order: Vec<NodeId> = g.node_ids().to_vec();
+        solve_nodes_sequential(&Mis, &g, &order, &mut greedy).unwrap();
+        verify_graph(&Mis, &g, &greedy).unwrap();
+    }
+
+    #[test]
+    fn residual_completion_after_partial_fix(
+        n in 3usize..10,
+        fixed in 0usize..3,
+        seed in 0u64..300,
+    ) {
+        // Fix a valid partial MIS state on a few nodes (greedy prefix),
+        // then check the oracle can complete it — the Π× solvability that
+        // Theorem 12 assumes, tested against ground truth.
+        let g = random_tree(n, seed);
+        let mut partial = HalfEdgeLabeling::for_graph(&g);
+        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let prefix = &order[..fixed.min(order.len())];
+        solve_nodes_sequential(&Mis, &g, prefix, &mut partial).unwrap();
+        let completed = brute_force_complete(&Mis, &g, &partial);
+        prop_assert!(completed.is_some(), "greedy prefixes stay completable");
+    }
+
+    #[test]
+    fn encode_extract_roundtrips(
+        n in 2usize..50,
+        seed in 0u64..500,
+    ) {
+        let g = random_tree(n, seed);
+        // MIS.
+        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let set = classic::greedy_mis(&g, &order);
+        let l = Mis.encode(&g, &set);
+        verify_graph(&Mis, &g, &l).unwrap();
+        prop_assert_eq!(Mis.extract(&g, &l), set);
+        // Matching.
+        let eorder: Vec<_> = g.edge_ids().collect();
+        let m = classic::greedy_matching(&g, &eorder);
+        let l = MaximalMatching.encode(&g, &m);
+        verify_graph(&MaximalMatching, &g, &l).unwrap();
+        prop_assert_eq!(MaximalMatching.extract(&g, &l), m);
+    }
+}
+
+#[test]
+fn mis_oracle_respects_forced_labels_on_small_graphs() {
+    // Deterministic exhaustive cross-check on one fixed instance: force
+    // each single node into the set in turn; the oracle's completion must
+    // always exclude its neighbors.
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+    for v in 0..6 {
+        let v = NodeId::new(v);
+        let mut partial = HalfEdgeLabeling::for_graph(&g);
+        for &(_, e) in g.neighbors(v) {
+            partial.set(HalfEdge::new(e, g.side_of(e, v)), MisLabel::M);
+        }
+        let sol = brute_force_complete(&Mis, &g, &partial).expect("completable");
+        let set = Mis.extract(&g, &sol);
+        assert!(set[v.index()]);
+        for &(w, _) in g.neighbors(v) {
+            assert!(!set[w.index()]);
+        }
+    }
+}
+
+#[test]
+fn deg_coloring_sequential_matches_oracle() {
+    let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+    let oracle = brute_force_complete(&DegPlusOneColoring, &g, &HalfEdgeLabeling::for_graph(&g));
+    assert!(oracle.is_some());
+    for order in node_orders_for_tests(&g) {
+        let mut l = HalfEdgeLabeling::for_graph(&g);
+        solve_nodes_sequential(&DegPlusOneColoring, &g, &order, &mut l).unwrap();
+        verify_graph(&DegPlusOneColoring, &g, &l).unwrap();
+    }
+}

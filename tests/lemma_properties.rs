@@ -1,0 +1,90 @@
+//! Property-based verification of the paper's lemmas on randomized
+//! workloads: Lemmas 9, 10, 11 (rake-and-compress), 13, 14 (the
+//! (b,k)-decomposition), the atypical-edge structure, and the star-forest
+//! property — plus the equivalence of the distributed and centralized
+//! decomposition implementations.
+
+use proptest::prelude::*;
+use treelocal::decomp::{
+    arb_decompose, arb_decompose_distributed, check_atypical_structure, check_lemma10,
+    check_lemma11, check_lemma13, check_lemma14, check_lemma9, check_split_covers_atypical,
+    check_star_property, max_atypical_to_higher, rake_compress, rake_compress_distributed,
+    split_atypical,
+};
+use treelocal::gen::{random_arboricity_graph, random_tree, relabel, IdStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rake_compress_lemmas_hold(
+        n in 2usize..400,
+        k in 2usize..24,
+        seed in 0u64..1000,
+        permute in any::<bool>(),
+    ) {
+        let mut tree = random_tree(n, seed);
+        if permute {
+            tree = relabel(&tree, IdStrategy::Permuted { seed });
+        }
+        let rc = rake_compress(&tree, k);
+        prop_assert!(check_lemma9(&rc, n), "Lemma 9: {} iterations", rc.iterations);
+        prop_assert!(check_lemma10(&tree, &rc), "Lemma 10");
+        prop_assert!(check_lemma11(&tree, &rc), "Lemma 11");
+    }
+
+    #[test]
+    fn arb_decomposition_lemmas_hold(
+        n in 4usize..300,
+        a in 1usize..4,
+        k_mult in 5usize..9,
+        seed in 0u64..1000,
+    ) {
+        let g = random_arboricity_graph(n, a, seed);
+        let k = k_mult * a;
+        let d = arb_decompose(&g, a, k);
+        prop_assert!(check_lemma13(&d, n), "Lemma 13: {} iterations", d.iterations);
+        prop_assert!(check_lemma14(&g, &d), "Lemma 14");
+        prop_assert!(check_atypical_structure(&g, &d));
+        prop_assert!(max_atypical_to_higher(&g, &d) <= 2 * a);
+    }
+
+    #[test]
+    fn star_forest_split_property(
+        n in 4usize..250,
+        a in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let g = random_arboricity_graph(n, a, seed);
+        let d = arb_decompose(&g, a, 5 * a);
+        let split = split_atypical(&g, &d);
+        prop_assert!(check_split_covers_atypical(&d, &split));
+        prop_assert!(check_star_property(&g, &d, &split));
+    }
+
+    #[test]
+    fn distributed_equals_centralized_rake_compress(
+        n in 2usize..200,
+        k in 2usize..12,
+        seed in 0u64..500,
+    ) {
+        let tree = random_tree(n, seed);
+        let c = rake_compress(&tree, k);
+        let d = rake_compress_distributed(&tree, k);
+        prop_assert_eq!(c.iteration_of, d.iteration_of);
+        prop_assert_eq!(c.mark_of, d.mark_of);
+    }
+
+    #[test]
+    fn distributed_equals_centralized_arb(
+        n in 4usize..180,
+        a in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let g = random_arboricity_graph(n, a, seed);
+        let c = arb_decompose(&g, a, 5 * a);
+        let d = arb_decompose_distributed(&g, a, 5 * a);
+        prop_assert_eq!(c.iteration_of, d.iteration_of);
+        prop_assert_eq!(c.atypical, d.atypical);
+    }
+}

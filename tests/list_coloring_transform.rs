@@ -1,0 +1,85 @@
+//! End-to-end Theorem 12 runs for `(deg+1)`-list coloring — the problem
+//! shape behind MT20's truly local bound and the paper's footnote-9 remark
+//! that `P1` membership is really about *list* versions.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treelocal::algos::ListColoringAlgo;
+use treelocal::core::TreeTransform;
+use treelocal::gen::{random_tree, tree_suite};
+use treelocal::graph::Graph;
+use treelocal::problems::{
+    brute_force_complete, classic, extract_coloring, verify_graph, HalfEdgeLabeling,
+    ListColoring,
+};
+
+/// Random lists with `deg(v) + 1 + slack` distinct colors from a palette of
+/// size `4·(deg+slack+2)`.
+fn random_lists(g: &Graph, slack: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x11357);
+    g.node_ids()
+        .iter()
+        .map(|&v| {
+            let need = g.degree(v) + 1 + slack;
+            let palette = 4 * (need + 2) as u32;
+            let mut list = std::collections::BTreeSet::new();
+            while list.len() < need {
+                list.insert(rng.gen_range(1..=palette));
+            }
+            list.into_iter().collect()
+        })
+        .collect()
+}
+
+#[test]
+fn list_coloring_transform_across_tree_suite() {
+    for (name, tree) in tree_suite(150, 29) {
+        let p = ListColoring::new(&tree, random_lists(&tree, 0, 3)).unwrap();
+        let out = TreeTransform::new(&p, &ListColoringAlgo).run(&tree);
+        assert!(out.valid, "{name}");
+        let colors = extract_coloring(&tree, &out.labeling);
+        assert!(classic::is_proper_coloring(&tree, &colors), "{name}");
+        for &v in tree.node_ids() {
+            assert!(p.allows(v, colors[v.index()]), "{name}: off-list at {v}");
+        }
+    }
+}
+
+#[test]
+fn deg_plus_one_lists_reduce_to_classic() {
+    let tree = random_tree(300, 41);
+    let p = ListColoring::deg_plus_one(&tree);
+    let out = TreeTransform::new(&p, &ListColoringAlgo).run(&tree);
+    assert!(out.valid);
+    let colors = extract_coloring(&tree, &out.labeling);
+    assert!(classic::is_valid_deg_plus_one_coloring(&tree, &colors));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn transform_handles_random_lists(
+        n in 2usize..120,
+        slack in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let tree = random_tree(n, seed);
+        let p = ListColoring::new(&tree, random_lists(&tree, slack, seed)).unwrap();
+        let out = TreeTransform::new(&p, &ListColoringAlgo).run(&tree);
+        prop_assert!(out.valid);
+        verify_graph(&p, &tree, &out.labeling).unwrap();
+    }
+
+    #[test]
+    fn oracle_agrees_lists_are_solvable(
+        n in 2usize..9,
+        seed in 0u64..300,
+    ) {
+        let tree = random_tree(n, seed);
+        let p = ListColoring::new(&tree, random_lists(&tree, 0, seed)).unwrap();
+        let oracle = brute_force_complete(&p, &tree, &HalfEdgeLabeling::for_graph(&tree));
+        prop_assert!(oracle.is_some(), "deg+1 lists are always completable");
+    }
+}

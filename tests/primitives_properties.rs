@@ -1,0 +1,119 @@
+//! Property tests for the truly local primitives: Linial color reduction,
+//! Kuhn–Wattenhofer halving, the class sweep, Cole–Vishkin, and the
+//! MIS sweep — on arbitrary (not just tree) topologies where applicable.
+
+use proptest::prelude::*;
+use treelocal::algos::{
+    is_proper, is_proper_on_forest, is_valid_mis_on, kw_reduce, linial_schedule,
+    mis_from_coloring, run_linial, sweep_reduce, three_color_rooted,
+};
+use treelocal::gen::{random_arboricity_graph, random_tree, relabel, IdStrategy};
+use treelocal::graph::root_forest;
+use treelocal::sim::{log_star_u64, Ctx};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn linial_is_proper_and_fast_on_general_graphs(
+        n in 2usize..250,
+        a in 1usize..4,
+        seed in 0u64..800,
+        sparse in any::<bool>(),
+    ) {
+        let mut g = random_arboricity_graph(n, a, seed);
+        if sparse {
+            g = relabel(&g, IdStrategy::Sparse { seed });
+        }
+        let ctx = Ctx::of(&g);
+        let out = run_linial(&ctx);
+        prop_assert!(is_proper(&g, &out.colors));
+        // Rounds are log*-like: generously bounded by 3·log* + 4.
+        let bound = u64::from(log_star_u64(ctx.id_space)) * 3 + 4;
+        prop_assert!(out.rounds <= bound, "{} rounds > {bound}", out.rounds);
+        // Final palette is poly(Δ), not poly(n).
+        let delta = g.max_degree() as u64;
+        prop_assert!(out.final_bound <= 30 * (delta + 1) * (delta + 1) + 200);
+    }
+
+    #[test]
+    fn kw_reaches_delta_plus_one_everywhere(
+        n in 2usize..200,
+        a in 1usize..3,
+        seed in 0u64..800,
+    ) {
+        let g = random_arboricity_graph(n, a, seed);
+        let ctx = Ctx::of(&g);
+        let lin = run_linial(&ctx);
+        let red = kw_reduce(&ctx, &lin.colors, lin.final_bound);
+        let as64: Vec<Option<u64>> = red.colors.iter().map(|c| c.map(u64::from)).collect();
+        prop_assert!(is_proper(&g, &as64));
+        prop_assert!(red.final_colors as usize <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn sweep_respects_degrees(
+        n in 2usize..200,
+        seed in 0u64..800,
+    ) {
+        let g = random_tree(n, seed);
+        let ctx = Ctx::of(&g);
+        let lin = run_linial(&ctx);
+        let red = sweep_reduce(&ctx, &lin.colors, lin.final_bound);
+        for &v in g.node_ids() {
+            let c = red.colors[v.index()].unwrap();
+            prop_assert!(c as usize <= g.degree(v) + 1);
+        }
+    }
+
+    #[test]
+    fn mis_pipeline_on_general_graphs(
+        n in 2usize..200,
+        a in 1usize..4,
+        seed in 0u64..800,
+    ) {
+        let g = random_arboricity_graph(n, a, seed);
+        let ctx = Ctx::of(&g);
+        let lin = run_linial(&ctx);
+        let red = kw_reduce(&ctx, &lin.colors, lin.final_bound);
+        let mis = mis_from_coloring(&ctx, &red.colors, u64::from(red.final_colors));
+        prop_assert!(is_valid_mis_on(&g, &mis.decisions));
+    }
+
+    #[test]
+    fn cv_three_colors_random_forests(
+        n in 2usize..200,
+        seed in 0u64..800,
+        strat_sparse in any::<bool>(),
+    ) {
+        let strat = if strat_sparse {
+            IdStrategy::Sparse { seed }
+        } else {
+            IdStrategy::Alternating
+        };
+        let g = relabel(&random_tree(n, seed), strat);
+        let forest = root_forest(&g);
+        let ctx = Ctx::of(&g);
+        let out = three_color_rooted(&ctx, &forest);
+        prop_assert!(is_proper_on_forest(&forest, &out.colors));
+        for v in g.node_ids() {
+            prop_assert!(out.colors[v.index()].unwrap() < 3);
+        }
+    }
+
+    #[test]
+    fn linial_schedule_is_consistent(
+        id_space in 2u64..u64::MAX / 2,
+        delta in 0usize..50,
+    ) {
+        let schedule = linial_schedule(id_space, delta);
+        // Stages strictly reduce the bound and are correctly chained.
+        let mut c = id_space.max(2);
+        for s in &schedule {
+            prop_assert_eq!(s.c_in, c);
+            prop_assert!(u64::from(s.d) * (delta as u64) < s.q, "q > dΔ");
+            prop_assert!(s.q * s.q < c, "strict progress");
+            c = s.q * s.q;
+        }
+    }
+}

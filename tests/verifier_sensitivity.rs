@@ -1,0 +1,110 @@
+//! Failure injection: the formalism verifiers must catch corrupted
+//! solutions. For each problem we take a valid labeling produced by the
+//! transformation and apply a mutation that breaks a constraint; the
+//! verifier has to reject it (and the classic verifiers have to reject the
+//! extracted solutions).
+
+use treelocal::algos::{MatchingAlgo, MisAlgo};
+use treelocal::core::{ArbTransform, TreeTransform};
+use treelocal::gen::random_tree;
+use treelocal::graph::{EdgeId, HalfEdge, Side};
+use treelocal::problems::{
+    classic, verify_graph, MatchLabel, MaximalMatching, Mis, MisLabel, Violation,
+};
+
+#[test]
+fn mis_verifier_catches_double_members() {
+    let tree = random_tree(120, 1);
+    let out = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+    assert!(out.valid);
+    // Force both endpoints of some edge to M: independence violated.
+    let mut bad = out.labeling.clone();
+    let e = EdgeId::new(0);
+    // Corrupt *all* half-edges of both endpoints so node constraints still
+    // hold and the violation is purely on the edge.
+    let [u, v] = tree.endpoints(e);
+    for w in [u, v] {
+        for &(_, f) in tree.neighbors(w) {
+            bad.set(HalfEdge::new(f, tree.side_of(f, w)), MisLabel::M);
+        }
+    }
+    let err = verify_graph(&Mis, &tree, &bad).unwrap_err();
+    assert!(matches!(err, Violation::EdgeConstraint { .. } | Violation::NodeConstraint { .. }));
+    let set = Mis.extract(&tree, &bad);
+    assert!(!classic::is_valid_mis(&tree, &set));
+}
+
+#[test]
+fn mis_verifier_catches_dangling_pointer() {
+    let tree = random_tree(80, 2);
+    let out = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+    // Find a non-member with a pointer and redirect it at a non-member
+    // neighbor (if one exists) — the edge constraint {P, O}/{P, P} fails.
+    let set = Mis.extract(&tree, &out.labeling);
+    let mut bad = out.labeling.clone();
+    let mut mutated = false;
+    'outer: for &v in tree.node_ids() {
+        if set[v.index()] {
+            continue;
+        }
+        for &(w, e) in tree.neighbors(v) {
+            if !set[w.index()] {
+                bad.set(HalfEdge::new(e, tree.side_of(e, v)), MisLabel::P);
+                mutated = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(mutated, "random tree has adjacent non-members");
+    assert!(verify_graph(&Mis, &tree, &bad).is_err());
+}
+
+#[test]
+fn matching_verifier_catches_half_matched_edge() {
+    let tree = random_tree(100, 3);
+    let out = ArbTransform::new(&MaximalMatching, &MatchingAlgo).run(&tree, 1);
+    assert!(out.valid);
+    // Flip one half of a matched edge to O: {M, O} is not in E^2.
+    let matched = MaximalMatching.extract(&tree, &out.labeling);
+    let e = (0..tree.edge_count())
+        .map(EdgeId::new)
+        .find(|e| matched[e.index()])
+        .expect("some edge is matched");
+    let mut bad = out.labeling.clone();
+    bad.set(HalfEdge::new(e, Side::First), MatchLabel::O);
+    let err = verify_graph(&MaximalMatching, &tree, &bad).unwrap_err();
+    assert!(matches!(
+        err,
+        Violation::EdgeConstraint { .. } | Violation::NodeConstraint { .. }
+    ));
+}
+
+#[test]
+fn matching_verifier_catches_unmatched_unmatched_edge() {
+    let tree = random_tree(100, 4);
+    let out = ArbTransform::new(&MaximalMatching, &MatchingAlgo).run(&tree, 1);
+    // Un-match a matched edge entirely (both halves O): its endpoints'
+    // other labels may still claim P, and the edge itself becomes {O, O} —
+    // either way verification must fail.
+    let matched = MaximalMatching.extract(&tree, &out.labeling);
+    let e = (0..tree.edge_count())
+        .map(EdgeId::new)
+        .find(|e| matched[e.index()])
+        .expect("some edge is matched");
+    let mut bad = out.labeling.clone();
+    bad.set(HalfEdge::new(e, Side::First), MatchLabel::O);
+    bad.set(HalfEdge::new(e, Side::Second), MatchLabel::O);
+    assert!(verify_graph(&MaximalMatching, &tree, &bad).is_err());
+}
+
+#[test]
+fn missing_label_is_reported_first() {
+    let tree = random_tree(50, 5);
+    let out = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+    let mut bad = out.labeling.clone();
+    bad.unset(HalfEdge::new(EdgeId::new(0), Side::First));
+    assert!(matches!(
+        verify_graph(&Mis, &tree, &bad),
+        Err(Violation::Missing { edge }) if edge == EdgeId::new(0)
+    ));
+}
