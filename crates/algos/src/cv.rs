@@ -124,8 +124,7 @@ impl<T: Topology> SyncAlgorithm<T> for CvAlgo<'_> {
                         break; // children are monochromatic after shift-down
                     }
                 }
-                let c =
-                    (0..3u64).find(|c| !forbidden.contains(c)).expect("a free color exists");
+                let c = (0..3u64).find(|c| !forbidden.contains(c)).expect("a free color exists");
                 CvState { color: c }
             } else {
                 own.clone()
@@ -189,11 +188,7 @@ mod tests {
     #[test]
     fn three_colors_paths_and_trees() {
         check(&Graph::from_edges(2, &[(0, 1)]).unwrap());
-        check(&Graph::from_edges(
-            20,
-            &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .unwrap());
+        check(&Graph::from_edges(20, &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap());
         for seed in 0..5 {
             check(&random_tree(100, seed));
         }

@@ -71,9 +71,9 @@ impl TrulyLocal<MaximalMatching> for MatchingAlgo {
         // A node of `sub` is matched iff some incident rank-2 edge is.
         let g = sub.parent();
         let node_matched = |v: NodeId| -> bool {
-            sub.underlying_neighbors(v).iter().any(|&(_, e)| {
-                l.lnode_of[e.index()].is_some_and(|ln| matched_lnode[ln as usize])
-            })
+            sub.underlying_neighbors(v)
+                .iter()
+                .any(|&(_, e)| l.lnode_of[e.index()].is_some_and(|ln| matched_lnode[ln as usize]))
         };
         for &e in sub.edges() {
             match sub.rank(e) {
@@ -92,11 +92,8 @@ impl TrulyLocal<MaximalMatching> for MatchingAlgo {
                     }
                 }
                 1 => {
-                    let side = if sub.half_present(e, Side::First) {
-                        Side::First
-                    } else {
-                        Side::Second
-                    };
+                    let side =
+                        if sub.half_present(e, Side::First) { Side::First } else { Side::Second };
                     labeling.set_fresh(HalfEdge::new(e, side), MatchLabel::D);
                 }
                 _ => {}
@@ -115,11 +112,7 @@ pub struct EdgeColoringAlgo;
 /// Computes the per-rank-2-edge colors via the line graph; shared by both
 /// edge coloring solvers. Returns colors (1-based, `≤ edge-degree+1`)
 /// indexed by line node.
-fn line_colors(
-    l: &LineGraph,
-    gctx: &GlobalCtx,
-    report: &mut RoundReport,
-) -> Vec<Option<u32>> {
+fn line_colors(l: &LineGraph, gctx: &GlobalCtx, report: &mut RoundReport) -> Vec<Option<u32>> {
     if l.graph.node_count() == 0 {
         return Vec::new();
     }
@@ -168,11 +161,8 @@ impl TrulyLocal<EdgeDegreeColoring> for EdgeColoringAlgo {
                     labeling.set_fresh(HalfEdge::new(e, Side::Second), EdgeColLabel::C(av, b));
                 }
                 1 => {
-                    let side = if sub.half_present(e, Side::First) {
-                        Side::First
-                    } else {
-                        Side::Second
-                    };
+                    let side =
+                        if sub.half_present(e, Side::First) { Side::First } else { Side::Second };
                     labeling.set_fresh(HalfEdge::new(e, side), EdgeColLabel::D);
                 }
                 _ => {}
@@ -222,11 +212,8 @@ impl TrulyLocal<PaletteEdgeColoring> for PaletteEdgeColoringAlgo {
                     labeling.set_fresh(HalfEdge::new(e, Side::Second), PaletteLabel::C(c));
                 }
                 1 => {
-                    let side = if sub.half_present(e, Side::First) {
-                        Side::First
-                    } else {
-                        Side::Second
-                    };
+                    let side =
+                        if sub.half_present(e, Side::First) { Side::First } else { Side::Second };
                     labeling.set_fresh(HalfEdge::new(e, side), PaletteLabel::D);
                 }
                 _ => {}
@@ -293,9 +280,7 @@ impl TrulyLocal<BMatching> for BMatchingAlgo {
         let load_of = |w: NodeId| -> usize {
             sub.underlying_neighbors(w)
                 .iter()
-                .filter(|&&(_, f)| {
-                    l.lnode_of[f.index()].is_some_and(|ln| chosen[ln as usize])
-                })
+                .filter(|&&(_, f)| l.lnode_of[f.index()].is_some_and(|ln| chosen[ln as usize]))
                 .count()
         };
         for &e in sub.edges() {
@@ -307,26 +292,17 @@ impl TrulyLocal<BMatching> for BMatchingAlgo {
                         labeling.set_fresh(HalfEdge::new(e, Side::First), BMatchLabel::M);
                         labeling.set_fresh(HalfEdge::new(e, Side::Second), BMatchLabel::M);
                     } else {
-                        let lu = if load_of(u) >= problem.b {
-                            BMatchLabel::S
-                        } else {
-                            BMatchLabel::O
-                        };
-                        let lv = if load_of(v) >= problem.b {
-                            BMatchLabel::S
-                        } else {
-                            BMatchLabel::O
-                        };
+                        let lu =
+                            if load_of(u) >= problem.b { BMatchLabel::S } else { BMatchLabel::O };
+                        let lv =
+                            if load_of(v) >= problem.b { BMatchLabel::S } else { BMatchLabel::O };
                         labeling.set_fresh(HalfEdge::new(e, Side::First), lu);
                         labeling.set_fresh(HalfEdge::new(e, Side::Second), lv);
                     }
                 }
                 1 => {
-                    let side = if sub.half_present(e, Side::First) {
-                        Side::First
-                    } else {
-                        Side::Second
-                    };
+                    let side =
+                        if sub.half_present(e, Side::First) { Side::First } else { Side::Second };
                     labeling.set_fresh(HalfEdge::new(e, side), BMatchLabel::D);
                 }
                 _ => {}
@@ -372,8 +348,7 @@ mod tests {
         verify_semigraph(&MaximalMatching, &s, &labeling).unwrap();
         for &e in s.edges() {
             if s.rank(e) == 1 {
-                let side =
-                    if s.half_present(e, Side::First) { Side::First } else { Side::Second };
+                let side = if s.half_present(e, Side::First) { Side::First } else { Side::Second };
                 assert_eq!(labeling.get_at(e, side), Some(MatchLabel::D));
             }
         }

@@ -42,8 +42,8 @@ pub use line_graph::{line_graph, simulated_rounds, LineGraph};
 pub use linial::{
     is_proper, linial_final_colors, linial_schedule, run_linial, ColorState, LinialOutcome, Stage,
 };
-pub use mis_phase::{is_valid_mis_on, mis_from_coloring, MisDecision, MisOutcome};
 pub use list_sweep::{list_sweep, ListSweepOutcome};
+pub use mis_phase::{is_valid_mis_on, mis_from_coloring, MisDecision, MisOutcome};
 pub use node_solvers::{DegColoringAlgo, DeltaColoringAlgo, ListColoringAlgo, MisAlgo};
 pub use reduce::{kw_reduce, sweep_reduce, ReduceOutcome};
 pub use traits::{ChargedModel, GlobalCtx, TrulyLocal};

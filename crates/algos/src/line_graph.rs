@@ -46,10 +46,7 @@ pub fn simulated_rounds(r: u64) -> u64 {
 pub fn line_graph(s: &SemiGraph<'_>) -> LineGraph {
     let parent = s.parent();
     let id_space = parent.id_space();
-    assert!(
-        id_space <= 1 << 31,
-        "line-graph id pairing needs id_space <= 2^31, got {id_space}"
-    );
+    assert!(id_space <= 1 << 31, "line-graph id pairing needs id_space <= 2^31, got {id_space}");
     let mut edge_of = Vec::new();
     let mut lnode_of = vec![None; parent.edge_count()];
     for &e in s.edges() {
@@ -136,8 +133,7 @@ mod tests {
         let g = treelocal_gen::random_tree(50, 3);
         let s = SemiGraph::whole(&g);
         let l = line_graph(&s);
-        let mut ids: Vec<u64> =
-            l.graph.node_ids().iter().map(|&v| l.graph.local_id(v)).collect();
+        let mut ids: Vec<u64> = l.graph.node_ids().iter().map(|&v| l.graph.local_id(v)).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), l.graph.node_count());

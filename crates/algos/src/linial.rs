@@ -211,11 +211,9 @@ pub fn run_linial<T: Topology>(ctx: &Ctx<'_, T>) -> LinialOutcome {
 
 /// Checks that `colors` is proper on the topology (test helper).
 pub fn is_proper<T: Topology>(topo: &T, colors: &[Option<u64>]) -> bool {
-    topo.nodes().iter().all(|&v| {
-        topo.neighbors(v)
-            .iter()
-            .all(|&(w, _)| colors[v.index()] != colors[w.index()])
-    })
+    topo.nodes()
+        .iter()
+        .all(|&v| topo.neighbors(v).iter().all(|&(w, _)| colors[v.index()] != colors[w.index()]))
 }
 
 #[cfg(test)]
@@ -233,10 +231,7 @@ mod tests {
             for id_space in [100u64, 10_000, 1 << 32] {
                 let final_c = linial_final_colors(id_space, delta);
                 let bound = 30 * (delta as u64 + 1) * (delta as u64 + 1) + 200;
-                assert!(
-                    final_c <= bound,
-                    "delta {delta} id_space {id_space}: {final_c} > {bound}"
-                );
+                assert!(final_c <= bound, "delta {delta} id_space {id_space}: {final_c} > {bound}");
             }
         }
     }
@@ -252,10 +247,9 @@ mod tests {
 
     #[test]
     fn reduction_is_proper_on_paths_and_stars() {
-        for g in [
-            path(50),
-            Graph::from_edges(9, &(1..9).map(|i| (0, i)).collect::<Vec<_>>()).unwrap(),
-        ] {
+        for g in
+            [path(50), Graph::from_edges(9, &(1..9).map(|i| (0, i)).collect::<Vec<_>>()).unwrap()]
+        {
             let ctx = Ctx::of(&g);
             let out = run_linial(&ctx);
             assert!(is_proper(&g, &out.colors), "improper coloring");

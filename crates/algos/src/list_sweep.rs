@@ -36,9 +36,7 @@ impl<T: Topology> SyncAlgorithm<T> for ListSweep<'_> {
         own: &LsState,
         prev: &Snapshot<'_, LsState>,
     ) -> Verdict<LsState> {
-        let LsState::Waiting { my_round } = own else {
-            unreachable!("chosen nodes have halted")
-        };
+        let LsState::Waiting { my_round } = own else { unreachable!("chosen nodes have halted") };
         if round < *my_round {
             return Verdict::Active(own.clone());
         }
@@ -105,9 +103,7 @@ mod tests {
     fn lists_for(g: &Graph, offset: u32) -> Vec<Vec<Color>> {
         g.node_ids()
             .iter()
-            .map(|&v| {
-                (0..=(g.degree(v) as Color)).map(|i| offset + 3 * i + 1).collect()
-            })
+            .map(|&v| (0..=(g.degree(v) as Color)).map(|i| offset + 3 * i + 1).collect())
             .collect()
     }
 

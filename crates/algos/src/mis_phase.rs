@@ -57,9 +57,11 @@ impl<T: Topology> SyncAlgorithm<T> for MisSweep<'_> {
             return Verdict::Active(own.clone());
         }
         debug_assert_eq!(round, *my_round);
-        let blocker = ctx.topo.neighbors(v).iter().find(|&&(w, _)| {
-            matches!(prev.get(w), SweepState::Decided(MisDecision::Member))
-        });
+        let blocker = ctx
+            .topo
+            .neighbors(v)
+            .iter()
+            .find(|&&(w, _)| matches!(prev.get(w), SweepState::Decided(MisDecision::Member)));
         let decision = match blocker {
             Some(&(_, e)) => MisDecision::NonMember { witness: e },
             None => MisDecision::Member,
@@ -147,8 +149,7 @@ mod tests {
         let (mis, _) = full_pipeline(&star);
         assert!(is_valid_mis_on(&star, &mis.decisions));
 
-        let path =
-            Graph::from_edges(30, &(0..29).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let path = Graph::from_edges(30, &(0..29).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
         let (mis, _) = full_pipeline(&path);
         assert!(is_valid_mis_on(&path, &mis.decisions));
     }

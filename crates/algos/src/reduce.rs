@@ -104,13 +104,7 @@ pub fn sweep_reduce<T: Topology>(
     assert!(m >= 1);
     let algo = SweepAlgo { initial, m };
     let out = run(ctx, &algo, m + 2);
-    let max_used = out
-        .states
-        .iter()
-        .flatten()
-        .map(|s| s.color)
-        .max()
-        .unwrap_or(0);
+    let max_used = out.states.iter().flatten().map(|s| s.color).max().unwrap_or(0);
     ReduceOutcome {
         colors: out
             .states
@@ -214,11 +208,7 @@ const FINAL_TAG: u64 = 1 << 62;
 /// Kuhn–Wattenhofer reduction from a proper 0-based `m`-coloring to a
 /// proper `(Δ+1)`-coloring (Δ from the context), in `O(Δ · log(m / Δ))`
 /// rounds.
-pub fn kw_reduce<T: Topology>(
-    ctx: &Ctx<'_, T>,
-    initial: &[Option<u64>],
-    m: u64,
-) -> ReduceOutcome {
+pub fn kw_reduce<T: Topology>(ctx: &Ctx<'_, T>, initial: &[Option<u64>], m: u64) -> ReduceOutcome {
     let slots = ctx.max_degree as u64 + 1;
     let mut colors: Vec<Option<u64>> = initial.to_vec();
     let mut m_cur = m.max(1);
@@ -229,11 +219,7 @@ pub fn kw_reduce<T: Topology>(
         rounds += out.rounds;
         let groups = m_cur.div_ceil(2 * slots);
         m_cur = groups * slots;
-        colors = out
-            .states
-            .iter()
-            .map(|s| s.as_ref().map(|st| st.color & !FINAL_TAG))
-            .collect();
+        colors = out.states.iter().map(|s| s.as_ref().map(|st| st.color & !FINAL_TAG)).collect();
         // Tag is stripped; ensure the invariant holds.
         debug_assert!(colors.iter().flatten().all(|&c| c < m_cur));
     }
@@ -305,11 +291,7 @@ mod tests {
         let out = kw_reduce(&ctx, &lin.colors, lin.final_bound);
         let delta = g.max_degree() as u64;
         let phases = (lin.final_bound as f64 / (delta + 1) as f64).log2().ceil() as u64 + 1;
-        assert!(
-            out.rounds <= (delta + 1) * phases + phases,
-            "rounds {} exceed bound",
-            out.rounds
-        );
+        assert!(out.rounds <= (delta + 1) * phases + phases, "rounds {} exceed bound", out.rounds);
     }
 
     #[test]
@@ -329,8 +311,7 @@ mod tests {
         // A proper 2-coloring of a path stays within 2 colors after sweep.
         let g = path(10);
         let ctx = Ctx::of(&g);
-        let initial: Vec<Option<u64>> =
-            (0..10).map(|i| Some((i % 2) as u64)).collect();
+        let initial: Vec<Option<u64>> = (0..10).map(|i| Some((i % 2) as u64)).collect();
         let out = sweep_reduce(&ctx, &initial, 2);
         assert!(check_proper_u32(&g, &out.colors));
         assert!(out.final_colors <= 2);

@@ -6,8 +6,8 @@
 //! complexity function `f`, which the transformation feeds into the
 //! `g(n)^{f(g(n))} = n` equation to choose the decomposition parameter.
 
-use treelocal_problems::{HalfEdgeLabeling, Problem};
 use treelocal_graph::SemiGraph;
+use treelocal_problems::{HalfEdgeLabeling, Problem};
 use treelocal_sim::RoundReport;
 
 /// Global instance parameters visible to every node (Definition 5): the
@@ -80,10 +80,7 @@ impl ChargedModel {
 
     /// `O(√Δ log Δ)`-round `(deg+1)`-list coloring \[MT20\].
     pub fn mt20_coloring() -> Self {
-        ChargedModel {
-            name: "MT20 sqrt",
-            f: |d| (d + 1.0).sqrt() * (d + 2.0).log2(),
-        }
+        ChargedModel { name: "MT20 sqrt", f: |d| (d + 1.0).sqrt() * (d + 2.0).log2() }
     }
 
     /// `O(Δ)`-round maximal matching \[PR01\].

@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use treelocal_algos::{
-    BMatchingAlgo, DegColoringAlgo, EdgeColoringAlgo, GlobalCtx, MatchingAlgo, MisAlgo,
-    TrulyLocal,
+    BMatchingAlgo, DegColoringAlgo, EdgeColoringAlgo, GlobalCtx, MatchingAlgo, MisAlgo, TrulyLocal,
 };
 use treelocal_gen::{random_arboricity_graph, random_tree};
 use treelocal_graph::{NodeId, SemiGraph};

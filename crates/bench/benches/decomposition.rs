@@ -10,11 +10,9 @@ fn bench_rake_compress(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000, 100_000] {
         let tree = random_tree(n, 1);
         for &k in &[2usize, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &tree,
-                |b, tree| b.iter(|| rake_compress(tree, k)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &tree, |b, tree| {
+                b.iter(|| rake_compress(tree, k))
+            });
         }
     }
     group.finish();
@@ -25,11 +23,9 @@ fn bench_arb_decompose(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000, 100_000] {
         for &a in &[1usize, 3] {
             let g = random_arboricity_graph(n, a, 2);
-            group.bench_with_input(
-                BenchmarkId::new(format!("a{a}"), n),
-                &g,
-                |b, g| b.iter(|| arb_decompose(g, a, 5 * a)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("a{a}"), n), &g, |b, g| {
+                b.iter(|| arb_decompose(g, a, 5 * a))
+            });
         }
     }
     group.finish();

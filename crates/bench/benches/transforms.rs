@@ -44,19 +44,14 @@ fn bench_theorem3_edge_coloring(c: &mut Criterion) {
     group.sample_size(10);
     for &side in &[20usize, 45] {
         let g = triangulated_grid(side, side);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
-                        .with_rho(2)
-                        .run(g, 3);
-                    assert!(out.valid);
-                    out.total_rounds()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
+            b.iter(|| {
+                let out =
+                    ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo).with_rho(2).run(g, 3);
+                assert!(out.valid);
+                out.total_rounds()
+            })
+        });
     }
     group.finish();
 }

@@ -8,9 +8,7 @@
 
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
-use treelocal_algos::{
-    run_linial, three_color_rooted, EdgeColoringAlgo, MatchingAlgo, MisAlgo,
-};
+use treelocal_algos::{run_linial, three_color_rooted, EdgeColoringAlgo, MatchingAlgo, MisAlgo};
 use treelocal_core::{ArbTransform, TreeTransform};
 use treelocal_gen::{random_tree, relabel, triangulated_grid, IdStrategy};
 use treelocal_graph::root_forest;
@@ -85,9 +83,7 @@ pub fn e11(size: ExperimentSize) -> Table {
             m.total_rounds().to_string(),
             m.valid.to_string(),
         ]);
-        let c = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
-            .with_rho(rho)
-            .run(&g, a);
+        let c = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo).with_rho(rho).run(&g, a);
         assert!(c.valid);
         t.row(vec![
             rho.to_string(),
@@ -125,12 +121,7 @@ pub fn e11_model(_size: ExperimentSize) -> Table {
         } else {
             "out of regime".to_string()
         };
-        t.row(vec![
-            rho.to_string(),
-            crate::table::fnum(log_g_a),
-            ok.to_string(),
-            bound,
-        ]);
+        t.row(vec![rho.to_string(), crate::table::fnum(log_g_a), ok.to_string(), bound]);
     }
     t.note("rho must exceed log_g(a) (the paper's a <= g^rho/5 regime); rho = 2 suffices for a <= g, which is why Theorem 3 uses it");
     t
@@ -148,10 +139,9 @@ pub fn e12(size: ExperimentSize) -> Table {
         &["n", "ids", "log*", "linial-rounds", "linial-colors", "cv-rounds"],
     );
     for &n in ns {
-        for (label, strat) in [
-            ("seq", IdStrategy::Sequential),
-            ("sparse", IdStrategy::Sparse { seed: 5 }),
-        ] {
+        for (label, strat) in
+            [("seq", IdStrategy::Sequential), ("sparse", IdStrategy::Sparse { seed: 5 })]
+        {
             let g = relabel(&random_tree(n, 3), strat);
             let ctx = Ctx::of(&g);
             let lin = run_linial(&ctx);
@@ -177,7 +167,6 @@ pub fn e14(size: ExperimentSize) -> Table {
     use treelocal_core::direct_baseline;
     use treelocal_gen::balanced_regular_tree;
     use treelocal_problems::{MaximalMatching, Mis};
-    use treelocal_algos::MatchingAlgo;
     let n = match size {
         ExperimentSize::Quick => 2_000,
         ExperimentSize::Full => 20_000,
@@ -202,7 +191,9 @@ pub fn e14(size: ExperimentSize) -> Table {
         ]);
     }
     t.note("the normalized MIS column stays bounded: the implemented inner algorithm really is f(Δ) = Θ(Δ log Δ)");
-    t.note("this Δ-dependence is exactly what the transformation trades against log_k n via k = g(n)");
+    t.note(
+        "this Δ-dependence is exactly what the transformation trades against log_k n via k = g(n)",
+    );
     t
 }
 

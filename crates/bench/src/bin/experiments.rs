@@ -15,11 +15,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let size = if quick { ExperimentSize::Quick } else { ExperimentSize::Full };
-    let requested: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.to_lowercase())
-        .collect();
+    let requested: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.to_lowercase()).collect();
     let ids: Vec<&str> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
         all_experiment_ids()
     } else {

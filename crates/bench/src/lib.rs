@@ -26,9 +26,7 @@ pub enum ExperimentSize {
 
 /// All experiment ids, in presentation order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
-    vec![
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    ]
+    vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"]
 }
 
 /// Runs one experiment by id, returning its table(s).

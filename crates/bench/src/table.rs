@@ -21,11 +21,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -67,11 +63,8 @@ impl Table {
         let _ = writeln!(out, "{}", head.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(head.join("  ").len()));
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-                .collect();
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         for note in &self.notes {

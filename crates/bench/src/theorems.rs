@@ -36,18 +36,15 @@ pub fn e6(size: ExperimentSize) -> Table {
     let mut t = Table::new(
         "E6",
         "Theorem 12: MIS / (deg+1)-coloring on trees; rounds vs log n/log log n",
-        &[
-            "shape", "n", "k", "mis-rounds", "mis/LL", "col-rounds", "direct", "gather",
-        ],
+        &["shape", "n", "k", "mis-rounds", "mis/LL", "col-rounds", "direct", "gather"],
     );
     let mut samples = Vec::new();
     for n in n_sweep(size) {
         // Random trees plus the paper's lower-bound instances (balanced
         // regular trees, footnote 11).
-        for (shape, tree) in [
-            ("random", random_tree(n, 7)),
-            ("bal-d8", treelocal_gen::balanced_regular_tree(8, n)),
-        ] {
+        for (shape, tree) in
+            [("random", random_tree(n, 7)), ("bal-d8", treelocal_gen::balanced_regular_tree(8, n))]
+        {
             let mis = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
             assert!(mis.valid);
             let col = TreeTransform::new(&DegPlusOneColoring, &DegColoringAlgo).run(&tree);
@@ -71,13 +68,9 @@ pub fn e6(size: ExperimentSize) -> Table {
         }
     }
     if samples.len() >= 2 {
-        let ratios: Vec<f64> = samples
-            .iter()
-            .map(|&(l2n, r)| r / (l2n / l2n.log2()))
-            .collect();
-        let (lo, hi) = ratios
-            .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+        let ratios: Vec<f64> = samples.iter().map(|&(l2n, r)| r / (l2n / l2n.log2())).collect();
+        let (lo, hi) =
+            ratios.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
         let beta = fit_log_exponent(&samples);
         t.note(format!(
             "mis/LL ratio stays within [{lo:.2}, {hi:.2}] across a 256x size range — the \
@@ -152,13 +145,9 @@ pub fn e7(size: ExperimentSize) -> Table {
         ]);
     }
     if samples.len() >= 2 {
-        let ratios: Vec<f64> = samples
-            .iter()
-            .map(|&(l2n, r)| r / (l2n / l2n.log2()))
-            .collect();
-        let (lo, hi) = ratios
-            .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+        let ratios: Vec<f64> = samples.iter().map(|&(l2n, r)| r / (l2n / l2n.log2())).collect();
+        let (lo, hi) =
+            ratios.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
         t.note(format!(
             "charged/LL ratio stays within [{lo:.2}, {hi:.2}] — the O(log n / log log n) bound of Section 5.2"
         ));
@@ -215,10 +204,7 @@ pub fn e8_model(_size: ExperimentSize) -> Table {
         ]);
     }
     let beta = fit_log_exponent(&samples[2..]);
-    t.note(format!(
-        "fitted exponent {beta:.4} vs paper's 12/13 = {:.4}",
-        12.0 / 13.0
-    ));
+    t.note(format!("fitted exponent {beta:.4} vs paper's 12/13 = {:.4}", 12.0 / 13.0));
     t.note("crossover: the transformed edge coloring dips below the MIS/MM barrier — the paper's separation");
     t
 }

@@ -27,9 +27,7 @@ use crate::report::{TransformOutcome, TransformParams, TransformStats};
 use treelocal_algos::{ChargedModel, GlobalCtx, TrulyLocal};
 use treelocal_decomp::{arb_decompose, split_atypical};
 use treelocal_graph::Graph;
-use treelocal_problems::{
-    solve_edges_sequential, verify_graph, EdgeSequential, Problem,
-};
+use treelocal_problems::{solve_edges_sequential, verify_graph, EdgeSequential, Problem};
 use treelocal_sim::{log_star_u64, RoundReport};
 
 /// The Theorem 15 pipeline, configured with a problem and an inner
@@ -121,9 +119,8 @@ where
         let n = g.node_count();
         let gctx = GlobalCtx::of(g);
         let g_value = if n >= 4 { solve_g(n as f64, |d| self.f_for_selection(d)) } else { 2.0 };
-        let k_raw = self
-            .k_override
-            .unwrap_or_else(|| g_value.powi(self.rho as i32).floor() as usize);
+        let k_raw =
+            self.k_override.unwrap_or_else(|| g_value.powi(self.rho as i32).floor() as usize);
         let k = k_raw.max(5 * a).max(2);
         let mut executed = RoundReport::new();
 
@@ -198,9 +195,7 @@ mod tests {
     use treelocal_gen::{
         grid, random_arboricity_graph, random_tree, relabel, triangulated_grid, IdStrategy,
     };
-    use treelocal_problems::{
-        classic, EdgeDegreeColoring, MaximalMatching, PaletteEdgeColoring,
-    };
+    use treelocal_problems::{classic, EdgeDegreeColoring, MaximalMatching, PaletteEdgeColoring};
 
     #[test]
     fn matching_transform_on_trees() {
@@ -241,9 +236,7 @@ mod tests {
     #[test]
     fn edge_coloring_transform_on_planar_like_graphs() {
         let g = triangulated_grid(10, 10);
-        let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
-            .with_rho(2)
-            .run(&g, 3);
+        let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo).with_rho(2).run(&g, 3);
         assert!(out.valid);
         let colors = EdgeDegreeColoring.extract(&g, &out.labeling);
         assert!(classic::is_valid_edge_degree_coloring(&g, &colors));

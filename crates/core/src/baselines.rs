@@ -16,8 +16,8 @@ use crate::report::{TransformOutcome, TransformParams, TransformStats};
 use treelocal_algos::{GlobalCtx, TrulyLocal};
 use treelocal_graph::{eccentricity, Graph, NodeId, SemiGraph};
 use treelocal_problems::{
-    solve_edges_sequential, solve_nodes_sequential, verify_graph, EdgeSequential,
-    HalfEdgeLabeling, NodeSequential, Problem,
+    solve_edges_sequential, solve_nodes_sequential, verify_graph, EdgeSequential, HalfEdgeLabeling,
+    NodeSequential, Problem,
 };
 use treelocal_sim::RoundReport;
 
@@ -44,10 +44,7 @@ pub fn direct_baseline<P: Problem, A: TrulyLocal<P>>(
             a: 1,
             rho: 1,
         },
-        stats: TransformStats {
-            sub_max_degree: g.max_degree(),
-            ..TransformStats::default()
-        },
+        stats: TransformStats { sub_max_degree: g.max_degree(), ..TransformStats::default() },
         valid,
     }
 }
@@ -55,10 +52,7 @@ pub fn direct_baseline<P: Problem, A: TrulyLocal<P>>(
 /// The gather center used by the trivial baselines: the highest-identifier
 /// node (any fixed local rule would do; the cost is its eccentricity).
 fn gather_center(g: &Graph) -> NodeId {
-    *g.node_ids()
-        .iter()
-        .max_by_key(|&&v| g.local_id(v))
-        .expect("non-empty graph")
+    *g.node_ids().iter().max_by_key(|&&v| g.local_id(v)).expect("non-empty graph")
 }
 
 /// The trivial global-gather algorithm for `P1` problems: `2·ecc` rounds.
@@ -77,13 +71,7 @@ pub fn gather_baseline_node<P: Problem + NodeSequential>(
         labeling,
         executed: RoundReport::single("global-gather", rounds),
         charged: None,
-        params: TransformParams {
-            n: g.node_count(),
-            g_value: 0.0,
-            k: 0,
-            a: 1,
-            rho: 1,
-        },
+        params: TransformParams { n: g.node_count(), g_value: 0.0, k: 0, a: 1, rho: 1 },
         stats: TransformStats { max_gather_rounds: rounds, ..TransformStats::default() },
         valid,
     }
@@ -105,13 +93,7 @@ pub fn gather_baseline_edge<P: Problem + EdgeSequential>(
         labeling,
         executed: RoundReport::single("global-gather", rounds),
         charged: None,
-        params: TransformParams {
-            n: g.node_count(),
-            g_value: 0.0,
-            k: 0,
-            a: 1,
-            rho: 1,
-        },
+        params: TransformParams { n: g.node_count(), g_value: 0.0, k: 0, a: 1, rho: 1 },
         stats: TransformStats { max_gather_rounds: rounds, ..TransformStats::default() },
         valid,
     }
@@ -138,10 +120,7 @@ mod tests {
         // The star has Δ = n - 1: the direct algorithm pays for it.
         let small_delta = direct_baseline(&Mis, &MisAlgo, &path(64)).total_rounds();
         let big_delta = direct_baseline(&Mis, &MisAlgo, &star(64)).total_rounds();
-        assert!(
-            big_delta > small_delta,
-            "star {big_delta} should beat path {small_delta}"
-        );
+        assert!(big_delta > small_delta, "star {big_delta} should beat path {small_delta}");
     }
 
     #[test]

@@ -42,18 +42,10 @@ pub fn tree_bound_log2(log2_n: f64, f_of_log: impl Fn(f64) -> f64) -> f64 {
 /// # Panics
 ///
 /// Panics unless `ρ > log_g a` (the theorem's `a ≤ g^ρ/5` regime).
-pub fn arb_bound_log2(
-    log2_n: f64,
-    a: f64,
-    rho: f64,
-    f_of_log: impl Fn(f64) -> f64,
-) -> f64 {
+pub fn arb_bound_log2(log2_n: f64, a: f64, rho: f64, f_of_log: impl Fn(f64) -> f64) -> f64 {
     let lg = solve_log2_g(log2_n, &f_of_log);
     let log_g_a = a.log2() / lg.max(1e-12);
-    assert!(
-        rho > log_g_a,
-        "Theorem 15 needs rho > log_g(a): rho = {rho}, log_g(a) = {log_g_a}"
-    );
+    assert!(rho > log_g_a, "Theorem 15 needs rho > log_g(a): rho = {rho}, log_g(a) = {log_g_a}");
     let f_at_k = f_of_log(rho * lg);
     let solve_term = rho * f_at_k / (rho - log_g_a);
     // Decomposition: 10·log_{k/a} n rounds, k = g^ρ.
@@ -113,10 +105,7 @@ mod tests {
         let l2n = 1e40;
         let edge = tree_bound_log2(l2n, bbko_log);
         let mis = mis_lower_bound_log2(l2n);
-        assert!(
-            edge < mis,
-            "separation: edge coloring {edge} should beat MIS barrier {mis}"
-        );
+        assert!(edge < mis, "separation: edge coloring {edge} should beat MIS barrier {mis}");
         // ... and at small n the barrier is lower (a crossover exists).
         let l2n_small = 100.0;
         assert!(tree_bound_log2(l2n_small, bbko_log) > mis_lower_bound_log2(l2n_small));

@@ -10,9 +10,7 @@
 use crate::arb_transform::ArbTransform;
 use crate::report::TransformOutcome;
 use crate::tree_transform::TreeTransform;
-use treelocal_algos::{
-    ChargedModel, DegColoringAlgo, EdgeColoringAlgo, MatchingAlgo, MisAlgo,
-};
+use treelocal_algos::{ChargedModel, DegColoringAlgo, EdgeColoringAlgo, MatchingAlgo, MisAlgo};
 use treelocal_graph::Graph;
 use treelocal_problems::{
     DegPlusOneColoring, EdgeColLabel, EdgeDegreeColoring, MatchLabel, MaximalMatching, Mis,
@@ -59,9 +57,8 @@ pub fn matching_on_tree(tree: &Graph) -> (TransformOutcome<MatchLabel>, Vec<bool
 /// Theorem 1 instantiated for MIS on trees: `O(log n / log log n)` rounds
 /// (charged against the tight `O(Δ)` truly local algorithm).
 pub fn mis_on_tree(tree: &Graph) -> (TransformOutcome<MisLabel>, Vec<bool>) {
-    let out = TreeTransform::new(&Mis, &MisAlgo)
-        .with_charged(ChargedModel::bek14_coloring())
-        .run(tree);
+    let out =
+        TreeTransform::new(&Mis, &MisAlgo).with_charged(ChargedModel::bek14_coloring()).run(tree);
     let set = Mis.extract(tree, &out.labeling);
     (out, set)
 }

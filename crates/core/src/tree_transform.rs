@@ -23,9 +23,7 @@ use crate::report::{TransformOutcome, TransformParams, TransformStats};
 use treelocal_algos::{ChargedModel, GlobalCtx, TrulyLocal};
 use treelocal_decomp::{rake_compress, RakeCompress};
 use treelocal_graph::{components, Graph, NodeId};
-use treelocal_problems::{
-    solve_nodes_sequential, verify_graph, NodeSequential, Problem,
-};
+use treelocal_problems::{solve_nodes_sequential, verify_graph, NodeSequential, Problem};
 use treelocal_sim::{gather_rounds_at, log_star_u64, RoundReport};
 
 /// The Theorem 12 pipeline, configured with a problem and an inner
@@ -227,11 +225,7 @@ mod tests {
         let out = TreeTransform::new(&p, &DeltaColoringAlgo).run(&tree);
         assert!(out.valid);
         let colors = extract_coloring(&tree, &out.labeling);
-        assert!(classic::is_valid_palette_coloring(
-            &tree,
-            &colors,
-            tree.max_degree() as u32 + 1
-        ));
+        assert!(classic::is_valid_palette_coloring(&tree, &colors, tree.max_degree() as u32 + 1));
     }
 
     #[test]
@@ -270,9 +264,8 @@ mod tests {
     fn distributed_decomposition_certifies_rounds() {
         let tree = random_tree(300, 21);
         let fast = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
-        let certified = TreeTransform::new(&Mis, &MisAlgo)
-            .with_distributed_decomposition()
-            .run(&tree);
+        let certified =
+            TreeTransform::new(&Mis, &MisAlgo).with_distributed_decomposition().run(&tree);
         assert!(fast.valid && certified.valid);
         // Identical layering implies identical pipeline behaviour: the
         // charged decomposition rounds and the chosen k agree, and the
@@ -284,9 +277,6 @@ mod tests {
             certified.executed.rounds_of("rake-compress(Alg1)")
         );
         assert_eq!(fast.total_rounds(), certified.total_rounds());
-        assert_eq!(
-            Mis.extract(&tree, &fast.labeling),
-            Mis.extract(&tree, &certified.labeling)
-        );
+        assert_eq!(Mis.extract(&tree, &fast.labeling), Mis.extract(&tree, &certified.labeling));
     }
 }

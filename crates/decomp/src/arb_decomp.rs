@@ -109,8 +109,7 @@ pub fn arb_decompose(g: &Graph, a: usize, k: usize) -> ArbDecomposition {
         }
         for &v in g.node_ids() {
             if alive[v.index()] {
-                deg[v.index()] =
-                    g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
+                deg[v.index()] = g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
             }
         }
     }
@@ -229,12 +228,7 @@ impl<T: Topology> SyncAlgorithm<T> for ArbDistributed {
         let mut next = own.clone();
         if sub == 0 {
             // Publish the alive-degree.
-            next.deg = ctx
-                .topo
-                .neighbors(v)
-                .iter()
-                .filter(|&&(w, _)| prev.get(w).alive)
-                .count();
+            next.deg = ctx.topo.neighbors(v).iter().filter(|&&(w, _)| prev.get(w).alive).count();
             return Verdict::Active(next);
         }
         // Mark decision.

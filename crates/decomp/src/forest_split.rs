@@ -15,9 +15,7 @@
 use crate::arb_decomp::ArbDecomposition;
 use crate::order::LayerOrder;
 use treelocal_algos::three_color_rooted;
-use treelocal_graph::{
-    components, EdgeId, Graph, NodeId, RootedForest, SemiGraph,
-};
+use treelocal_graph::{components, EdgeId, Graph, NodeId, RootedForest, SemiGraph};
 use treelocal_sim::Ctx;
 
 /// The star-forest split of the atypical edges.
@@ -62,9 +60,7 @@ pub fn split_atypical(g: &Graph, d: &ArbDecomposition) -> ForestSplit {
         let mut mine: Vec<(u64, EdgeId)> = g
             .neighbors(v)
             .iter()
-            .filter(|&&(_, e)| {
-                d.atypical[e.index()] && order.lower_endpoint(g, e) == v
-            })
+            .filter(|&&(_, e)| d.atypical[e.index()] && order.lower_endpoint(g, e) == v)
             .map(|&(w, e)| (g.local_id(w), e))
             .collect();
         mine.sort_unstable();
@@ -166,10 +162,7 @@ pub fn check_star_property(g: &Graph, d: &ArbDecomposition, split: &ForestSplit)
 
 /// Checks that the split covers exactly the atypical edges.
 pub fn check_split_covers_atypical(d: &ArbDecomposition, split: &ForestSplit) -> bool {
-    d.atypical
-        .iter()
-        .zip(&split.group_of)
-        .all(|(&atyp, grp)| atyp == grp.is_some())
+    d.atypical.iter().zip(&split.group_of).all(|(&atyp, grp)| atyp == grp.is_some())
 }
 
 #[cfg(test)]

@@ -17,9 +17,7 @@
 //! which the test suite asserts.
 
 use crate::order::LayerOrder;
-use treelocal_graph::{
-    components, Graph, NodeId, SemiGraph, Topology,
-};
+use treelocal_graph::{components, Graph, NodeId, SemiGraph, Topology};
 use treelocal_sim::{ceil_log, run, Ctx, Snapshot, SyncAlgorithm, Verdict};
 
 /// Which operation marked a node.
@@ -111,10 +109,7 @@ pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
             if !alive[v.index()] || deg[v.index()] > k {
                 continue;
             }
-            let ok = g
-                .neighbors(v)
-                .iter()
-                .all(|&(w, _)| !alive[w.index()] || deg[w.index()] <= k);
+            let ok = g.neighbors(v).iter().all(|&(w, _)| !alive[w.index()] || deg[w.index()] <= k);
             if ok {
                 compressed.push(v);
             }
@@ -157,18 +152,11 @@ pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
         // correct).
         for &v in g.node_ids() {
             if alive[v.index()] {
-                deg[v.index()] =
-                    g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
+                deg[v.index()] = g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
             }
         }
     }
-    RakeCompress {
-        iteration_of,
-        mark_of,
-        iterations,
-        k,
-        rounds: 3 * u64::from(iterations),
-    }
+    RakeCompress { iteration_of, mark_of, iterations, k, rounds: 3 * u64::from(iterations) }
 }
 
 /// The Lemma 9 iteration bound `⌈log_k n⌉ + 1`.
@@ -279,12 +267,8 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
         match sub {
             0 => {
                 // Publish the current alive-degree.
-                next.deg = ctx
-                    .topo
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&&(w, _)| prev.get(w).alive)
-                    .count();
+                next.deg =
+                    ctx.topo.neighbors(v).iter().filter(|&&(w, _)| prev.get(w).alive).count();
                 Verdict::Active(next)
             }
             1 => {

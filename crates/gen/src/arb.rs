@@ -58,10 +58,8 @@ pub fn random_forest(n: usize, edge_fraction: f64, seed: u64) -> Graph {
         let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
         decode_prufer(n, &seq)
     };
-    let kept: Vec<(usize, usize)> = tree_edges
-        .into_iter()
-        .filter(|_| rng.gen_bool(edge_fraction))
-        .collect();
+    let kept: Vec<(usize, usize)> =
+        tree_edges.into_iter().filter(|_| rng.gen_bool(edge_fraction)).collect();
     Graph::from_edges(n, &kept).expect("subset of tree edges is a forest")
 }
 

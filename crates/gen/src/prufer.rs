@@ -97,10 +97,8 @@ mod tests {
                     let edges = decode_prufer(n, &[a, b, c]);
                     let g = Graph::from_edges(n, &edges).unwrap();
                     assert!(is_tree(&g), "seq {:?}", (a, b, c));
-                    let mut canon: Vec<(usize, usize)> = edges
-                        .iter()
-                        .map(|&(u, v)| (u.min(v), u.max(v)))
-                        .collect();
+                    let mut canon: Vec<(usize, usize)> =
+                        edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
                     canon.sort_unstable();
                     seen.insert(canon);
                 }

@@ -293,10 +293,7 @@ impl Graph {
     /// Looks up the edge connecting `u` and `v`, if any.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a)
-            .binary_search_by_key(&b, |&(w, _)| w)
-            .ok()
-            .map(|i| self.neighbors(a)[i].1)
+        self.neighbors(a).binary_search_by_key(&b, |&(w, _)| w).ok().map(|i| self.neighbors(a)[i].1)
     }
 
     /// Sum of all degrees (twice the edge count); useful for sanity checks.

@@ -13,8 +13,8 @@
 //!   whole graph, a lower bound on `a(G)`.
 
 use crate::adjacency::Graph;
-use crate::ids::{EdgeId, NodeId};
 use crate::forest::is_forest;
+use crate::ids::{EdgeId, NodeId};
 
 /// Result of min-degree peeling: the degeneracy and the elimination order.
 #[derive(Clone, Debug)]

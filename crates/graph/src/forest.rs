@@ -80,11 +80,7 @@ impl RootedForest {
 
     /// The members of the forest.
     pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.member
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m)
-            .map(|(i, _)| NodeId::new(i))
+        self.member.iter().enumerate().filter(|&(_, &m)| m).map(|(i, _)| NodeId::new(i))
     }
 
     /// Number of members.
@@ -141,10 +137,8 @@ pub fn root_forest<T: Topology>(topo: &T) -> RootedForest {
     let cc = components(topo);
     for c in 0..cc.count() {
         let comp = cc.members(c);
-        let root = *comp
-            .iter()
-            .min_by_key(|&&v| topo.local_id(v))
-            .expect("components are non-empty");
+        let root =
+            *comp.iter().min_by_key(|&&v| topo.local_id(v)).expect("components are non-empty");
         let mut stack = vec![root];
         seen[root.index()] = true;
         member[root.index()] = true;

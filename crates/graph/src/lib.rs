@@ -50,8 +50,7 @@ pub use semigraph::SemiGraph;
 pub use topology::Topology;
 pub use traversal::{
     bfs_distances, component_diameter_double_sweep, component_diameter_exact, components,
-    eccentricity, eccentricity_sparse, farthest_from, tree_component_diameter_sparse,
-    Components,
+    eccentricity, eccentricity_sparse, farthest_from, tree_component_diameter_sparse, Components,
 };
 
 use std::error::Error;

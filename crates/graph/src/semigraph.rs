@@ -105,8 +105,7 @@ impl<'g> SemiGraph<'g> {
         half: Vec<[bool; 2]>,
     ) -> Self {
         let n = graph.node_count();
-        let nodes: Vec<NodeId> =
-            (0..n).map(NodeId::new).filter(|v| node_in[v.index()]).collect();
+        let nodes: Vec<NodeId> = (0..n).map(NodeId::new).filter(|v| node_in[v.index()]).collect();
         let edges: Vec<EdgeId> = graph.edge_ids().filter(|e| edge_in[e.index()]).collect();
         let mut inc = vec![Vec::new(); n];
         let mut adj2 = vec![Vec::new(); n];

@@ -94,11 +94,7 @@ impl Problem for BMatching {
 }
 
 fn chosen_count(g: &Graph, labeling: &HalfEdgeLabeling<BMatchLabel>, v: NodeId) -> usize {
-    labeling
-        .labels_at_node(g, v)
-        .into_iter()
-        .filter(|&l| l == BMatchLabel::M)
-        .count()
+    labeling.labels_at_node(g, v).into_iter().filter(|&l| l == BMatchLabel::M).count()
 }
 
 impl EdgeSequential for BMatching {
@@ -121,10 +117,7 @@ impl EdgeSequential for BMatching {
             let lv = if cv >= self.b { S } else { O };
             (lu, lv)
         };
-        Some(vec![
-            (HalfEdge::new(e, Side::First), lu),
-            (HalfEdge::new(e, Side::Second), lv),
-        ])
+        Some(vec![(HalfEdge::new(e, Side::First), lu), (HalfEdge::new(e, Side::Second), lv)])
     }
 }
 

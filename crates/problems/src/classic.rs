@@ -22,9 +22,9 @@ pub fn node_membership<L: Copy + Eq>(
     g.node_ids()
         .iter()
         .map(|&v| {
-            g.neighbors(v)
-                .iter()
-                .all(|&(_, e)| labeling.get(HalfEdge::new(e, g.side_of(e, v))) == Some(member_label))
+            g.neighbors(v).iter().all(|&(_, e)| {
+                labeling.get(HalfEdge::new(e, g.side_of(e, v))) == Some(member_label)
+            })
         })
         .collect()
 }
@@ -43,9 +43,9 @@ pub fn is_valid_mis(g: &Graph, in_set: &[bool]) -> bool {
         return false;
     }
     // Maximality: every non-member has a member neighbor.
-    g.node_ids().iter().all(|&v| {
-        in_set[v.index()] || g.neighbors(v).iter().any(|&(w, _)| in_set[w.index()])
-    })
+    g.node_ids()
+        .iter()
+        .all(|&v| in_set[v.index()] || g.neighbors(v).iter().any(|&(w, _)| in_set[w.index()]))
 }
 
 /// Whether `in_matching` is a matching of `g` (no two chosen edges share a
@@ -116,8 +116,7 @@ pub fn is_proper_edge_coloring(g: &Graph, colors: &[u32]) -> bool {
         return false;
     }
     g.node_ids().iter().all(|&v| {
-        let mut seen: Vec<u32> =
-            g.neighbors(v).iter().map(|&(_, e)| colors[e.index()]).collect();
+        let mut seen: Vec<u32> = g.neighbors(v).iter().map(|&(_, e)| colors[e.index()]).collect();
         seen.sort_unstable();
         seen.windows(2).all(|w| w[0] != w[1])
     })

@@ -120,10 +120,7 @@ fn greedy_color(g: &Graph, labeling: &HalfEdgeLabeling<Color>, v: NodeId) -> Col
 }
 
 fn assign_all(g: &Graph, v: NodeId, c: Color) -> Vec<(HalfEdge, Color)> {
-    g.neighbors(v)
-        .iter()
-        .map(|&(_, e)| (HalfEdge::new(e, g.side_of(e, v)), c))
-        .collect()
+    g.neighbors(v).iter().map(|&(_, e)| (HalfEdge::new(e, g.side_of(e, v)), c)).collect()
 }
 
 impl NodeSequential for DegPlusOneColoring {

@@ -88,19 +88,13 @@ impl<L: Copy> HalfEdgeLabeling<L> {
     /// The assigned labels on half-edges incident to `v` in the parent
     /// graph, in neighbor order. Unassigned halves are skipped.
     pub fn labels_at_node(&self, g: &Graph, v: NodeId) -> Vec<L> {
-        g.neighbors(v)
-            .iter()
-            .filter_map(|&(_, e)| self.get_at(e, g.side_of(e, v)))
-            .collect()
+        g.neighbors(v).iter().filter_map(|&(_, e)| self.get_at(e, g.side_of(e, v))).collect()
     }
 
     /// The number of *unassigned* half-edges incident to `v` in the parent
     /// graph.
     pub fn unassigned_at_node(&self, g: &Graph, v: NodeId) -> usize {
-        g.neighbors(v)
-            .iter()
-            .filter(|&&(_, e)| self.get_at(e, g.side_of(e, v)).is_none())
-            .count()
+        g.neighbors(v).iter().filter(|&&(_, e)| self.get_at(e, g.side_of(e, v)).is_none()).count()
     }
 
     /// The assigned labels on the semi-graph's half-edges at `v`.

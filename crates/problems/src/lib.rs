@@ -54,11 +54,11 @@ pub use b_matching::{BMatchLabel, BMatching};
 pub use coloring::{
     encode_coloring, extract_coloring, Color, DegPlusOneColoring, DeltaPlusOneColoring,
 };
-pub use list_coloring::ListColoring;
 pub use edge_coloring::{
     edge_degree_to_palette, EdgeColLabel, EdgeDegreeColoring, PaletteEdgeColoring, PaletteLabel,
 };
 pub use labeling::HalfEdgeLabeling;
+pub use list_coloring::ListColoring;
 pub use matching::{MatchLabel, MaximalMatching};
 pub use mis::{Mis, MisLabel};
 pub use oracle::{brute_force_complete, Enumerable};

@@ -43,11 +43,7 @@ impl ListColoring {
     /// Returns a message describing the first malformed list.
     pub fn new(g: &Graph, mut lists: Vec<Vec<Color>>) -> Result<Self, String> {
         if lists.len() != g.node_count() {
-            return Err(format!(
-                "expected {} lists, got {}",
-                g.node_count(),
-                lists.len()
-            ));
+            return Err(format!("expected {} lists, got {}", g.node_count(), lists.len()));
         }
         for (i, list) in lists.iter_mut().enumerate() {
             list.sort_unstable();
@@ -69,11 +65,8 @@ impl ListColoring {
     /// The classic `(deg+1)`-coloring as a list problem: node `v` gets the
     /// list `{1, ..., deg(v) + 1}`.
     pub fn deg_plus_one(g: &Graph) -> Self {
-        let lists = g
-            .node_ids()
-            .iter()
-            .map(|&v| (1..=(g.degree(v) as Color + 1)).collect())
-            .collect();
+        let lists =
+            g.node_ids().iter().map(|&v| (1..=(g.degree(v) as Color + 1)).collect()).collect();
         ListColoring { lists }
     }
 
@@ -140,17 +133,8 @@ impl NodeSequential for ListColoring {
         used.sort_unstable();
         used.dedup();
         // |list| ≥ deg + 1 > |used|: a free list color always exists.
-        let c = self
-            .list(v)
-            .iter()
-            .copied()
-            .find(|c| used.binary_search(c).is_err())?;
-        Some(
-            g.neighbors(v)
-                .iter()
-                .map(|&(_, e)| (HalfEdge::new(e, g.side_of(e, v)), c))
-                .collect(),
-        )
+        let c = self.list(v).iter().copied().find(|c| used.binary_search(c).is_err())?;
+        Some(g.neighbors(v).iter().map(|&(_, e)| (HalfEdge::new(e, g.side_of(e, v)), c)).collect())
     }
 }
 

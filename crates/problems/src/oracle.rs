@@ -145,9 +145,7 @@ fn dfs<P: Enumerable>(
             p.edge_ok(&[a.expect("assigned"), b.expect("assigned")])
         };
         // Prune: if the node is now fully labeled, check it.
-        let node_ok = !edge_ok
-            || remaining[v.index()] > 0
-            || node_complete_ok(p, g, work, v);
+        let node_ok = !edge_ok || remaining[v.index()] > 0 || node_complete_ok(p, g, work, v);
         if edge_ok && node_ok && dfs(p, g, targets, i + 1, remaining, work) {
             return true;
         }
@@ -204,8 +202,9 @@ mod tests {
     #[test]
     fn oracle_solves_matching_and_colorings() {
         let g = path(5);
-        assert!(brute_force_complete(&MaximalMatching, &g, &HalfEdgeLabeling::for_graph(&g))
-            .is_some());
+        assert!(
+            brute_force_complete(&MaximalMatching, &g, &HalfEdgeLabeling::for_graph(&g)).is_some()
+        );
         assert!(brute_force_complete(&DegPlusOneColoring, &g, &HalfEdgeLabeling::for_graph(&g))
             .is_some());
         assert!(brute_force_complete(&EdgeDegreeColoring, &g, &HalfEdgeLabeling::for_graph(&g))

@@ -62,6 +62,11 @@ pub struct Snapshot<'a, S> {
 }
 
 impl<S> Snapshot<'_, S> {
+    /// A view over a state buffer (used by the shared execution core).
+    pub(crate) fn over(states: &[Option<S>]) -> Snapshot<'_, S> {
+        Snapshot { states }
+    }
+
     /// The previous-round state of node `v`.
     ///
     /// # Panics
@@ -126,6 +131,11 @@ impl<S> RunOutcome<S> {
 
 /// Runs `algo` on `ctx.topo` until every node halts.
 ///
+/// Built on the shared [`ExecCore`](crate::ExecCore): each round steps only
+/// the active frontier, halted states are moved into place once and never
+/// cloned, and commit happens after every frontier node has read the
+/// previous round — exactly the synchronous semantics of Definition 5.
+///
 /// # Panics
 ///
 /// Panics if the algorithm has not fully halted after `max_rounds` rounds —
@@ -136,52 +146,15 @@ pub fn run<T: Topology, A: SyncAlgorithm<T>>(
     algo: &A,
     max_rounds: u64,
 ) -> RunOutcome<A::State> {
-    let space = ctx.topo.index_space();
-    let mut states: Vec<Option<A::State>> = vec![None; space];
-    let mut halted: Vec<bool> = vec![true; space];
-    let mut active = 0usize;
+    let mut core = crate::ExecCore::new(ctx.topo.index_space());
     for &v in ctx.topo.nodes() {
-        match algo.init(ctx, v) {
-            Verdict::Active(s) => {
-                states[v.index()] = Some(s);
-                halted[v.index()] = false;
-                active += 1;
-            }
-            Verdict::Halted(s) => {
-                states[v.index()] = Some(s);
-            }
-        }
+        core.seed(v, algo.init(ctx, v));
     }
-    let mut rounds = 0u64;
-    let mut next: Vec<Option<A::State>> = vec![None; space];
-    while active > 0 {
-        assert!(
-            rounds < max_rounds,
-            "algorithm did not halt within {max_rounds} rounds (still {active} active)"
-        );
-        rounds += 1;
-        {
-            let snap = Snapshot { states: &states };
-            for &v in ctx.topo.nodes() {
-                let i = v.index();
-                if halted[i] {
-                    next[i] = states[i].clone();
-                    continue;
-                }
-                let own = states[i].as_ref().expect("active node has a state");
-                match algo.step(ctx, v, rounds, own, &snap) {
-                    Verdict::Active(s) => next[i] = Some(s),
-                    Verdict::Halted(s) => {
-                        next[i] = Some(s);
-                        halted[i] = true;
-                        active -= 1;
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut states, &mut next);
+    while !core.is_done() {
+        let round = core.begin_round(max_rounds);
+        core.step_snapshot(|v, own, snap| algo.step(ctx, v, round, own, snap));
     }
-    RunOutcome { states, rounds }
+    core.finish()
 }
 
 #[cfg(test)]
@@ -223,12 +196,7 @@ mod tests {
             if let Dist(Some(d)) = own {
                 return Verdict::Halted(Dist(Some(*d)));
             }
-            let best = ctx
-                .topo
-                .neighbors(v)
-                .iter()
-                .filter_map(|&(w, _)| prev.get(w).0)
-                .min();
+            let best = ctx.topo.neighbors(v).iter().filter_map(|&(w, _)| prev.get(w).0).min();
             match best {
                 Some(d) => Verdict::Active(Dist(Some(d + 1))),
                 None => Verdict::Active(Dist(None)),

@@ -1,0 +1,257 @@
+//! The execution core shared by the snapshot engine ([`crate::run`]) and
+//! the message-passing engine ([`crate::run_messages`]).
+//!
+//! Both engines used to carry their own copy of the same run loop:
+//! per-node state slots, a halted bitmap, an active counter, and a
+//! round-budget assertion — and the snapshot engine additionally paid a
+//! full `clone()` of every *halted* node's state on every round to fill
+//! its double buffer. [`ExecCore`] replaces both loops:
+//!
+//! * it tracks the **active frontier** — the (deterministically ordered)
+//!   list of nodes that have not halted — so a round only visits and only
+//!   rewrites the state slots of live nodes;
+//! * halted states are moved exactly once, at the round the node halts,
+//!   and are never cloned or rewritten afterwards — neighbors keep reading
+//!   them in place through [`Snapshot`];
+//! * double buffering happens through a verdict scratch buffer: all
+//!   frontier nodes read the previous round's states, then the round
+//!   commits atomically, preserving the synchronous-round semantics of
+//!   Definition 5.
+//!
+//! The core never clones a state: `S: Clone` on the algorithm traits
+//! exists for *algorithms* (which routinely copy fields of neighbor
+//! states), not for the engine. `crates/sim/tests/clone_accounting.rs`
+//! pins this with a `Clone`-instrumented state type.
+
+use crate::engine::{RunOutcome, Snapshot, Verdict};
+use treelocal_graph::NodeId;
+
+/// Double-buffered frontier executor for synchronous LOCAL rounds.
+///
+/// The lifecycle is: [`ExecCore::new`] → one [`ExecCore::seed`] per
+/// participating node → repeat { [`ExecCore::begin_round`] +
+/// [`ExecCore::step_snapshot`] or [`ExecCore::step_owned`] } until
+/// [`ExecCore::is_done`] → [`ExecCore::finish`].
+#[derive(Debug)]
+pub struct ExecCore<S> {
+    /// Current state per index-space slot; `None` for non-participants.
+    /// During a step this holds the *previous* round's states.
+    states: Vec<Option<S>>,
+    /// Verdicts produced by the current round, frontier slots only.
+    scratch: Vec<Option<Verdict<S>>>,
+    /// Nodes still running, in seeding order (the engines seed in
+    /// `topo.nodes()` order, which keeps execution deterministic).
+    frontier: Vec<NodeId>,
+    /// Communication rounds executed so far.
+    rounds: u64,
+}
+
+impl<S> ExecCore<S> {
+    /// An empty core over `index_space` state slots.
+    pub fn new(index_space: usize) -> Self {
+        let mut states = Vec::with_capacity(index_space);
+        states.resize_with(index_space, || None);
+        let mut scratch = Vec::with_capacity(index_space);
+        scratch.resize_with(index_space, || None);
+        ExecCore { states, scratch, frontier: Vec::new(), rounds: 0 }
+    }
+
+    /// Registers node `v` with its round-0 verdict. A node seeded
+    /// [`Verdict::Halted`] contributes its state but never enters the
+    /// frontier.
+    pub fn seed(&mut self, v: NodeId, verdict: Verdict<S>) {
+        debug_assert!(self.states[v.index()].is_none(), "node seeded twice");
+        match verdict {
+            Verdict::Active(s) => {
+                self.states[v.index()] = Some(s);
+                self.frontier.push(v);
+            }
+            Verdict::Halted(s) => {
+                self.states[v.index()] = Some(s);
+            }
+        }
+    }
+
+    /// `true` once every node has halted.
+    pub fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// The nodes that will execute the next round, in deterministic order.
+    pub fn frontier(&self) -> &[NodeId] {
+        &self.frontier
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The current state of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never seeded.
+    pub fn state(&self, v: NodeId) -> &S {
+        self.states[v.index()].as_ref().expect("node participates in the execution")
+    }
+
+    /// Starts a communication round, returning its 1-based number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the round budget is exhausted — a deterministic LOCAL
+    /// algorithm exceeding a generous budget is a bug, not a runtime
+    /// condition.
+    pub fn begin_round(&mut self, max_rounds: u64) -> u64 {
+        assert!(
+            self.rounds < max_rounds,
+            "algorithm did not halt within {max_rounds} rounds (still {} active)",
+            self.frontier.len()
+        );
+        self.rounds += 1;
+        self.rounds
+    }
+
+    /// Executes one round in snapshot style: every frontier node observes
+    /// the previous round's states and returns its verdict. All reads
+    /// happen before any slot is rewritten.
+    pub fn step_snapshot<F>(&mut self, mut step: F)
+    where
+        F: FnMut(NodeId, &S, &Snapshot<'_, S>) -> Verdict<S>,
+    {
+        let snap = Snapshot::over(&self.states);
+        for idx in 0..self.frontier.len() {
+            let v = self.frontier[idx];
+            let own = self.states[v.index()].as_ref().expect("frontier node has a state");
+            self.scratch[v.index()] = Some(step(v, own, &snap));
+        }
+        self.commit();
+    }
+
+    /// Executes one round in owned style (the message engine's receive
+    /// phase): every frontier node consumes its state by value and returns
+    /// its verdict. The callback must not need neighbor states — in
+    /// message passing, communication already happened in the send phase.
+    pub fn step_owned<F>(&mut self, mut step: F)
+    where
+        F: FnMut(NodeId, S) -> Verdict<S>,
+    {
+        for idx in 0..self.frontier.len() {
+            let v = self.frontier[idx];
+            let state = self.states[v.index()].take().expect("frontier node has a state");
+            self.scratch[v.index()] = Some(step(v, state));
+        }
+        self.commit();
+    }
+
+    /// Commits the round: moves every verdict's state into its slot and
+    /// drops newly halted nodes from the frontier (order preserved).
+    fn commit(&mut self) {
+        let states = &mut self.states;
+        let scratch = &mut self.scratch;
+        self.frontier.retain(|&v| {
+            let i = v.index();
+            match scratch[i].take().expect("frontier node was stepped this round") {
+                Verdict::Active(s) => {
+                    states[i] = Some(s);
+                    true
+                }
+                Verdict::Halted(s) => {
+                    states[i] = Some(s);
+                    false
+                }
+            }
+        });
+    }
+
+    /// Consumes the core into the run's outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while nodes are still active.
+    pub fn finish(self) -> RunOutcome<S> {
+        assert!(self.frontier.is_empty(), "finish() before quiescence");
+        RunOutcome { states: self.states, rounds: self.rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_halted_nodes_never_enter_the_frontier() {
+        let mut core: ExecCore<u32> = ExecCore::new(3);
+        core.seed(NodeId::new(0), Verdict::Halted(7));
+        core.seed(NodeId::new(1), Verdict::Active(1));
+        core.seed(NodeId::new(2), Verdict::Active(2));
+        assert_eq!(core.frontier(), &[NodeId::new(1), NodeId::new(2)]);
+        assert!(!core.is_done());
+        assert_eq!(*core.state(NodeId::new(0)), 7);
+    }
+
+    #[test]
+    fn frontier_shrinks_in_order_and_halted_states_stay_readable() {
+        let mut core: ExecCore<u32> = ExecCore::new(4);
+        for i in 0..4 {
+            core.seed(NodeId::new(i), Verdict::Active(i as u32));
+        }
+        // Round 1: odd nodes halt, doubling their state.
+        core.begin_round(10);
+        core.step_snapshot(|v, own, _| {
+            if v.index() % 2 == 1 {
+                Verdict::Halted(own * 2)
+            } else {
+                Verdict::Active(own + 1)
+            }
+        });
+        assert_eq!(core.frontier(), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(*core.state(NodeId::new(1)), 2);
+        assert_eq!(*core.state(NodeId::new(3)), 6);
+        // Round 2: survivors read a halted neighbor's state via the
+        // snapshot and halt.
+        core.begin_round(10);
+        core.step_snapshot(|_, own, snap| Verdict::Halted(own + snap.get(NodeId::new(1))));
+        assert!(core.is_done());
+        let out = core.finish();
+        assert_eq!(out.rounds, 2);
+        assert_eq!(*out.state(NodeId::new(0)), 3);
+        assert_eq!(*out.state(NodeId::new(2)), 5);
+    }
+
+    #[test]
+    fn snapshot_reads_previous_round_states_mid_round() {
+        // Nodes 0 and 1 both read each other's state in the same round;
+        // both must see the *previous* value even though one slot is
+        // committed before the other.
+        let mut core: ExecCore<u32> = ExecCore::new(2);
+        core.seed(NodeId::new(0), Verdict::Active(10));
+        core.seed(NodeId::new(1), Verdict::Active(20));
+        core.begin_round(10);
+        core.step_snapshot(|v, _, snap| Verdict::Halted(*snap.get(NodeId::new(1 - v.index()))));
+        let out = core.finish();
+        assert_eq!(*out.state(NodeId::new(0)), 20);
+        assert_eq!(*out.state(NodeId::new(1)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn round_budget_is_enforced() {
+        let mut core: ExecCore<u32> = ExecCore::new(1);
+        core.seed(NodeId::new(0), Verdict::Active(0));
+        core.begin_round(1);
+        core.step_snapshot(|_, own, _| Verdict::Active(own + 1));
+        core.begin_round(1);
+    }
+
+    #[test]
+    fn zero_round_execution() {
+        let mut core: ExecCore<u32> = ExecCore::new(1);
+        core.seed(NodeId::new(0), Verdict::Halted(5));
+        assert!(core.is_done());
+        let out = core.finish();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(*out.state(NodeId::new(0)), 5);
+    }
+}

@@ -55,10 +55,7 @@ pub fn sequential_gather_rounds<T: Topology>(
 /// paper's "highest node" tie-break within a layer.
 pub fn highest_id_center<T: Topology>(topo: &T) -> impl FnMut(&[NodeId]) -> NodeId + '_ {
     move |comp: &[NodeId]| {
-        *comp
-            .iter()
-            .max_by_key(|&&v| topo.local_id(v))
-            .expect("components are non-empty")
+        *comp.iter().max_by_key(|&&v| topo.local_id(v)).expect("components are non-empty")
     }
 }
 

@@ -47,17 +47,19 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod exec_core;
 mod gather;
-mod msg_engine;
 mod logstar;
+mod msg_engine;
 mod primes;
 mod rounds;
 
 pub use engine::{run, Ctx, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
-pub use msg_engine::{run_messages, MessageAlgorithm};
+pub use exec_core::ExecCore;
 pub use gather::{
     gather_rounds_at, highest_id_center, parallel_gather_rounds, sequential_gather_rounds,
 };
 pub use logstar::{ceil_log, log_star_f64, log_star_u64};
+pub use msg_engine::{run_messages, MessageAlgorithm};
 pub use primes::{is_prime, next_prime};
 pub use rounds::{Phase, RoundReport};

@@ -51,6 +51,12 @@ pub trait MessageAlgorithm<T: Topology> {
 
 /// Runs a message-passing algorithm until every node halts.
 ///
+/// Built on the shared [`ExecCore`](crate::ExecCore): the send phase walks
+/// the active frontier (terminated nodes are silent by construction), the
+/// receive phase consumes frontier states by value, and round accounting
+/// is the core's — identical to the snapshot engine's, which is what the
+/// cross-engine equivalence tests assert.
+///
 /// # Panics
 ///
 /// Panics if the algorithm exceeds `max_rounds` or sends a malformed
@@ -78,15 +84,10 @@ pub fn run_messages<T: Topology, A: MessageAlgorithm<T>>(
             })
             .collect();
     }
-    let mut states: Vec<Option<A::State>> = vec![None; space];
-    let mut halted = vec![true; space];
-    let mut active = 0usize;
+    let mut core = crate::ExecCore::new(space);
     for &v in ctx.topo.nodes() {
-        states[v.index()] = Some(algo.init(ctx, v));
-        halted[v.index()] = false;
-        active += 1;
+        core.seed(v, Verdict::Active(algo.init(ctx, v)));
     }
-    let mut rounds = 0u64;
     let mut inboxes: Vec<Vec<Option<A::Msg>>> =
         ctx.topo.nodes().iter().map(|&v| vec![None; ctx.topo.degree(v)]).collect();
     // Map node -> dense inbox index.
@@ -94,19 +95,17 @@ pub fn run_messages<T: Topology, A: MessageAlgorithm<T>>(
     for (i, &v) in ctx.topo.nodes().iter().enumerate() {
         inbox_of[v.index()] = i;
     }
-    while active > 0 {
-        assert!(rounds < max_rounds, "algorithm did not halt within {max_rounds} rounds");
-        rounds += 1;
-        // Send phase: route every message into the recipient's inbox slot.
-        for inbox in &mut inboxes {
-            inbox.iter_mut().for_each(|m| *m = None);
+    while !core.is_done() {
+        let round = core.begin_round(max_rounds);
+        // Send phase: route every frontier message into the recipient's
+        // inbox slot. Only frontier nodes receive this round, so only their
+        // inboxes need clearing — messages addressed to halted nodes are
+        // never read, keeping the per-round cost O(frontier · Δ).
+        for &v in core.frontier() {
+            inboxes[inbox_of[v.index()]].iter_mut().for_each(|m| *m = None);
         }
-        for &v in ctx.topo.nodes() {
-            if halted[v.index()] {
-                continue; // terminated nodes are silent
-            }
-            let state = states[v.index()].as_ref().expect("active node has state");
-            let out = algo.send(ctx, v, rounds, state);
+        for &v in core.frontier() {
+            let out = algo.send(ctx, v, round, core.state(v));
             assert_eq!(out.len(), ctx.topo.degree(v), "one message slot per port");
             for (p, msg) in out.into_iter().enumerate() {
                 if let Some(m) = msg {
@@ -117,23 +116,11 @@ pub fn run_messages<T: Topology, A: MessageAlgorithm<T>>(
             }
         }
         // Receive phase.
-        for &v in ctx.topo.nodes() {
-            if halted[v.index()] {
-                continue;
-            }
-            let state = states[v.index()].take().expect("active node has state");
-            let inbox = &inboxes[inbox_of[v.index()]];
-            match algo.receive(ctx, v, rounds, state, inbox) {
-                Verdict::Active(s) => states[v.index()] = Some(s),
-                Verdict::Halted(s) => {
-                    states[v.index()] = Some(s);
-                    halted[v.index()] = true;
-                    active -= 1;
-                }
-            }
-        }
+        core.step_owned(|v, state| {
+            algo.receive(ctx, v, round, state, &inboxes[inbox_of[v.index()]])
+        });
     }
-    RunOutcome { states, rounds }
+    core.finish()
 }
 
 #[cfg(test)]
@@ -194,12 +181,8 @@ mod tests {
             own: &u64,
             prev: &Snapshot<'_, u64>,
         ) -> Verdict<u64> {
-            let best = ctx
-                .topo
-                .neighbors(v)
-                .iter()
-                .map(|&(w, _)| *prev.get(w))
-                .fold(*own, u64::max);
+            let best =
+                ctx.topo.neighbors(v).iter().map(|&(w, _)| *prev.get(w)).fold(*own, u64::max);
             if round == R {
                 Verdict::Halted(best)
             } else {

@@ -42,8 +42,7 @@ mod tests {
 
     #[test]
     fn small_primes() {
-        let primes: Vec<u64> =
-            (0..30).filter(|&x| is_prime(x)).collect();
+        let primes: Vec<u64> = (0..30).filter(|&x| is_prime(x)).collect();
         assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
     }
 

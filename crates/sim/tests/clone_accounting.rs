@@ -1,0 +1,122 @@
+//! The engines never clone node states.
+//!
+//! The pre-`ExecCore` snapshot engine re-cloned every *halted* node's state
+//! on every subsequent round to fill its double buffer (`next[i] =
+//! states[i].clone()`), turning long tails of halted nodes into O(rounds ·
+//! n) copies. The shared core moves states instead: a halted state moves
+//! once, at its halting round, and is read in place afterwards. This test
+//! pins that with a `Clone`-instrumented state type on both engines.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use treelocal_gen::random_tree;
+use treelocal_graph::{NodeId, Topology};
+use treelocal_sim::{run, run_messages, Ctx, MessageAlgorithm, Snapshot, SyncAlgorithm, Verdict};
+
+/// Monotone global clone counter. The two `#[test]`s below run in
+/// parallel in one process, so neither ever resets it — each asserts a
+/// zero before/after *delta*, which no interleaving can mask (a cloning
+/// regression makes some test observe a positive delta).
+static CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// A state whose `Clone` is observable. The algorithms below never clone
+/// it, so any count > 0 is attributable to the engine.
+#[derive(Debug, PartialEq)]
+struct Counted(u64);
+
+impl Clone for Counted {
+    fn clone(&self) -> Self {
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        Counted(self.0)
+    }
+}
+
+/// Nodes halt at staggered rounds (`local_id % 13 + 1`), maximizing the
+/// halted tail the old engine would have re-cloned each round.
+struct Staggered;
+
+impl<T: Topology> SyncAlgorithm<T> for Staggered {
+    type State = Counted;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Counted> {
+        Verdict::Active(Counted(ctx.topo.local_id(v)))
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &Counted,
+        prev: &Snapshot<'_, Counted>,
+    ) -> Verdict<Counted> {
+        // Reads neighbor states (as real algorithms do) without cloning.
+        let acc = ctx
+            .topo
+            .neighbors(v)
+            .iter()
+            .map(|&(w, _)| prev.get(w).0)
+            .fold(own.0, u64::wrapping_add);
+        if round > ctx.topo.local_id(v) % 13 {
+            Verdict::Halted(Counted(acc))
+        } else {
+            Verdict::Active(Counted(acc))
+        }
+    }
+}
+
+impl<T: Topology> MessageAlgorithm<T> for Staggered {
+    type State = Counted;
+    type Msg = u64;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Counted {
+        Counted(ctx.topo.local_id(v))
+    }
+
+    fn send(&self, ctx: &Ctx<T>, v: NodeId, _round: u64, state: &Counted) -> Vec<Option<u64>> {
+        vec![Some(state.0); ctx.topo.degree(v)]
+    }
+
+    fn receive(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        state: Counted,
+        inbox: &[Option<u64>],
+    ) -> Verdict<Counted> {
+        let acc = inbox.iter().flatten().fold(state.0, |a, &m| a.wrapping_add(m));
+        if round > ctx.topo.local_id(v) % 13 {
+            Verdict::Halted(Counted(acc))
+        } else {
+            Verdict::Active(Counted(acc))
+        }
+    }
+}
+
+#[test]
+fn snapshot_engine_runs_without_cloning_states() {
+    let g = random_tree(500, 7);
+    let ctx = Ctx::of(&g);
+    let before = CLONES.load(Ordering::Relaxed);
+    let out = run(&ctx, &Staggered, 100);
+    // Nodes halt over ~13 distinct rounds; the old engine would have
+    // cloned every already-halted state once per remaining round
+    // (thousands of clones on 500 nodes). The core performs none.
+    let delta = CLONES.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "engine must move, not clone");
+    assert!(out.rounds >= 13, "staggered halting spans rounds (got {})", out.rounds);
+    for &v in g.node_ids() {
+        assert!(out.states[v.index()].is_some());
+    }
+}
+
+#[test]
+fn message_engine_runs_without_cloning_states() {
+    let g = random_tree(500, 8);
+    let ctx = Ctx::of(&g);
+    let before = CLONES.load(Ordering::Relaxed);
+    let out = run_messages(&ctx, &Staggered, 100);
+    let delta = CLONES.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "engine must move, not clone");
+    assert!(out.rounds >= 13);
+}

@@ -63,10 +63,7 @@ fn main() {
         tree.edge_count()
     );
     let split = split_atypical(&tree, &d);
-    let nonempty = split
-        .groups()
-        .filter(|&(i, j)| !split.group_edges(i, j).is_empty())
-        .count();
+    let nonempty = split.groups().filter(|&(i, j)| !split.group_edges(i, j).is_empty()).count();
     println!(
         "star-forest groups: {nonempty} non-empty of {} (3-coloring rounds: {})",
         3 * split.forests,

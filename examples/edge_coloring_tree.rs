@@ -49,5 +49,8 @@ fn main() {
         println!("{l2n:>12.0e} {edge:>16.3e} {mis:>16.3e} {winner:>8}");
     }
     let beta = fit_log_exponent(&samples[3..]);
-    println!("\nfitted exponent of the edge coloring bound: {beta:.4} (paper: 12/13 = {:.4})", 12.0 / 13.0);
+    println!(
+        "\nfitted exponent of the edge coloring bound: {beta:.4} (paper: 12/13 = {:.4})",
+        12.0 / 13.0
+    );
 }

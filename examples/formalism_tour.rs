@@ -7,8 +7,8 @@
 
 use treelocal::graph::{Graph, SemiGraph};
 use treelocal::problems::{
-    brute_force_complete, solve_edges_sequential, verify_graph, verify_semigraph,
-    HalfEdgeLabeling, MaximalMatching, Mis, MisLabel,
+    brute_force_complete, solve_edges_sequential, verify_graph, verify_semigraph, HalfEdgeLabeling,
+    MaximalMatching, Mis, MisLabel,
 };
 
 fn main() {
@@ -28,7 +28,10 @@ fn main() {
         println!("  edge {{{a},{b}}} @ node {v}: {l:?}");
     }
     let m = MaximalMatching.extract(&g, &labeling);
-    println!("matched edges: {:?}\n", m.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect::<Vec<_>>());
+    println!(
+        "matched edges: {:?}\n",
+        m.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect::<Vec<_>>()
+    );
 
     // --- MIS: fix a partial solution, complete with the oracle. ---
     // Fix node 1 in the set; every completion must exclude 0, 2, 4.

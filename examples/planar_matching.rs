@@ -39,13 +39,10 @@ fn main() {
     }
 
     println!("\n=== (edge-degree+1)-edge coloring on planar-like graphs (ρ = 2) ===");
-    for (name, g, a) in [
-        ("grid 50x50", grid(50, 50), 2usize),
-        ("tri 40x40", triangulated_grid(40, 40), 3),
-    ] {
-        let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
-            .with_rho(2)
-            .run(&g, a);
+    for (name, g, a) in
+        [("grid 50x50", grid(50, 50), 2usize), ("tri 40x40", triangulated_grid(40, 40), 3)]
+    {
+        let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo).with_rho(2).run(&g, a);
         assert!(out.valid);
         let colors = EdgeDegreeColoring.extract(&g, &out.labeling);
         assert!(classic::is_valid_edge_degree_coloring(&g, &colors));

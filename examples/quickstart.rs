@@ -19,7 +19,10 @@ fn main() {
     // compress, run the truly local algorithm on the degree-k part, finish
     // the raked components via the edge-list variant.
     let outcome = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
-    println!("\n=== Theorem 12 transform (k = {} from g = {:.2}) ===", outcome.params.k, outcome.params.g_value);
+    println!(
+        "\n=== Theorem 12 transform (k = {} from g = {:.2}) ===",
+        outcome.params.k, outcome.params.g_value
+    );
     println!("{}", outcome.executed);
     println!("decomposition iterations : {}", outcome.stats.decomposition_iterations);
     println!("T_C max degree (≤ k)     : {}", outcome.stats.sub_max_degree);

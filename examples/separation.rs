@@ -9,9 +9,7 @@
 //! cargo run --release --example separation
 //! ```
 
-use treelocal::core::{
-    matching_on_tree, mis_on_tree, mis_lower_bound_log2, tree_bound_log2,
-};
+use treelocal::core::{matching_on_tree, mis_lower_bound_log2, mis_on_tree, tree_bound_log2};
 use treelocal::gen::random_tree;
 
 fn main() {
@@ -26,21 +24,12 @@ fn main() {
     }
 
     println!("\n=== analytic bounds: where edge coloring escapes the barrier ===");
-    println!(
-        "{:>10} {:>14} {:>14} {:>14}",
-        "log2(n)", "MIS barrier", "edge-col bound", "ratio"
-    );
+    println!("{:>10} {:>14} {:>14} {:>14}", "log2(n)", "MIS barrier", "edge-col bound", "ratio");
     let bbko = |x: f64| x.max(1e-12).powi(12);
     for &l2n in &[1e6f64, 1e13, 1e20, 1e27, 1e34, 1e41, 1e48] {
         let barrier = mis_lower_bound_log2(l2n);
         let edge = tree_bound_log2(l2n, bbko);
-        println!(
-            "{:>10.0e} {:>14.3e} {:>14.3e} {:>14.4}",
-            l2n,
-            barrier,
-            edge,
-            edge / barrier
-        );
+        println!("{:>10.0e} {:>14.3e} {:>14.3e} {:>14.4}", l2n, barrier, edge, edge / barrier);
     }
     println!("\nThe ratio falls below 1 and keeps shrinking: the separation of Theorem 3.");
 }

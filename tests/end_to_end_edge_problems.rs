@@ -5,9 +5,7 @@ use treelocal::algos::{EdgeColoringAlgo, MatchingAlgo, PaletteEdgeColoringAlgo};
 use treelocal::core::{
     edge_coloring_bounded_arboricity, edge_coloring_on_tree, matching_on_tree, ArbTransform,
 };
-use treelocal::gen::{
-    arboricity_suite, relabel, tree_suite, IdStrategy, KnownArboricity,
-};
+use treelocal::gen::{arboricity_suite, relabel, tree_suite, IdStrategy, KnownArboricity};
 use treelocal::problems::{
     classic, edge_degree_to_palette, verify_graph, EdgeDegreeColoring, MaximalMatching,
     PaletteEdgeColoring,
@@ -87,9 +85,8 @@ fn rho_sweep_stays_valid() {
     let g = treelocal::gen::triangulated_grid(12, 12);
     let mut rounds = Vec::new();
     for rho in 1..=3u32 {
-        let out = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo)
-            .with_rho(rho)
-            .run(&g, 3);
+        let out =
+            ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo).with_rho(rho).run(&g, 3);
         assert!(out.valid, "rho {rho}");
         rounds.push((rho, out.total_rounds(), out.params.k));
     }

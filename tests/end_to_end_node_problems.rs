@@ -88,8 +88,5 @@ fn rounds_scale_sublinearly_on_paths() {
     assert!(small.valid && large.valid);
     let (r_small, r_large) = (small.total_rounds(), large.total_rounds());
     // 8x the nodes must cost far less than 8x the rounds.
-    assert!(
-        r_large < r_small * 4,
-        "rounds should grow ~logarithmically: {r_small} -> {r_large}"
-    );
+    assert!(r_large < r_small * 4, "rounds should grow ~logarithmically: {r_small} -> {r_large}");
 }

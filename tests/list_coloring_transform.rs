@@ -10,8 +10,7 @@ use treelocal::core::TreeTransform;
 use treelocal::gen::{random_tree, tree_suite};
 use treelocal::graph::Graph;
 use treelocal::problems::{
-    brute_force_complete, classic, extract_coloring, verify_graph, HalfEdgeLabeling,
-    ListColoring,
+    brute_force_complete, classic, extract_coloring, verify_graph, HalfEdgeLabeling, ListColoring,
 };
 
 /// Random lists with `deg(v) + 1 + slack` distinct colors from a palette of

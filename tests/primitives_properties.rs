@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use treelocal::algos::{
-    is_proper, is_proper_on_forest, is_valid_mis_on, kw_reduce, linial_schedule,
-    mis_from_coloring, run_linial, sweep_reduce, three_color_rooted,
+    is_proper, is_proper_on_forest, is_valid_mis_on, kw_reduce, linial_schedule, mis_from_coloring,
+    run_linial, sweep_reduce, three_color_rooted,
 };
 use treelocal::gen::{random_arboricity_graph, random_tree, relabel, IdStrategy};
 use treelocal::graph::root_forest;

@@ -73,10 +73,7 @@ fn matching_verifier_catches_half_matched_edge() {
     let mut bad = out.labeling.clone();
     bad.set(HalfEdge::new(e, Side::First), MatchLabel::O);
     let err = verify_graph(&MaximalMatching, &tree, &bad).unwrap_err();
-    assert!(matches!(
-        err,
-        Violation::EdgeConstraint { .. } | Violation::NodeConstraint { .. }
-    ));
+    assert!(matches!(err, Violation::EdgeConstraint { .. } | Violation::NodeConstraint { .. }));
 }
 
 #[test]

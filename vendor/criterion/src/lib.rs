@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network route to a crates registry, so the
+//! workspace vendors the API subset its benches consume: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with [`BenchmarkGroup::sample_size`]
+//! and [`BenchmarkGroup::bench_with_input`], plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: one warm-up call estimates the per-iteration cost,
+//! then each of three samples runs enough iterations to fill its slice of
+//! the per-benchmark time budget. The mean/min/max ns-per-iteration are
+//! printed, and — when `CRITERION_SUMMARY` names a file — appended to it
+//! as JSON lines so CI and the `BENCH_baseline.json` snapshot can consume
+//! machine-readable results.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — per-benchmark time budget in milliseconds
+//!   (default 300; set small for a quick smoke pass),
+//! * `CRITERION_SUMMARY` — path receiving one JSON object per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// One measured benchmark, as recorded into the summary.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/id` path of the benchmark.
+    pub path: String,
+    /// Mean nanoseconds per iteration over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample's nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Total iterations executed across samples.
+    pub iterations: u64,
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `routine`, shielding the result from the
+    /// optimizer.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness sizes samples
+    /// from the time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures `routine` with `input`, labeled by `id` within the group.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let path = format!("{}/{}", self.name, id.id);
+        // Warm-up: one iteration, both to touch caches and to estimate cost.
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        routine(&mut b, input);
+        let est = b.elapsed.max(Duration::from_nanos(1));
+        const SAMPLES: u32 = 3;
+        let budget = measure_budget() / SAMPLES;
+        let per_sample = (budget.as_nanos() / est.as_nanos()).clamp(1, 10_000_000) as u64;
+        let mut ns: Vec<f64> = Vec::with_capacity(SAMPLES as usize);
+        let mut total_iters = 0u64;
+        for _ in 0..SAMPLES {
+            let mut b = Bencher { iterations: per_sample, elapsed: Duration::ZERO };
+            routine(&mut b, input);
+            ns.push(b.elapsed.as_nanos() as f64 / per_sample as f64);
+            total_iters += per_sample;
+        }
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ns.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "bench {path:<40} {:>12.1} ns/iter (min {:.1}, max {:.1}, {} iters)",
+            mean, min, max, total_iters
+        );
+        self.criterion.results.push(Measurement {
+            path,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iterations: total_iters,
+        });
+        self
+    }
+
+    /// Measures an input-free `routine`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_with_input(id, &(), |b, ()| routine(b))
+    }
+
+    /// Ends the group (results are recorded eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (the vendored harness accepts and
+    /// ignores cargo-bench's arguments).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Prints the final summary and, when `CRITERION_SUMMARY` is set,
+    /// appends one JSON object per measurement to that file.
+    pub fn final_summary(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_SUMMARY") else {
+            return;
+        };
+        let mut file = match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("criterion: cannot open summary file {path}: {e}");
+                return;
+            }
+        };
+        for m in &self.results {
+            let line = format!(
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iterations\":{}}}\n",
+                m.path.replace('"', "'"),
+                m.mean_ns,
+                m.min_ns,
+                m.max_ns,
+                m.iterations
+            );
+            if let Err(e) = file.write_all(line.as_bytes()) {
+                eprintln!("criterion: summary write failed: {e}");
+                return;
+            }
+        }
+        self.results.clear();
+    }
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

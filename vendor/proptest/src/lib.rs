@@ -1,0 +1,251 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network route to a crates registry, so the
+//! workspace vendors the API subset its property tests consume:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: integer ranges, [`strategy::any`], tuples, and
+//!   [`strategy::Strategy::prop_map`].
+//!
+//! Sampling is deterministic per test name (seeded from an FNV hash of the
+//! test's identifier), so a failure reproduces on every run. Shrinking is
+//! not implemented: a failing case reports its inputs instead of a
+//! minimized counterexample. Set `PROPTEST_CASES` to override the case
+//! count globally (useful to crank coverage up in CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Configuration accepted by the [`proptest!`] macro header.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategies: composable descriptions of how to generate random values.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// The generator the runner threads through every strategy.
+    pub type TestRng = SmallRng;
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy generating `f(v)` for `v` drawn from `self`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / 0);
+    impl_tuple_strategy!(A / 0, B / 1);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+    /// Types with a canonical full-domain strategy ([`any`]).
+    pub trait Arbitrary {
+        /// Draws a value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The case-execution machinery behind the [`proptest!`] macro.
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use super::ProptestConfig;
+    use rand::SeedableRng;
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `cases(cfg)` deterministic random cases of `case`.
+    ///
+    /// Each case receives a generator seeded from the test name and the
+    /// case index, so a failure reproduces on every run. The case closure
+    /// returns the `Debug`-rendered inputs alongside the property body;
+    /// the runner prints them before propagating a failing case's panic.
+    pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Box<dyn FnOnce()>),
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(cfg.cases);
+        let seed_base = fnv1a(name.as_bytes());
+        for i in 0..cases {
+            let mut rng = TestRng::seed_from_u64(seed_base ^ (u64::from(i) << 32));
+            let (inputs, body) = case(&mut rng);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest: property `{name}` failed at case {i}/{cases} with inputs: {inputs}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The macro surface plus the strategy vocabulary, star-imported by tests.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Map, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a property-test condition (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(&cfg, stringify!($name), |rng| {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), rng); )+
+                    let inputs = [
+                        $( format!(concat!(stringify!($arg), " = {:?}"), &$arg) ),+
+                    ].join(", ");
+                    (inputs, Box::new(move || $body))
+                });
+            }
+        )*
+    };
+}
