@@ -13,7 +13,7 @@
 //! `F_i` into the star forests `F_{i,j}` (Section 4 of the paper).
 
 use treelocal_graph::{NodeId, RootedForest, Topology};
-use treelocal_sim::{run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
 /// Outcome of the forest 3-coloring.
 #[derive(Clone, Debug)]
@@ -141,7 +141,10 @@ impl<T: Topology> SyncAlgorithm<T> for CvAlgo<'_> {
 /// 3-colors a rooted forest whose parent edges are part of `ctx.topo`'s
 /// adjacency. Every member of the forest must be a participant of the
 /// topology and vice versa.
-pub fn three_color_rooted<T: Topology>(ctx: &Ctx<'_, T>, forest: &RootedForest) -> CvOutcome {
+pub fn three_color_rooted<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    forest: &RootedForest,
+) -> CvOutcome {
     let reduce_rounds = cv_reduce_rounds(ctx.id_space);
     let algo = CvAlgo { forest, reduce_rounds };
     let out = run(ctx, &algo, reduce_rounds + 8);

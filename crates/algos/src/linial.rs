@@ -13,7 +13,7 @@
 //! function of `(id_space, Δ)`, so all nodes compute it locally.
 
 use treelocal_graph::{NodeId, Topology};
-use treelocal_sim::{next_prime, run, Ctx, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{next_prime, run, Ctx, ParSafe, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
 
 /// One stage of the reduction: colors `< c_in` become colors `< q²` using
 /// degree-`d` polynomials over `F_q`.
@@ -197,7 +197,7 @@ pub struct LinialOutcome {
 
 /// Runs the reduction on a topology, producing a proper `O(Δ²)`-coloring in
 /// `log*`-many rounds.
-pub fn run_linial<T: Topology>(ctx: &Ctx<'_, T>) -> LinialOutcome {
+pub fn run_linial<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
     let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
     let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
     let algo = LinialAlgo { schedule };

@@ -5,7 +5,7 @@
 
 use treelocal_graph::{NodeId, Topology};
 use treelocal_problems::Color;
-use treelocal_sim::{run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
 #[derive(Clone, Debug)]
 enum LsState {
@@ -70,7 +70,7 @@ pub struct ListSweepOutcome {
 
 /// Runs the list sweep from a proper 0-based `m`-coloring; `lists` is
 /// indexed by the parent node space.
-pub fn list_sweep<T: Topology>(
+pub fn list_sweep<T: Topology + ParSafe>(
     ctx: &Ctx<'_, T>,
     initial: &[Option<u64>],
     m: u64,

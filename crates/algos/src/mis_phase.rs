@@ -7,7 +7,7 @@
 //! blocked it — the maximality witness used for the `P` pointer label.
 
 use treelocal_graph::{EdgeId, NodeId, Topology};
-use treelocal_sim::{run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
 /// Per-node MIS decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,7 +80,7 @@ pub struct MisOutcome {
 }
 
 /// Runs the class sweep from a proper 1-based `m`-coloring.
-pub fn mis_from_coloring<T: Topology>(
+pub fn mis_from_coloring<T: Topology + ParSafe>(
     ctx: &Ctx<'_, T>,
     colors: &[Option<u32>],
     m: u64,

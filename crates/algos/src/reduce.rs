@@ -12,7 +12,7 @@
 //!   a `(Δ+1)`-coloring in `O(Δ · log(m / Δ))` rounds total.
 
 use treelocal_graph::{NodeId, Topology};
-use treelocal_sim::{run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
 /// Outcome of a reduction phase: per-node colors (1-based) plus the rounds
 /// used.
@@ -96,7 +96,7 @@ impl<T: Topology> SyncAlgorithm<T> for SweepAlgo<'_> {
 ///
 /// The input coloring is shifted by `m` internally so that "not yet
 /// processed" is distinguishable; the shift is invisible to callers.
-pub fn sweep_reduce<T: Topology>(
+pub fn sweep_reduce<T: Topology + ParSafe>(
     ctx: &Ctx<'_, T>,
     initial: &[Option<u64>],
     m: u64,
@@ -208,7 +208,11 @@ const FINAL_TAG: u64 = 1 << 62;
 /// Kuhn–Wattenhofer reduction from a proper 0-based `m`-coloring to a
 /// proper `(Δ+1)`-coloring (Δ from the context), in `O(Δ · log(m / Δ))`
 /// rounds.
-pub fn kw_reduce<T: Topology>(ctx: &Ctx<'_, T>, initial: &[Option<u64>], m: u64) -> ReduceOutcome {
+pub fn kw_reduce<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    initial: &[Option<u64>],
+    m: u64,
+) -> ReduceOutcome {
     let slots = ctx.max_degree as u64 + 1;
     let mut colors: Vec<Option<u64>> = initial.to_vec();
     let mut m_cur = m.max(1);

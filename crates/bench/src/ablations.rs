@@ -5,7 +5,11 @@
 //! | E10 | §1.2: `k = g(n)` balances the decomposition and solve phases — a sweep over `k` shows the optimum near the paper's choice |
 //! | E11 | Theorem 15's `ρ` trade-off (`ρ/(ρ − log_g a)`; paper uses ρ = 2 for Theorem 3's arboricity case) |
 //! | E12 | Substrate: Linial-style coloring and Cole–Vishkin run in `log* n + O(1)` rounds |
+//!
+//! Sweep points are independent jobs sharded via
+//! [`shard_map`](crate::shard::shard_map) and aggregated in job order.
 
+use crate::shard::shard_map;
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
 use treelocal_algos::{run_linial, three_color_rooted, EdgeColoringAlgo, MatchingAlgo, MisAlgo};
@@ -16,7 +20,7 @@ use treelocal_problems::{EdgeDegreeColoring, MaximalMatching, Mis};
 use treelocal_sim::{log_star_u64, Ctx};
 
 /// E10: the k-sweep around `g(n)`.
-pub fn e10(size: ExperimentSize) -> Table {
+pub fn e10(size: ExperimentSize, threads: usize) -> Table {
     let n = match size {
         ExperimentSize::Quick => 4_000,
         ExperimentSize::Full => 100_000,
@@ -29,22 +33,27 @@ pub fn e10(size: ExperimentSize) -> Table {
         format!("k-sweep for MIS on a random tree (n = {n}); paper picks k = g(n)"),
         &["k", "decomp", "A", "gather", "total", "is-paper-k"],
     );
-    let mut best = (u64::MAX, 0usize);
-    for k in [2usize, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128] {
+    let ks: [usize; 12] = [2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128];
+    let results = shard_map(threads, &ks, |&k| {
         let out = TreeTransform::new(&Mis, &MisAlgo).with_k(k).run(&tree);
         assert!(out.valid, "k {k}");
         let total = out.total_rounds();
-        if total < best.0 {
-            best = (total, k);
-        }
-        t.row(vec![
+        let row = vec![
             k.to_string(),
             out.executed.rounds_of("rake-compress(Alg1)").to_string(),
             out.executed.rounds_with_prefix("A/").to_string(),
             out.executed.rounds_of("gather-residual(Alg2)").to_string(),
             total.to_string(),
             (k == auto.params.k).to_string(),
-        ]);
+        ];
+        (row, total, k)
+    });
+    let mut best = (u64::MAX, 0usize);
+    for (row, total, k) in results {
+        if total < best.0 {
+            best = (total, k);
+        }
+        t.row(row);
     }
     t.note(format!(
         "paper's k = {} (g = {:.2}) gives {} rounds; sweep optimum {} rounds at k = {}",
@@ -59,7 +68,7 @@ pub fn e10(size: ExperimentSize) -> Table {
 }
 
 /// E11: the ρ trade-off of Theorem 15.
-pub fn e11(size: ExperimentSize) -> Table {
+pub fn e11(size: ExperimentSize, threads: usize) -> Table {
     let side = match size {
         ExperimentSize::Quick => 14usize,
         ExperimentSize::Full => 40,
@@ -71,10 +80,11 @@ pub fn e11(size: ExperimentSize) -> Table {
         format!("rho-sweep on a triangulated grid ({side}x{side}, a = {a})"),
         &["rho", "problem", "k", "decomp", "A", "total", "valid"],
     );
-    for rho in 1..=4u32 {
+    let rhos: [u32; 4] = [1, 2, 3, 4];
+    let results = shard_map(threads, &rhos, |&rho| {
         let m = ArbTransform::new(&MaximalMatching, &MatchingAlgo).with_rho(rho).run(&g, a);
         assert!(m.valid);
-        t.row(vec![
+        let matching_row = vec![
             rho.to_string(),
             "matching".into(),
             m.params.k.to_string(),
@@ -82,10 +92,10 @@ pub fn e11(size: ExperimentSize) -> Table {
             m.executed.rounds_with_prefix("A/").to_string(),
             m.total_rounds().to_string(),
             m.valid.to_string(),
-        ]);
+        ];
         let c = ArbTransform::new(&EdgeDegreeColoring, &EdgeColoringAlgo).with_rho(rho).run(&g, a);
         assert!(c.valid);
-        t.row(vec![
+        let coloring_row = vec![
             rho.to_string(),
             "edge-col".into(),
             c.params.k.to_string(),
@@ -93,7 +103,12 @@ pub fn e11(size: ExperimentSize) -> Table {
             c.executed.rounds_with_prefix("A/").to_string(),
             c.total_rounds().to_string(),
             c.valid.to_string(),
-        ]);
+        ];
+        [matching_row, coloring_row]
+    });
+    for [matching_row, coloring_row] in results {
+        t.row(matching_row);
+        t.row(coloring_row);
     }
     t.note("at simulable n the k >= 5a floor dominates g^rho, so rho is invisible here; see the model rows of E11b");
     t
@@ -128,7 +143,7 @@ pub fn e11_model(_size: ExperimentSize) -> Table {
 }
 
 /// E12: `log*`-round substrate primitives.
-pub fn e12(size: ExperimentSize) -> Table {
+pub fn e12(size: ExperimentSize, threads: usize) -> Table {
     let ns: &[usize] = match size {
         ExperimentSize::Quick => &[1_000],
         ExperimentSize::Full => &[1_000, 10_000, 100_000, 1_000_000],
@@ -138,24 +153,28 @@ pub fn e12(size: ExperimentSize) -> Table {
         "substrate: Linial + Cole-Vishkin rounds vs log*(id space)",
         &["n", "ids", "log*", "linial-rounds", "linial-colors", "cv-rounds"],
     );
-    for &n in ns {
-        for (label, strat) in
-            [("seq", IdStrategy::Sequential), ("sparse", IdStrategy::Sparse { seed: 5 })]
-        {
-            let g = relabel(&random_tree(n, 3), strat);
-            let ctx = Ctx::of(&g);
-            let lin = run_linial(&ctx);
-            let forest = root_forest(&g);
-            let cv = three_color_rooted(&ctx, &forest);
-            t.row(vec![
-                n.to_string(),
-                label.to_string(),
-                log_star_u64(ctx.id_space).to_string(),
-                lin.rounds.to_string(),
-                fnum(lin.final_bound as f64),
-                cv.rounds.to_string(),
-            ]);
-        }
+    let jobs: Vec<(usize, u8)> = ns.iter().flat_map(|&n| [(n, 0u8), (n, 1)]).collect();
+    let rows = shard_map(threads, &jobs, |&(n, kind)| {
+        let (label, strat) = match kind {
+            0 => ("seq", IdStrategy::Sequential),
+            _ => ("sparse", IdStrategy::Sparse { seed: 5 }),
+        };
+        let g = relabel(&random_tree(n, 3), strat);
+        let ctx = Ctx::of(&g);
+        let lin = run_linial(&ctx);
+        let forest = root_forest(&g);
+        let cv = three_color_rooted(&ctx, &forest);
+        vec![
+            n.to_string(),
+            label.to_string(),
+            log_star_u64(ctx.id_space).to_string(),
+            lin.rounds.to_string(),
+            fnum(lin.final_bound as f64),
+            cv.rounds.to_string(),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("both primitives track log* + O(1): doubling n barely moves the rounds");
     t
@@ -163,7 +182,7 @@ pub fn e12(size: ExperimentSize) -> Table {
 
 /// E14: the truly local premise itself — rounds of the inner algorithms as
 /// a function of Δ at (nearly) fixed n, on balanced Δ-regular trees.
-pub fn e14(size: ExperimentSize) -> Table {
+pub fn e14(size: ExperimentSize, threads: usize) -> Table {
     use treelocal_core::direct_baseline;
     use treelocal_gen::balanced_regular_tree;
     use treelocal_problems::{MaximalMatching, Mis};
@@ -176,19 +195,23 @@ pub fn e14(size: ExperimentSize) -> Table {
         format!("truly local complexity: direct-A rounds vs Δ on balanced trees (n ≈ {n})"),
         &["delta", "mis-rounds", "mis/(ΔlogΔ)", "matching-rounds"],
     );
-    for delta in [3usize, 4, 6, 8, 12, 16, 24, 32] {
+    let deltas: [usize; 8] = [3, 4, 6, 8, 12, 16, 24, 32];
+    let rows = shard_map(threads, &deltas, |&delta| {
         let tree = balanced_regular_tree(delta, n);
         let mis = direct_baseline(&Mis, &MisAlgo, &tree);
         assert!(mis.valid);
         let mat = direct_baseline(&MaximalMatching, &MatchingAlgo, &tree);
         assert!(mat.valid);
         let d = delta as f64;
-        t.row(vec![
+        vec![
             delta.to_string(),
             mis.total_rounds().to_string(),
             fnum(mis.total_rounds() as f64 / (d * (d + 2.0).log2())),
             mat.total_rounds().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("the normalized MIS column stays bounded: the implemented inner algorithm really is f(Δ) = Θ(Δ log Δ)");
     t.note(
@@ -204,10 +227,10 @@ mod tests {
     #[test]
     fn ablation_tables_quick() {
         for table in [
-            e10(ExperimentSize::Quick),
-            e11(ExperimentSize::Quick),
-            e12(ExperimentSize::Quick),
-            e14(ExperimentSize::Quick),
+            e10(ExperimentSize::Quick, 1),
+            e11(ExperimentSize::Quick, 1),
+            e12(ExperimentSize::Quick, 1),
+            e14(ExperimentSize::Quick, 1),
         ] {
             assert!(!table.rows.is_empty(), "{}", table.id);
         }
@@ -215,7 +238,7 @@ mod tests {
 
     #[test]
     fn e14_normalized_column_is_bounded() {
-        let t = e14(ExperimentSize::Quick);
+        let t = e14(ExperimentSize::Quick, 1);
         for row in &t.rows {
             let ratio: f64 = row[2].parse().unwrap();
             assert!(ratio > 0.1 && ratio < 40.0, "ratio {ratio} out of band");
@@ -224,7 +247,7 @@ mod tests {
 
     #[test]
     fn e10_paper_k_is_marked() {
-        let t = e10(ExperimentSize::Quick);
+        let t = e10(ExperimentSize::Quick, 1);
         let marked = t.rows.iter().filter(|r| r.last().map(String::as_str) == Some("true")).count();
         assert!(marked <= 1, "at most one row is the paper's k");
     }

@@ -1,39 +1,108 @@
-//! Regenerates the experiment tables (E1–E12).
+//! Regenerates the experiment tables (E1–E14).
 //!
 //! ```sh
 //! cargo run --release -p treelocal-bench --bin experiments -- all
 //! cargo run --release -p treelocal-bench --bin experiments -- e8 e10
 //! cargo run --release -p treelocal-bench --bin experiments -- --quick all
+//! # sharded across 8 pool workers (needs --features parallel):
+//! cargo run --release -p treelocal-bench --features parallel \
+//!     --bin experiments -- --threads 8 all
 //! ```
 //!
-//! CSV copies are written to `target/experiments/`.
+//! CSV copies are written to `target/experiments/`. Unknown flags are
+//! rejected with exit code 2 — a typo like `--qick` must not silently run
+//! the minutes-long Full suite.
 
 use std::path::PathBuf;
-use treelocal_bench::{all_experiment_ids, run_experiment, ExperimentSize};
+use std::process::ExitCode;
+use treelocal_bench::{
+    all_experiment_ids, auto_threads, run_experiment_with_threads, ExperimentSize,
+};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let size = if quick { ExperimentSize::Quick } else { ExperimentSize::Full };
-    let requested: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.to_lowercase()).collect();
-    let ids: Vec<&str> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
-        all_experiment_ids()
+const USAGE: &str = "usage: experiments [--quick] [--threads N] [ids...|all]
+
+flags:
+  --quick        run the small test-sized workloads instead of the Full sweeps
+  --threads N    shard each experiment across N pool workers (also
+                 --threads=N; 0 = auto; tables are identical for every N;
+                 needs a build with --features parallel to actually fan out)
+  --help         print this help
+
+ids: e1..e14, or `all` (default)";
+
+struct Options {
+    size: ExperimentSize,
+    threads: Option<usize>,
+    ids: Vec<&'static str>,
+}
+
+/// Parses the CLI, or returns the message and exit code to fail with.
+fn parse(args: &[String]) -> Result<Options, (String, u8)> {
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut requested: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err((USAGE.to_string(), 0)),
+            "--quick" => quick = true,
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ("--threads needs a value\n\n".to_string() + USAGE, 2))?;
+                threads = Some(parse_threads(value)?);
+            }
+            flag if flag.starts_with("--threads=") => {
+                threads = Some(parse_threads(&flag["--threads=".len()..])?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err((format!("unknown flag {flag:?}\n\n{USAGE}"), 2));
+            }
+            id => requested.push(id.to_lowercase()),
+        }
+    }
+    let known = all_experiment_ids();
+    let ids: Vec<&'static str> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
+        known
     } else {
-        let known = all_experiment_ids();
         for r in &requested {
             if !known.contains(&r.as_str()) {
-                eprintln!("unknown experiment {r:?}; known: {known:?}");
-                std::process::exit(2);
+                return Err((format!("unknown experiment {r:?}; known: {known:?}"), 2));
             }
         }
         known.into_iter().filter(|id| requested.iter().any(|r| r == id)).collect()
     };
+    let size = if quick { ExperimentSize::Quick } else { ExperimentSize::Full };
+    Ok(Options { size, threads, ids })
+}
 
+fn parse_threads(value: &str) -> Result<usize, (String, u8)> {
+    value
+        .parse::<usize>()
+        .map_err(|_| (format!("--threads needs a non-negative integer, got {value:?}"), 2))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(opts) => opts,
+        Err((message, code)) => {
+            if code == 0 {
+                println!("{message}");
+            } else {
+                eprintln!("{message}");
+            }
+            return ExitCode::from(code);
+        }
+    };
+    let threads = opts.threads.filter(|&n| n > 0).unwrap_or_else(auto_threads);
+    if opts.threads.is_some() && cfg!(not(feature = "parallel")) {
+        eprintln!("note: built without the `parallel` feature; experiments run sequentially");
+    }
     let csv_dir = PathBuf::from("target/experiments");
-    for id in ids {
+    for id in opts.ids {
         let start = std::time::Instant::now();
-        for table in run_experiment(id, size) {
+        for table in run_experiment_with_threads(id, opts.size, threads) {
             println!("{}", table.render());
             if let Err(e) = table.write_csv(&csv_dir) {
                 eprintln!("(csv write failed: {e})");
@@ -41,4 +110,5 @@ fn main() {
         }
         println!("[{id} done in {:.1?}]\n", start.elapsed());
     }
+    ExitCode::SUCCESS
 }

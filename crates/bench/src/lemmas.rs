@@ -7,7 +7,13 @@
 //! | E3 | Lemma 11: raked components have diameter ≤ 4(log_k n + 1) + 2 |
 //! | E4 | Lemma 13: Algorithm 3 marks all nodes within `⌈10·log_{k/a} n⌉ + 1` iterations |
 //! | E5 | Lemma 14 + star property: typical degree ≤ k, ≤ 2a atypical per node, `F_{i,j}` are stars |
+//!
+//! Every experiment is phrased as a list of independent jobs (a workload
+//! paired with its parameter sweep point) sharded via
+//! [`shard_map`](crate::shard::shard_map); rows are appended in job order,
+//! so tables are identical for every pool size.
 
+use crate::shard::shard_map;
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
 use treelocal_decomp::{
@@ -20,136 +26,160 @@ use treelocal_gen::{
 };
 use treelocal_graph::Graph;
 
-fn tree_workloads(size: ExperimentSize) -> Vec<(String, Graph)> {
+/// Tree workloads, generated on the pool (generation itself is a job).
+fn tree_workloads(size: ExperimentSize, threads: usize) -> Vec<(String, Graph)> {
     let ns: &[usize] = match size {
         ExperimentSize::Quick => &[1_000],
         ExperimentSize::Full => &[1_000, 10_000, 100_000],
     };
-    let mut out = Vec::new();
-    for &n in ns {
-        out.push((format!("random/{n}"), random_tree(n, 1)));
-        out.push((format!("bal-d8/{n}"), balanced_regular_tree(8, n)));
-        out.push((format!("path/{n}"), treelocal_gen::path(n)));
+    let specs: Vec<(usize, u8)> = ns.iter().flat_map(|&n| [(n, 0u8), (n, 1), (n, 2)]).collect();
+    shard_map(threads, &specs, |&(n, kind)| match kind {
+        0 => (format!("random/{n}"), random_tree(n, 1)),
+        1 => (format!("bal-d8/{n}"), balanced_regular_tree(8, n)),
+        _ => (format!("path/{n}"), treelocal_gen::path(n)),
+    })
+}
+
+/// The `(workload, k)` job grid shared by E1–E3.
+fn k_sweep_jobs(workloads: &[(String, Graph)]) -> Vec<(usize, usize)> {
+    (0..workloads.len()).flat_map(|w| [2usize, 4, 16].map(|k| (w, k))).collect()
+}
+
+/// Appends `(row, holds)` results in job order, tracking the conjunction.
+fn collect_checked(t: &mut Table, results: Vec<(Vec<String>, bool)>) -> bool {
+    let mut all = true;
+    for (row, ok) in results {
+        all &= ok;
+        t.row(row);
     }
-    out
+    all
 }
 
 /// E1: Lemma 9 iterations vs bound.
-pub fn e1(size: ExperimentSize) -> Table {
+pub fn e1(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E1",
         "Lemma 9: rake-and-compress iterations vs ceil(log_k n)+1",
         &["workload", "n", "k", "iterations", "bound", "holds"],
     );
-    let mut all = true;
-    for (name, g) in tree_workloads(size) {
-        for k in [2usize, 4, 16] {
-            let rc = rake_compress(&g, k);
-            let bound = lemma9_bound(g.node_count(), k);
-            let ok = u64::from(rc.iterations) <= bound;
-            all &= ok;
-            t.row(vec![
+    let workloads = tree_workloads(size, threads);
+    let results = shard_map(threads, &k_sweep_jobs(&workloads), |&(w, k)| {
+        let (name, g) = &workloads[w];
+        let rc = rake_compress(g, k);
+        let bound = lemma9_bound(g.node_count(), k);
+        let ok = u64::from(rc.iterations) <= bound;
+        (
+            vec![
                 name.clone(),
                 g.node_count().to_string(),
                 k.to_string(),
                 rc.iterations.to_string(),
                 bound.to_string(),
                 ok.to_string(),
-            ]);
-        }
-    }
+            ],
+            ok,
+        )
+    });
+    let all = collect_checked(&mut t, results);
     t.note(format!("Lemma 9 holds on all instances: {all}"));
     t
 }
 
 /// E2: Lemma 10 degrees vs k.
-pub fn e2(size: ExperimentSize) -> Table {
+pub fn e2(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E2",
         "Lemma 10: max degree of compress-edge subgraph vs k",
         &["workload", "n", "k", "max-degree", "holds"],
     );
-    let mut all = true;
-    for (name, g) in tree_workloads(size) {
-        for k in [2usize, 4, 16] {
-            let rc = rake_compress(&g, k);
-            let d = compress_edge_max_degree(&g, &rc);
-            let ok = d <= k;
-            all &= ok;
-            t.row(vec![
+    let workloads = tree_workloads(size, threads);
+    let results = shard_map(threads, &k_sweep_jobs(&workloads), |&(w, k)| {
+        let (name, g) = &workloads[w];
+        let rc = rake_compress(g, k);
+        let d = compress_edge_max_degree(g, &rc);
+        let ok = d <= k;
+        (
+            vec![
                 name.clone(),
                 g.node_count().to_string(),
                 k.to_string(),
                 d.to_string(),
                 ok.to_string(),
-            ]);
-        }
-    }
+            ],
+            ok,
+        )
+    });
+    let all = collect_checked(&mut t, results);
     t.note(format!("Lemma 10 holds on all instances: {all}"));
     t
 }
 
 /// E3: Lemma 11 diameters vs bound.
-pub fn e3(size: ExperimentSize) -> Table {
+pub fn e3(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E3",
         "Lemma 11: raked-component diameter vs 4(log_k n + 1) + 2",
         &["workload", "n", "k", "max-diameter", "bound", "holds"],
     );
-    let mut all = true;
-    for (name, g) in tree_workloads(size) {
-        for k in [2usize, 4, 16] {
-            let rc = rake_compress(&g, k);
-            let d = raked_component_max_diameter(&g, &rc);
-            let bound = lemma11_bound(g.node_count(), k);
-            let ok = d <= bound;
-            all &= ok;
-            t.row(vec![
+    let workloads = tree_workloads(size, threads);
+    let results = shard_map(threads, &k_sweep_jobs(&workloads), |&(w, k)| {
+        let (name, g) = &workloads[w];
+        let rc = rake_compress(g, k);
+        let d = raked_component_max_diameter(g, &rc);
+        let bound = lemma11_bound(g.node_count(), k);
+        let ok = d <= bound;
+        (
+            vec![
                 name.clone(),
                 g.node_count().to_string(),
                 k.to_string(),
                 d.to_string(),
                 bound.to_string(),
                 ok.to_string(),
-            ]);
-        }
-    }
+            ],
+            ok,
+        )
+    });
+    let all = collect_checked(&mut t, results);
     t.note(format!("Lemma 11 holds on all instances: {all}"));
     t
 }
 
-fn arb_workloads(size: ExperimentSize) -> Vec<(String, Graph, usize)> {
+fn arb_workloads(size: ExperimentSize, threads: usize) -> Vec<(String, Graph, usize)> {
     let scale = match size {
         ExperimentSize::Quick => 1usize,
         ExperimentSize::Full => 4,
     };
     let side = 20 * scale;
     let n = 400 * scale * scale;
-    vec![
-        (format!("tree/{n}"), random_tree(n, 2), 1),
-        (format!("grid/{}x{}", side, side), grid(side, side), 2),
-        (format!("tri/{}x{}", side, side), triangulated_grid(side, side), 3),
-        (format!("union2/{n}"), random_arboricity_graph(n, 2, 3), 2),
-        (format!("union4/{n}"), random_arboricity_graph(n, 4, 3), 4),
-    ]
+    let specs: [u8; 5] = [0, 1, 2, 3, 4];
+    shard_map(threads, &specs, |&kind| match kind {
+        0 => (format!("tree/{n}"), random_tree(n, 2), 1),
+        1 => (format!("grid/{}x{}", side, side), grid(side, side), 2),
+        2 => (format!("tri/{}x{}", side, side), triangulated_grid(side, side), 3),
+        3 => (format!("union2/{n}"), random_arboricity_graph(n, 2, 3), 2),
+        _ => (format!("union4/{n}"), random_arboricity_graph(n, 4, 3), 4),
+    })
 }
 
 /// E4: Lemma 13 iterations vs bound.
-pub fn e4(size: ExperimentSize) -> Table {
+pub fn e4(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E4",
         "Lemma 13: (b,k)-decomposition iterations vs ceil(10 log_{k/a} n)+1",
         &["workload", "n", "a", "k", "iterations", "bound", "holds"],
     );
-    let mut all = true;
-    for (name, g, a) in arb_workloads(size) {
-        for mult in [5usize, 8] {
-            let k = mult * a;
-            let d = arb_decompose(&g, a, k);
-            let bound = lemma13_bound(g.node_count(), a, k);
-            let ok = u64::from(d.iterations) <= bound;
-            all &= ok;
-            t.row(vec![
+    let workloads = arb_workloads(size, threads);
+    let jobs: Vec<(usize, usize)> =
+        (0..workloads.len()).flat_map(|w| [5usize, 8].map(|mult| (w, mult))).collect();
+    let results = shard_map(threads, &jobs, |&(w, mult)| {
+        let (name, g, a) = &workloads[w];
+        let k = mult * a;
+        let d = arb_decompose(g, *a, k);
+        let bound = lemma13_bound(g.node_count(), *a, k);
+        let ok = u64::from(d.iterations) <= bound;
+        (
+            vec![
                 name.clone(),
                 g.node_count().to_string(),
                 a.to_string(),
@@ -157,40 +187,46 @@ pub fn e4(size: ExperimentSize) -> Table {
                 d.iterations.to_string(),
                 bound.to_string(),
                 ok.to_string(),
-            ]);
-        }
-    }
+            ],
+            ok,
+        )
+    });
+    let all = collect_checked(&mut t, results);
     t.note(format!("Lemma 13 holds on all instances: {all}"));
     t
 }
 
 /// E5: Lemma 14 + atypical budget + star property.
-pub fn e5(size: ExperimentSize) -> Table {
+pub fn e5(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E5",
         "Lemma 14 & Section 4: typical degree <= k, atypical/node <= 2a, F_ij are stars",
         &["workload", "a", "k", "typ-deg", "atyp/node", "atyp-frac", "stars-ok"],
     );
-    let mut all = true;
-    for (name, g, a) in arb_workloads(size) {
+    let workloads = arb_workloads(size, threads);
+    let results = shard_map(threads, &workloads, |(name, g, a)| {
         let k = 5 * a;
-        let d = arb_decompose(&g, a, k);
-        let typ = typical_max_degree(&g, &d);
-        let per_node = max_atypical_to_higher(&g, &d);
-        let split = split_atypical(&g, &d);
-        let stars = check_star_property(&g, &d, &split);
+        let d = arb_decompose(g, *a, k);
+        let typ = typical_max_degree(g, &d);
+        let per_node = max_atypical_to_higher(g, &d);
+        let split = split_atypical(g, &d);
+        let stars = check_star_property(g, &d, &split);
         let frac = d.atypical_edges().len() as f64 / g.edge_count().max(1) as f64;
-        all &= typ <= k && per_node <= 2 * a && stars;
-        t.row(vec![
-            name.clone(),
-            a.to_string(),
-            k.to_string(),
-            typ.to_string(),
-            per_node.to_string(),
-            fnum(frac),
-            stars.to_string(),
-        ]);
-    }
+        let ok = typ <= k && per_node <= 2 * a && stars;
+        (
+            vec![
+                name.clone(),
+                a.to_string(),
+                k.to_string(),
+                typ.to_string(),
+                per_node.to_string(),
+                fnum(frac),
+                stars.to_string(),
+            ],
+            ok,
+        )
+    });
+    let all = collect_checked(&mut t, results);
     t.note(format!("all structural claims hold: {all}"));
     t
 }
@@ -202,11 +238,11 @@ mod tests {
     #[test]
     fn lemma_tables_report_success() {
         for table in [
-            e1(ExperimentSize::Quick),
-            e2(ExperimentSize::Quick),
-            e3(ExperimentSize::Quick),
-            e4(ExperimentSize::Quick),
-            e5(ExperimentSize::Quick),
+            e1(ExperimentSize::Quick, 1),
+            e2(ExperimentSize::Quick, 1),
+            e3(ExperimentSize::Quick, 1),
+            e4(ExperimentSize::Quick, 1),
+            e5(ExperimentSize::Quick, 1),
         ] {
             assert!(!table.rows.is_empty());
             assert!(

@@ -10,9 +10,11 @@
 
 mod ablations;
 mod lemmas;
+mod shard;
 pub mod table;
 mod theorems;
 
+pub use shard::auto_threads;
 pub use table::Table;
 
 /// How large the experiment workloads should be.
@@ -29,29 +31,46 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
     vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"]
 }
 
-/// Runs one experiment by id, returning its table(s).
+/// Runs one experiment by id on an automatically sized pool (sequential
+/// without the `parallel` feature), returning its table(s).
+///
+/// # Panics
+///
+/// As [`run_experiment_with_threads`].
+pub fn run_experiment(id: &str, size: ExperimentSize) -> Vec<Table> {
+    run_experiment_with_threads(id, size, shard::auto_threads())
+}
+
+/// Runs one experiment by id with an explicit shard pool size, returning
+/// its table(s).
+///
+/// The experiment's workload suite is split into independent jobs executed
+/// on `threads` pool workers and aggregated **by job index**, so the
+/// returned tables are identical for every `threads` value (1 forces
+/// sequential execution). Without the `parallel` feature the pool size is
+/// ignored and jobs run sequentially.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id (callers validate against
 /// [`all_experiment_ids`]) or if a pipeline produces an invalid solution —
 /// an invariant violation, not a reportable outcome.
-pub fn run_experiment(id: &str, size: ExperimentSize) -> Vec<Table> {
+pub fn run_experiment_with_threads(id: &str, size: ExperimentSize, threads: usize) -> Vec<Table> {
     match id {
-        "e1" => vec![lemmas::e1(size)],
-        "e2" => vec![lemmas::e2(size)],
-        "e3" => vec![lemmas::e3(size)],
-        "e4" => vec![lemmas::e4(size)],
-        "e5" => vec![lemmas::e5(size)],
-        "e6" => vec![theorems::e6(size)],
-        "e7" => vec![theorems::e7(size)],
-        "e8" => vec![theorems::e8_executed(size), theorems::e8_model(size)],
-        "e9" => vec![theorems::e9(size)],
-        "e10" => vec![ablations::e10(size)],
-        "e11" => vec![ablations::e11(size), ablations::e11_model(size)],
-        "e12" => vec![ablations::e12(size)],
-        "e13" => vec![theorems::e13(size)],
-        "e14" => vec![ablations::e14(size)],
+        "e1" => vec![lemmas::e1(size, threads)],
+        "e2" => vec![lemmas::e2(size, threads)],
+        "e3" => vec![lemmas::e3(size, threads)],
+        "e4" => vec![lemmas::e4(size, threads)],
+        "e5" => vec![lemmas::e5(size, threads)],
+        "e6" => vec![theorems::e6(size, threads)],
+        "e7" => vec![theorems::e7(size, threads)],
+        "e8" => vec![theorems::e8_executed(size, threads), theorems::e8_model(size)],
+        "e9" => vec![theorems::e9(size, threads)],
+        "e10" => vec![ablations::e10(size, threads)],
+        "e11" => vec![ablations::e11(size, threads), ablations::e11_model(size)],
+        "e12" => vec![ablations::e12(size, threads)],
+        "e13" => vec![theorems::e13(size, threads)],
+        "e14" => vec![ablations::e14(size, threads)],
         other => panic!("unknown experiment id {other:?}; known: {:?}", all_experiment_ids()),
     }
 }
@@ -75,5 +94,19 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
         let _ = run_experiment("e99", ExperimentSize::Quick);
+    }
+
+    /// The sharding acceptance bar: pool sizes 1, 2 and the machine's auto
+    /// size render cell-for-cell identical tables (there are no timing
+    /// columns in experiment tables).
+    #[test]
+    fn sharded_tables_are_identical_across_pool_sizes() {
+        for id in ["e2", "e7", "e12"] {
+            let sequential = run_experiment_with_threads(id, ExperimentSize::Quick, 1);
+            for threads in [2usize, shard::auto_threads().max(4)] {
+                let sharded = run_experiment_with_threads(id, ExperimentSize::Quick, threads);
+                assert_eq!(sequential, sharded, "{id} diverged at {threads} threads");
+            }
+        }
     }
 }

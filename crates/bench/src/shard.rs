@@ -1,0 +1,41 @@
+//! Sharding of experiment suites across the vendored rayon pool.
+//!
+//! An experiment is a list of independent jobs — `(instance, pipeline,
+//! seed)` tuples in spirit — whose results become table rows. [`shard_map`]
+//! runs the jobs on `threads` pool workers and returns results **by job
+//! index**, so a sharded table is cell-for-cell identical to a sequential
+//! one for every pool size (pinned by the `sharded_tables_are_identical`
+//! test in `lib.rs`). Without the `parallel` feature it degrades to a
+//! plain sequential map.
+
+/// The pool size used when the caller does not force one (1 without the
+/// `parallel` feature; otherwise `TREELOCAL_THREADS` / rayon's default).
+/// Re-exported from the crate root for the `experiments` binary.
+pub fn auto_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        treelocal_sim::par::auto_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Maps `f` over `jobs` on `threads` workers, results in job order.
+pub(crate) fn shard_map<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        treelocal_sim::par::par_map(jobs, threads, |_, j| f(j))
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = threads; // pool size is meaningless in a sequential build
+        jobs.iter().map(f).collect()
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// A rendered experiment table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
     /// Experiment id (e.g. `"E3"`).
     pub id: String,

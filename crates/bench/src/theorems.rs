@@ -7,7 +7,14 @@
 //! | E7 | Section 5.2: maximal matching on trees in `O(log n / log log n)` via Theorem 15 |
 //! | E8 | Theorem 3: (edge-degree+1)-edge coloring — executed pipeline + the `log^{12/13} n` model bound and its separation from the MIS/MM barrier |
 //! | E9 | Theorem 3: `O(a + log^{12/13} n)` on bounded arboricity (planar included) |
+//!
+//! The measured experiments run as independent `(instance, pipeline,
+//! seed)` jobs sharded via [`shard_map`](crate::shard::shard_map); rows
+//! (and fit samples) are aggregated in job order, so tables are identical
+//! for every pool size. The model tables (E8b) are arithmetic and stay
+//! sequential.
 
+use crate::shard::shard_map;
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
 use treelocal_algos::{DegColoringAlgo, MisAlgo};
@@ -32,40 +39,45 @@ fn log_over_loglog(n: usize) -> f64 {
 }
 
 /// E6: node problems on trees via Theorem 12.
-pub fn e6(size: ExperimentSize) -> Table {
+pub fn e6(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E6",
         "Theorem 12: MIS / (deg+1)-coloring on trees; rounds vs log n/log log n",
         &["shape", "n", "k", "mis-rounds", "mis/LL", "col-rounds", "direct", "gather"],
     );
+    // Random trees plus the paper's lower-bound instances (balanced
+    // regular trees, footnote 11).
+    let jobs: Vec<(usize, u8)> =
+        n_sweep(size).into_iter().flat_map(|n| [(n, 0u8), (n, 1)]).collect();
+    let results = shard_map(threads, &jobs, |&(n, kind)| {
+        let (shape, tree) = match kind {
+            0 => ("random", random_tree(n, 7)),
+            _ => ("bal-d8", treelocal_gen::balanced_regular_tree(8, n)),
+        };
+        let mis = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
+        assert!(mis.valid);
+        let col = TreeTransform::new(&DegPlusOneColoring, &DegColoringAlgo).run(&tree);
+        assert!(col.valid);
+        let direct = direct_baseline(&Mis, &MisAlgo, &tree);
+        let gather = gather_baseline_node(&Mis, &tree);
+        let ll = log_over_loglog(n);
+        let sample = (shape == "random").then(|| ((n as f64).log2(), mis.total_rounds() as f64));
+        let row = vec![
+            shape.to_string(),
+            n.to_string(),
+            mis.params.k.to_string(),
+            mis.total_rounds().to_string(),
+            fnum(mis.total_rounds() as f64 / ll),
+            col.total_rounds().to_string(),
+            direct.total_rounds().to_string(),
+            gather.total_rounds().to_string(),
+        ];
+        (row, sample)
+    });
     let mut samples = Vec::new();
-    for n in n_sweep(size) {
-        // Random trees plus the paper's lower-bound instances (balanced
-        // regular trees, footnote 11).
-        for (shape, tree) in
-            [("random", random_tree(n, 7)), ("bal-d8", treelocal_gen::balanced_regular_tree(8, n))]
-        {
-            let mis = TreeTransform::new(&Mis, &MisAlgo).run(&tree);
-            assert!(mis.valid);
-            let col = TreeTransform::new(&DegPlusOneColoring, &DegColoringAlgo).run(&tree);
-            assert!(col.valid);
-            let direct = direct_baseline(&Mis, &MisAlgo, &tree);
-            let gather = gather_baseline_node(&Mis, &tree);
-            let ll = log_over_loglog(n);
-            if shape == "random" {
-                samples.push(((n as f64).log2(), mis.total_rounds() as f64));
-            }
-            t.row(vec![
-                shape.to_string(),
-                n.to_string(),
-                mis.params.k.to_string(),
-                mis.total_rounds().to_string(),
-                fnum(mis.total_rounds() as f64 / ll),
-                col.total_rounds().to_string(),
-                direct.total_rounds().to_string(),
-                gather.total_rounds().to_string(),
-            ]);
-        }
+    for (row, sample) in results {
+        samples.extend(sample);
+        t.row(row);
     }
     if samples.len() >= 2 {
         let ratios: Vec<f64> = samples.iter().map(|&(l2n, r)| r / (l2n / l2n.log2())).collect();
@@ -84,7 +96,7 @@ pub fn e6(size: ExperimentSize) -> Table {
 
 /// E13: `(deg+1)`-list coloring on trees via Theorem 12 (the MT20-style
 /// list problem the paper's footnote 9 points at).
-pub fn e13(size: ExperimentSize) -> Table {
+pub fn e13(size: ExperimentSize, threads: usize) -> Table {
     use treelocal_algos::ListColoringAlgo;
     use treelocal_problems::ListColoring;
     let mut t = Table::new(
@@ -92,7 +104,8 @@ pub fn e13(size: ExperimentSize) -> Table {
         "Theorem 12 on (deg+1)-list coloring (lists as node inputs)",
         &["n", "k", "rounds", "rounds/LL", "valid"],
     );
-    for n in n_sweep(size) {
+    let jobs = n_sweep(size);
+    let rows = shard_map(threads, &jobs, |&n| {
         let tree = random_tree(n, 19);
         // Non-contiguous per-node lists with exactly deg+1 entries.
         let lists: Vec<Vec<u32>> = tree
@@ -107,42 +120,51 @@ pub fn e13(size: ExperimentSize) -> Table {
         let out = TreeTransform::new(&p, &ListColoringAlgo).run(&tree);
         assert!(out.valid);
         let ll = log_over_loglog(n);
-        t.row(vec![
+        vec![
             n.to_string(),
             out.params.k.to_string(),
             out.total_rounds().to_string(),
             fnum(out.total_rounds() as f64 / ll),
             out.valid.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("list constraints are per-node inputs; the transform machinery is unchanged (class P1)");
     t
 }
 
 /// E7: maximal matching on trees via Theorem 15.
-pub fn e7(size: ExperimentSize) -> Table {
+pub fn e7(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E7",
         "Section 5.2: maximal matching on trees, O(log n/log log n)",
         &["n", "k", "executed", "charged(PR01)", "charged/LL", "valid"],
     );
-    let mut samples = Vec::new();
-    for n in n_sweep(size) {
+    let jobs = n_sweep(size);
+    let results = shard_map(threads, &jobs, |&n| {
         let tree = random_tree(n, 11);
         let (out, matching) = matching_on_tree(&tree);
         assert!(out.valid);
         assert!(classic::is_valid_maximal_matching(&tree, &matching));
         let charged = out.total_charged().unwrap_or(0);
         let ll = log_over_loglog(n);
-        samples.push(((n as f64).log2(), charged as f64));
-        t.row(vec![
+        let sample = ((n as f64).log2(), charged as f64);
+        let row = vec![
             n.to_string(),
             out.params.k.to_string(),
             out.total_rounds().to_string(),
             charged.to_string(),
             fnum(charged as f64 / ll),
             out.valid.to_string(),
-        ]);
+        ];
+        (row, sample)
+    });
+    let mut samples = Vec::new();
+    for (row, sample) in results {
+        samples.push(sample);
+        t.row(row);
     }
     if samples.len() >= 2 {
         let ratios: Vec<f64> = samples.iter().map(|&(l2n, r)| r / (l2n / l2n.log2())).collect();
@@ -156,26 +178,30 @@ pub fn e7(size: ExperimentSize) -> Table {
 }
 
 /// E8a: the executed Theorem 3 pipeline at simulable sizes.
-pub fn e8_executed(size: ExperimentSize) -> Table {
+pub fn e8_executed(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E8a",
         "Theorem 3 executed: (edge-degree+1)-edge coloring on trees",
         &["n", "k", "executed", "charged(BBKO)", "mis-rounds", "valid"],
     );
-    for n in n_sweep(size) {
+    let jobs = n_sweep(size);
+    let rows = shard_map(threads, &jobs, |&n| {
         let tree = random_tree(n, 13);
         let (out, colors) = edge_coloring_on_tree(&tree);
         assert!(out.valid);
         assert!(classic::is_valid_edge_degree_coloring(&tree, &colors));
         let (mis, _) = mis_on_tree(&tree);
-        t.row(vec![
+        vec![
             n.to_string(),
             out.params.k.to_string(),
             out.total_rounds().to_string(),
             out.total_charged().unwrap_or(0).to_string(),
             mis.total_rounds().to_string(),
             out.valid.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("at simulable n the asymptotic separation is not yet visible (see E8b)");
     t
@@ -210,7 +236,7 @@ pub fn e8_model(_size: ExperimentSize) -> Table {
 }
 
 /// E9: Theorem 3 on bounded-arboricity graphs.
-pub fn e9(size: ExperimentSize) -> Table {
+pub fn e9(size: ExperimentSize, threads: usize) -> Table {
     let mut t = Table::new(
         "E9",
         "Theorem 3 arboricity: O(a + log^{12/13} n) incl. planar-style graphs",
@@ -222,18 +248,20 @@ pub fn e9(size: ExperimentSize) -> Table {
     };
     let side = 30 * scale;
     let n = 900 * scale * scale;
-    let workloads: Vec<(String, treelocal_graph::Graph, usize)> = vec![
-        (format!("grid/{side}x{side}"), grid(side, side), 2),
-        (format!("tri/{side}x{side}"), triangulated_grid(side, side), 3),
-        (format!("union2/{n}"), random_arboricity_graph(n, 2, 5), 2),
-        (format!("union4/{n}"), random_arboricity_graph(n, 4, 5), 4),
-    ];
-    for (name, g, a) in workloads {
-        let (out, colors) = edge_coloring_bounded_arboricity(&g, a);
+    let specs: [u8; 4] = [0, 1, 2, 3];
+    let workloads: Vec<(String, treelocal_graph::Graph, usize)> =
+        shard_map(threads, &specs, |&kind| match kind {
+            0 => (format!("grid/{side}x{side}"), grid(side, side), 2),
+            1 => (format!("tri/{side}x{side}"), triangulated_grid(side, side), 3),
+            2 => (format!("union2/{n}"), random_arboricity_graph(n, 2, 5), 2),
+            _ => (format!("union4/{n}"), random_arboricity_graph(n, 4, 5), 4),
+        });
+    let rows = shard_map(threads, &workloads, |(name, g, a)| {
+        let (out, colors) = edge_coloring_bounded_arboricity(g, *a);
         assert!(out.valid, "{name}");
-        assert!(classic::is_valid_edge_degree_coloring(&g, &colors), "{name}");
-        t.row(vec![
-            name,
+        assert!(classic::is_valid_edge_degree_coloring(g, &colors), "{name}");
+        vec![
+            name.clone(),
             g.node_count().to_string(),
             a.to_string(),
             out.params.k.to_string(),
@@ -243,7 +271,10 @@ pub fn e9(size: ExperimentSize) -> Table {
             out.executed.rounds_of("star-groups(Alg4)").to_string(),
             out.total_rounds().to_string(),
             out.valid.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("star-groups grows linearly with a (the O(a) term); the rest is n-driven");
     t
@@ -256,11 +287,11 @@ mod tests {
     #[test]
     fn theorem_tables_quick() {
         for table in [
-            e6(ExperimentSize::Quick),
-            e7(ExperimentSize::Quick),
-            e8_executed(ExperimentSize::Quick),
+            e6(ExperimentSize::Quick, 1),
+            e7(ExperimentSize::Quick, 1),
+            e8_executed(ExperimentSize::Quick, 1),
             e8_model(ExperimentSize::Quick),
-            e9(ExperimentSize::Quick),
+            e9(ExperimentSize::Quick, 1),
         ] {
             assert!(!table.rows.is_empty(), "{}", table.id);
         }

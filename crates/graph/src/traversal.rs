@@ -129,28 +129,73 @@ pub fn eccentricity_sparse<T: Topology>(topo: &T, v: NodeId) -> u32 {
     sparse_bfs_farthest(topo, v).1
 }
 
+/// Reusable scratch for [`sparse_bfs_farthest`]: an index-keyed distance
+/// table (sentinel `u32::MAX` = unvisited) plus the BFS visit order, which
+/// doubles as the queue (BFS never pops out of push order). After a call,
+/// only the visited entries are reset, so the per-call cost stays
+/// `O(component)` — the table itself is allocated once per thread and
+/// grown to the largest index space seen.
+#[derive(Default)]
+struct SparseBfsScratch {
+    dist: Vec<u32>,
+    order: Vec<NodeId>,
+}
+
+thread_local! {
+    /// Per-thread scratch: `gather_rounds_at`-style callers run this once
+    /// per component, and with the simulator's `parallel` feature several
+    /// threads may gather concurrently.
+    static SPARSE_BFS: std::cell::RefCell<SparseBfsScratch> =
+        std::cell::RefCell::new(SparseBfsScratch::default());
+}
+
 /// Sparse BFS from `v`: returns a farthest node in the component and its
 /// distance.
+///
+/// The farthest-node tie-break is the **first node the BFS reaches at the
+/// maximum distance**, where neighbors are visited in adjacency-list
+/// order — deterministic, and identical to the previous `HashMap`-keyed
+/// implementation (the map only ever gated visitation; the queue order
+/// decided ties).
 fn sparse_bfs_farthest<T: Topology>(topo: &T, v: NodeId) -> (NodeId, u32) {
-    use std::collections::HashMap;
-    let mut dist: HashMap<NodeId, u32> = HashMap::new();
-    let mut queue = VecDeque::new();
-    dist.insert(v, 0);
-    queue.push_back(v);
-    let mut far = (v, 0u32);
-    while let Some(u) = queue.pop_front() {
-        let d = dist[&u];
-        if d > far.1 {
-            far = (u, d);
+    SPARSE_BFS.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        if scratch.dist.len() < topo.index_space() {
+            scratch.dist.resize(topo.index_space(), u32::MAX);
         }
-        for &(w, _) in topo.neighbors(u) {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
-                e.insert(d + 1);
-                queue.push_back(w);
+        // Recover from a previous call that unwound mid-BFS (a panicking
+        // `neighbors` impl under `catch_unwind`, say): `order` records
+        // exactly the `dist` entries that were written, so resetting here
+        // — not only on the success path — keeps a dirty scratch from
+        // silently corrupting the next traversal on this thread.
+        for &u in &scratch.order {
+            scratch.dist[u.index()] = u32::MAX;
+        }
+        scratch.order.clear();
+        scratch.dist[v.index()] = 0;
+        scratch.order.push(v);
+        let mut far = (v, 0u32);
+        let mut head = 0;
+        while head < scratch.order.len() {
+            let u = scratch.order[head];
+            head += 1;
+            let d = scratch.dist[u.index()];
+            if d > far.1 {
+                far = (u, d);
+            }
+            for &(w, _) in topo.neighbors(u) {
+                if scratch.dist[w.index()] == u32::MAX {
+                    scratch.dist[w.index()] = d + 1;
+                    scratch.order.push(w);
+                }
             }
         }
-    }
-    far
+        for &u in &scratch.order {
+            scratch.dist[u.index()] = u32::MAX;
+        }
+        scratch.order.clear();
+        far
+    })
 }
 
 /// The exact diameter of the **tree-shaped** component containing `start`,
@@ -273,6 +318,69 @@ mod tests {
         let (far, d) = farthest_from(&g, NodeId::new(0));
         assert_eq!(far, NodeId::new(3));
         assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn sparse_farthest_tie_break_is_first_reached_in_bfs_order() {
+        // Star: every leaf ties at distance 1. Adjacency lists are sorted
+        // by neighbor index, so the BFS reaches the lowest-index leaf
+        // first — insertion order of the edges must not matter.
+        let g = Graph::from_edges(5, &[(0, 3), (0, 1), (0, 4), (0, 2)]).unwrap();
+        assert_eq!(sparse_bfs_farthest(&g, NodeId::new(0)), (NodeId::new(1), 1));
+        // Y-tree 2-1-0-3-4: from node 0, nodes 2 and 4 tie at distance 2;
+        // BFS visits 1 before 3, so 2 wins.
+        let y = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4)]).unwrap();
+        assert_eq!(sparse_bfs_farthest(&y, NodeId::new(0)), (NodeId::new(2), 2));
+    }
+
+    #[test]
+    fn sparse_scratch_recovers_after_a_mid_bfs_panic() {
+        use crate::topology::Topology;
+        use crate::EdgeId;
+
+        /// Delegates to a real path but panics when the BFS expands a
+        /// chosen node, leaving the thread-local scratch dirty.
+        struct PanicAt<'g>(&'g Graph, usize);
+        impl Topology for PanicAt<'_> {
+            fn graph(&self) -> &Graph {
+                self.0
+            }
+            fn nodes(&self) -> &[NodeId] {
+                self.0.node_ids()
+            }
+            fn contains_node(&self, v: NodeId) -> bool {
+                v.index() < self.0.node_count()
+            }
+            fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+                assert!(v.index() != self.1, "mid-bfs panic for the scratch test");
+                Topology::neighbors(self.0, v)
+            }
+            fn max_degree(&self) -> usize {
+                self.0.max_degree()
+            }
+        }
+
+        let g = path(20);
+        let poisoned = std::panic::catch_unwind(|| {
+            let _ = sparse_bfs_farthest(&PanicAt(&g, 5), NodeId::new(0));
+        });
+        assert!(poisoned.is_err(), "the instrumented topology must panic");
+        // The very next call on this thread must see a clean scratch.
+        assert_eq!(sparse_bfs_farthest(&g, NodeId::new(0)), (NodeId::new(19), 19));
+        assert_eq!(eccentricity_sparse(&g, NodeId::new(10)), 10);
+    }
+
+    #[test]
+    fn sparse_scratch_resets_between_calls_and_across_graphs() {
+        // Repeated calls on the same thread must not see stale distances,
+        // including when the index space shrinks and regrows.
+        let big = path(50);
+        let small = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(sparse_bfs_farthest(&big, NodeId::new(0)), (NodeId::new(49), 49));
+            assert_eq!(sparse_bfs_farthest(&small, NodeId::new(1)), (NodeId::new(0), 1));
+            assert_eq!(sparse_bfs_farthest(&big, NodeId::new(25)), (NodeId::new(0), 25));
+        }
     }
 
     #[test]

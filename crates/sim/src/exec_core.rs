@@ -59,8 +59,15 @@ impl<S> ExecCore<S> {
     /// Registers node `v` with its round-0 verdict. A node seeded
     /// [`Verdict::Halted`] contributes its state but never enters the
     /// frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was already seeded. This is a hard invariant, not a
+    /// `debug_assert`: a re-seeded Active node would sit on the frontier
+    /// twice and be stepped twice per round, which in release builds used
+    /// to corrupt executions silently.
     pub fn seed(&mut self, v: NodeId, verdict: Verdict<S>) {
-        debug_assert!(self.states[v.index()].is_none(), "node seeded twice");
+        assert!(self.states[v.index()].is_none(), "node {v:?} seeded twice");
         match verdict {
             Verdict::Active(s) => {
                 self.states[v.index()] = Some(s);
@@ -127,6 +134,55 @@ impl<S> ExecCore<S> {
             self.scratch[v.index()] = Some(step(v, own, &snap));
         }
         self.commit();
+    }
+
+    /// Executes one round in snapshot style on `threads` pool workers.
+    ///
+    /// Frontier chunks are stepped concurrently — sound because every node
+    /// reads only the previous round's buffer — and the round then commits
+    /// **sequentially in frontier order**, so outcomes and round counts
+    /// are byte-identical to [`ExecCore::step_snapshot`] for every pool
+    /// size. Small frontiers (and `threads <= 1`) take the sequential path
+    /// unchanged.
+    #[cfg(feature = "parallel")]
+    pub fn step_snapshot_threads<F>(&mut self, threads: usize, step: F)
+    where
+        F: Fn(NodeId, &S, &Snapshot<'_, S>) -> Verdict<S> + Sync,
+        S: Send + Sync,
+    {
+        /// Below this frontier size a round is cheaper than the scoped
+        /// fork/join, so it runs inline (the choice cannot affect results,
+        /// only speed).
+        const PAR_FRONTIER_MIN: usize = 1024;
+        if threads <= 1 || self.frontier.len() < PAR_FRONTIER_MIN {
+            self.step_snapshot(step);
+            return;
+        }
+        let verdicts = {
+            let snap = Snapshot::over(&self.states);
+            crate::par::par_map(&self.frontier, threads, |_, &v| step(v, snap.get(v), &snap))
+        };
+        self.commit_in_frontier_order(verdicts);
+    }
+
+    /// Commits a round whose verdicts were collected positionally (one per
+    /// frontier node, in frontier order) rather than through the scratch
+    /// buffer. Identical retain semantics to [`ExecCore::commit`].
+    #[cfg(feature = "parallel")]
+    fn commit_in_frontier_order(&mut self, verdicts: Vec<Verdict<S>>) {
+        debug_assert_eq!(verdicts.len(), self.frontier.len());
+        let states = &mut self.states;
+        let mut verdicts = verdicts.into_iter();
+        self.frontier.retain(|&v| match verdicts.next().expect("one verdict per frontier node") {
+            Verdict::Active(s) => {
+                states[v.index()] = Some(s);
+                true
+            }
+            Verdict::Halted(s) => {
+                states[v.index()] = Some(s);
+                false
+            }
+        });
     }
 
     /// Executes one round in owned style (the message engine's receive
@@ -233,6 +289,27 @@ mod tests {
         let out = core.finish();
         assert_eq!(*out.state(NodeId::new(0)), 20);
         assert_eq!(*out.state(NodeId::new(1)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "seeded twice")]
+    fn double_seeding_an_active_node_is_rejected() {
+        // A plain `assert!`, not `debug_assert!`: with debug assertions
+        // compiled out (release builds), a re-seeded Active node used to be
+        // pushed onto the frontier twice and stepped twice per round. The
+        // `release_invariants` integration test exercises this exact path
+        // under `--release`.
+        let mut core: ExecCore<u32> = ExecCore::new(2);
+        core.seed(NodeId::new(0), Verdict::Active(1));
+        core.seed(NodeId::new(0), Verdict::Active(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "seeded twice")]
+    fn double_seeding_a_halted_node_is_rejected() {
+        let mut core: ExecCore<u32> = ExecCore::new(1);
+        core.seed(NodeId::new(0), Verdict::Halted(1));
+        core.seed(NodeId::new(0), Verdict::Active(2));
     }
 
     #[test]

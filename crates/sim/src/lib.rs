@@ -51,10 +51,14 @@ mod exec_core;
 mod gather;
 mod logstar;
 mod msg_engine;
+#[cfg(feature = "parallel")]
+pub mod par;
 mod primes;
 mod rounds;
 
-pub use engine::{run, Ctx, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
+#[cfg(feature = "parallel")]
+pub use engine::run_with_threads;
+pub use engine::{run, Ctx, ParSafe, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
 pub use exec_core::ExecCore;
 pub use gather::{
     gather_rounds_at, highest_id_center, parallel_gather_rounds, sequential_gather_rounds,

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `rayon` thread pool.
+//!
+//! The build environment has no network route to a crates registry, so the
+//! workspace vendors the API subset its `parallel` feature consumes:
+//! [`join`], [`scope`] with [`Scope::spawn`], [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], and [`current_num_threads`]. The signatures
+//! match the real crate so the vendored path dependency can be swapped for
+//! registry `rayon` without touching callers (see the "Real-dep upgrade
+//! path" item in ROADMAP.md).
+//!
+//! Execution model: real rayon keeps a lazily started global pool of worker
+//! threads with per-worker deques and work stealing. This subset instead
+//! runs every `scope`/`join` on **scoped OS threads**
+//! ([`std::thread::scope`]), which keeps the crate free of `unsafe` (the
+//! workspace forbids it) while preserving the property callers rely on:
+//! spawned closures may borrow from the enclosing stack frame and have all
+//! completed when the scope returns. Callers in this workspace spawn
+//! **pool-size-many coarse tasks per scope** and claim fine-grained work
+//! from a shared atomic counter (self-scheduling), so the missing deque
+//! stealing costs nothing at the granularity the workspace uses.
+//!
+//! Pool sizing: [`current_num_threads`] honors an enclosing
+//! [`ThreadPool::install`], then the `RAYON_NUM_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Pool size installed on this thread (0 = no pool installed).
+    static INSTALLED: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Computed once per process, like the real crate's global pool size (and
+/// because `available_parallelism` may probe cgroup files).
+fn default_num_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Some(n) =
+            std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// The number of threads the current pool context would use: the size of
+/// the innermost [`ThreadPool::install`], else `RAYON_NUM_THREADS`, else
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        default_num_threads()
+    }
+}
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. Sequential (a then b) when the current pool has one thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A scope in which borrowed closures can be spawned; mirrors
+/// `rayon::Scope`. All spawned work has finished when [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` onto the scope; it may borrow anything that outlives
+    /// the scope. Panics in the body propagate out of [`scope`].
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+impl fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+/// Creates a scope, runs `op` in it, and waits for every spawned task
+/// before returning `op`'s result.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// Error building a [`ThreadPool`] (the vendored builder cannot actually
+/// fail; the type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures a [`ThreadPool`]; mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (auto) sizing.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool size; 0 means auto.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the vendored subset; the `Result` matches the real
+    /// crate's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads > 0 { self.num_threads } else { default_num_threads() };
+        Ok(ThreadPool { size })
+    }
+}
+
+/// A sized pool context. The vendored pool holds no threads of its own;
+/// [`ThreadPool::install`] sets the size that [`current_num_threads`],
+/// [`join`] and scope users observe, and scoped threads are created on
+/// demand.
+#[derive(Debug)]
+pub struct ThreadPool {
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool installed as the current context.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED.with(Cell::get));
+        INSTALLED.with(|c| c.set(self.size));
+        op()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "b");
+        assert_eq!(a, 2);
+        assert_eq!(b, "b");
+    }
+
+    #[test]
+    fn join_is_parallel_only_with_a_multi_thread_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let here = std::thread::current().id();
+        let (_, tid) = pool.install(|| join(|| (), std::thread::current));
+        assert_eq!(tid.id(), here, "size-1 pool must not spawn");
+    }
+
+    #[test]
+    fn scope_runs_borrowed_spawns_to_completion() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_sees_the_same_scope() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn install_overrides_and_restores_pool_size() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 7);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 7);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    // std's scope rethrows with its own payload ("a scoped thread
+    // panicked"); callers that need the original payload catch it in the
+    // spawned body (as `treelocal_sim::par::par_map` does).
+    #[should_panic(expected = "scoped thread panicked")]
+    fn scope_propagates_panics() {
+        scope(|s| s.spawn(|_| panic!("boom")));
+    }
+}
