@@ -6,10 +6,10 @@
 //! | E11 | Theorem 15's `ρ` trade-off (`ρ/(ρ − log_g a)`; paper uses ρ = 2 for Theorem 3's arboricity case) |
 //! | E12 | Substrate: Linial-style coloring and Cole–Vishkin run in `log* n + O(1)` rounds |
 //!
-//! Sweep points are independent jobs sharded via
-//! [`shard_map`](crate::shard::shard_map) and aggregated in job order.
+//! Sweep points are independent jobs on the [`Driver`]'s queue —
+//! checkpointed, resumable, and aggregated in job order.
 
-use crate::shard::shard_map;
+use crate::driver::{collect_rows, Driver, JobOutput};
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
 use treelocal_algos::{run_linial, three_color_rooted, EdgeColoringAlgo, MatchingAlgo, MisAlgo};
@@ -20,7 +20,7 @@ use treelocal_problems::{EdgeDegreeColoring, MaximalMatching, Mis};
 use treelocal_sim::{log_star_u64, Ctx};
 
 /// E10: the k-sweep around `g(n)`.
-pub fn e10(size: ExperimentSize, threads: usize) -> Table {
+pub fn e10(size: ExperimentSize, driver: &Driver) -> Table {
     let n = match size {
         ExperimentSize::Quick => 4_000,
         ExperimentSize::Full => 100_000,
@@ -34,27 +34,28 @@ pub fn e10(size: ExperimentSize, threads: usize) -> Table {
         &["k", "decomp", "A", "gather", "total", "is-paper-k"],
     );
     let ks: [usize; 12] = [2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128];
-    let results = shard_map(threads, &ks, |&k| {
+    let results = driver.run_jobs("e10", &ks, |&k| {
         let out = TreeTransform::new(&Mis, &MisAlgo).with_k(k).run(&tree);
         assert!(out.valid, "k {k}");
         let total = out.total_rounds();
-        let row = vec![
+        JobOutput::from_row(vec![
             k.to_string(),
             out.executed.rounds_of("rake-compress(Alg1)").to_string(),
             out.executed.rounds_with_prefix("A/").to_string(),
             out.executed.rounds_of("gather-residual(Alg2)").to_string(),
             total.to_string(),
             (k == auto.params.k).to_string(),
-        ];
-        (row, total, k)
+        ])
+        .with_metric(total)
     });
     let mut best = (u64::MAX, 0usize);
-    for (row, total, k) in results {
+    for (i, out) in results.iter().enumerate() {
+        let total = out.metric.expect("e10 jobs record their total rounds");
         if total < best.0 {
-            best = (total, k);
+            best = (total, ks[i]);
         }
-        t.row(row);
     }
+    collect_rows(&mut t, results);
     t.note(format!(
         "paper's k = {} (g = {:.2}) gives {} rounds; sweep optimum {} rounds at k = {}",
         auto.params.k,
@@ -68,7 +69,7 @@ pub fn e10(size: ExperimentSize, threads: usize) -> Table {
 }
 
 /// E11: the ρ trade-off of Theorem 15.
-pub fn e11(size: ExperimentSize, threads: usize) -> Table {
+pub fn e11(size: ExperimentSize, driver: &Driver) -> Table {
     let side = match size {
         ExperimentSize::Quick => 14usize,
         ExperimentSize::Full => 40,
@@ -81,7 +82,7 @@ pub fn e11(size: ExperimentSize, threads: usize) -> Table {
         &["rho", "problem", "k", "decomp", "A", "total", "valid"],
     );
     let rhos: [u32; 4] = [1, 2, 3, 4];
-    let results = shard_map(threads, &rhos, |&rho| {
+    let results = driver.run_jobs("e11", &rhos, |&rho| {
         let m = ArbTransform::new(&MaximalMatching, &MatchingAlgo).with_rho(rho).run(&g, a);
         assert!(m.valid);
         let matching_row = vec![
@@ -104,12 +105,9 @@ pub fn e11(size: ExperimentSize, threads: usize) -> Table {
             c.total_rounds().to_string(),
             c.valid.to_string(),
         ];
-        [matching_row, coloring_row]
+        JobOutput::from_rows(vec![matching_row, coloring_row])
     });
-    for [matching_row, coloring_row] in results {
-        t.row(matching_row);
-        t.row(coloring_row);
-    }
+    collect_rows(&mut t, results);
     t.note("at simulable n the k >= 5a floor dominates g^rho, so rho is invisible here; see the model rows of E11b");
     t
 }
@@ -143,7 +141,7 @@ pub fn e11_model(_size: ExperimentSize) -> Table {
 }
 
 /// E12: `log*`-round substrate primitives.
-pub fn e12(size: ExperimentSize, threads: usize) -> Table {
+pub fn e12(size: ExperimentSize, driver: &Driver) -> Table {
     let ns: &[usize] = match size {
         ExperimentSize::Quick => &[1_000],
         ExperimentSize::Full => &[1_000, 10_000, 100_000, 1_000_000],
@@ -154,7 +152,7 @@ pub fn e12(size: ExperimentSize, threads: usize) -> Table {
         &["n", "ids", "log*", "linial-rounds", "linial-colors", "cv-rounds"],
     );
     let jobs: Vec<(usize, u8)> = ns.iter().flat_map(|&n| [(n, 0u8), (n, 1)]).collect();
-    let rows = shard_map(threads, &jobs, |&(n, kind)| {
+    let results = driver.run_jobs("e12", &jobs, |&(n, kind)| {
         let (label, strat) = match kind {
             0 => ("seq", IdStrategy::Sequential),
             _ => ("sparse", IdStrategy::Sparse { seed: 5 }),
@@ -164,25 +162,23 @@ pub fn e12(size: ExperimentSize, threads: usize) -> Table {
         let lin = run_linial(&ctx);
         let forest = root_forest(&g);
         let cv = three_color_rooted(&ctx, &forest);
-        vec![
+        JobOutput::from_row(vec![
             n.to_string(),
             label.to_string(),
             log_star_u64(ctx.id_space).to_string(),
             lin.rounds.to_string(),
             fnum(lin.final_bound as f64),
             cv.rounds.to_string(),
-        ]
+        ])
     });
-    for row in rows {
-        t.row(row);
-    }
+    collect_rows(&mut t, results);
     t.note("both primitives track log* + O(1): doubling n barely moves the rounds");
     t
 }
 
 /// E14: the truly local premise itself — rounds of the inner algorithms as
 /// a function of Δ at (nearly) fixed n, on balanced Δ-regular trees.
-pub fn e14(size: ExperimentSize, threads: usize) -> Table {
+pub fn e14(size: ExperimentSize, driver: &Driver) -> Table {
     use treelocal_core::direct_baseline;
     use treelocal_gen::balanced_regular_tree;
     use treelocal_problems::{MaximalMatching, Mis};
@@ -196,23 +192,21 @@ pub fn e14(size: ExperimentSize, threads: usize) -> Table {
         &["delta", "mis-rounds", "mis/(ΔlogΔ)", "matching-rounds"],
     );
     let deltas: [usize; 8] = [3, 4, 6, 8, 12, 16, 24, 32];
-    let rows = shard_map(threads, &deltas, |&delta| {
+    let results = driver.run_jobs("e14", &deltas, |&delta| {
         let tree = balanced_regular_tree(delta, n);
         let mis = direct_baseline(&Mis, &MisAlgo, &tree);
         assert!(mis.valid);
         let mat = direct_baseline(&MaximalMatching, &MatchingAlgo, &tree);
         assert!(mat.valid);
         let d = delta as f64;
-        vec![
+        JobOutput::from_row(vec![
             delta.to_string(),
             mis.total_rounds().to_string(),
             fnum(mis.total_rounds() as f64 / (d * (d + 2.0).log2())),
             mat.total_rounds().to_string(),
-        ]
+        ])
     });
-    for row in rows {
-        t.row(row);
-    }
+    collect_rows(&mut t, results);
     t.note("the normalized MIS column stays bounded: the implemented inner algorithm really is f(Δ) = Θ(Δ log Δ)");
     t.note(
         "this Δ-dependence is exactly what the transformation trades against log_k n via k = g(n)",
@@ -226,11 +220,12 @@ mod tests {
 
     #[test]
     fn ablation_tables_quick() {
+        let driver = Driver::sequential();
         for table in [
-            e10(ExperimentSize::Quick, 1),
-            e11(ExperimentSize::Quick, 1),
-            e12(ExperimentSize::Quick, 1),
-            e14(ExperimentSize::Quick, 1),
+            e10(ExperimentSize::Quick, &driver),
+            e11(ExperimentSize::Quick, &driver),
+            e12(ExperimentSize::Quick, &driver),
+            e14(ExperimentSize::Quick, &driver),
         ] {
             assert!(!table.rows.is_empty(), "{}", table.id);
         }
@@ -238,7 +233,7 @@ mod tests {
 
     #[test]
     fn e14_normalized_column_is_bounded() {
-        let t = e14(ExperimentSize::Quick, 1);
+        let t = e14(ExperimentSize::Quick, &Driver::sequential());
         for row in &t.rows {
             let ratio: f64 = row[2].parse().unwrap();
             assert!(ratio > 0.1 && ratio < 40.0, "ratio {ratio} out of band");
@@ -247,7 +242,7 @@ mod tests {
 
     #[test]
     fn e10_paper_k_is_marked() {
-        let t = e10(ExperimentSize::Quick, 1);
+        let t = e10(ExperimentSize::Quick, &Driver::sequential());
         let marked = t.rows.iter().filter(|r| r.last().map(String::as_str) == Some("true")).count();
         assert!(marked <= 1, "at most one row is the paper's k");
     }

@@ -7,6 +7,9 @@
 //! # sharded across 8 pool workers (needs --features parallel):
 //! cargo run --release -p treelocal-bench --features parallel \
 //!     --bin experiments -- --threads 8 all
+//! # checkpointed run with progress on stderr; resume after a crash:
+//! cargo run --release -p treelocal-bench --bin experiments -- --journal j.jsonl all
+//! cargo run --release -p treelocal-bench --bin experiments -- --journal j.jsonl --resume all
 //! ```
 //!
 //! CSV copies are written to `target/experiments/`. Unknown flags are
@@ -16,23 +19,34 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use treelocal_bench::{
-    all_experiment_ids, auto_threads, run_experiment_with_threads, ExperimentSize,
+    all_experiment_ids, auto_threads, run_experiment_with_driver, Driver, DriverConfig,
+    ExperimentSize,
 };
 
-const USAGE: &str = "usage: experiments [--quick] [--threads N] [ids...|all]
+const USAGE: &str =
+    "usage: experiments [--quick] [--threads N] [--journal PATH [--resume]] [ids...|all]
 
 flags:
-  --quick        run the small test-sized workloads instead of the Full sweeps
-  --threads N    shard each experiment across N pool workers (also
-                 --threads=N; 0 = auto; tables are identical for every N;
-                 needs a build with --features parallel to actually fan out)
-  --help         print this help
+  --quick         run the small test-sized workloads instead of the Full sweeps
+  --threads N     shard each experiment across N pool workers (also
+                  --threads=N; 0 = auto; tables are identical for every N;
+                  needs a build with --features parallel to actually fan out)
+  --journal PATH  checkpoint every completed job to a JSONL journal (also
+                  --journal=PATH) and report progress on stderr; tables are
+                  identical with and without a journal
+  --resume        skip jobs already completed in --journal PATH instead of
+                  starting it fresh; the resumed tables are byte-identical
+                  to an uninterrupted run
+  --help          print this help
 
 ids: e1..e14, or `all` (default)";
 
+#[derive(Debug)]
 struct Options {
     size: ExperimentSize,
     threads: Option<usize>,
+    journal: Option<PathBuf>,
+    resume: bool,
     ids: Vec<&'static str>,
 }
 
@@ -40,12 +54,15 @@ struct Options {
 fn parse(args: &[String]) -> Result<Options, (String, u8)> {
     let mut quick = false;
     let mut threads: Option<usize> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut resume = false;
     let mut requested: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--help" | "-h" => return Err((USAGE.to_string(), 0)),
             "--quick" => quick = true,
+            "--resume" => resume = true,
             "--threads" => {
                 let value = it
                     .next()
@@ -55,11 +72,23 @@ fn parse(args: &[String]) -> Result<Options, (String, u8)> {
             flag if flag.starts_with("--threads=") => {
                 threads = Some(parse_threads(&flag["--threads=".len()..])?);
             }
+            "--journal" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ("--journal needs a path\n\n".to_string() + USAGE, 2))?;
+                journal = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--journal=") => {
+                journal = Some(PathBuf::from(&flag["--journal=".len()..]));
+            }
             flag if flag.starts_with('-') => {
                 return Err((format!("unknown flag {flag:?}\n\n{USAGE}"), 2));
             }
             id => requested.push(id.to_lowercase()),
         }
+    }
+    if resume && journal.is_none() {
+        return Err((format!("--resume needs --journal PATH\n\n{USAGE}"), 2));
     }
     let known = all_experiment_ids();
     let ids: Vec<&'static str> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
@@ -73,7 +102,7 @@ fn parse(args: &[String]) -> Result<Options, (String, u8)> {
         known.into_iter().filter(|id| requested.iter().any(|r| r == id)).collect()
     };
     let size = if quick { ExperimentSize::Quick } else { ExperimentSize::Full };
-    Ok(Options { size, threads, ids })
+    Ok(Options { size, threads, journal, resume, ids })
 }
 
 fn parse_threads(value: &str) -> Result<usize, (String, u8)> {
@@ -99,10 +128,28 @@ fn main() -> ExitCode {
     if opts.threads.is_some() && cfg!(not(feature = "parallel")) {
         eprintln!("note: built without the `parallel` feature; experiments run sequentially");
     }
+    // Progress reporting accompanies checkpointing: both exist for the
+    // long-running batch runs. Tables on stdout stay byte-identical.
+    let driver = match Driver::new(DriverConfig {
+        threads,
+        journal: opts.journal.clone(),
+        resume: opts.resume,
+        progress: opts.journal.is_some(),
+        size: opts.size,
+    }) {
+        Ok(driver) => driver,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.resume {
+        eprintln!("resuming: {} completed jobs found in the journal", driver.jobs_resumed());
+    }
     let csv_dir = PathBuf::from("target/experiments");
     for id in opts.ids {
         let start = std::time::Instant::now();
-        for table in run_experiment_with_threads(id, opts.size, threads) {
+        for table in run_experiment_with_driver(id, opts.size, &driver) {
             println!("{}", table.render());
             if let Err(e) = table.write_csv(&csv_dir) {
                 eprintln!("(csv write failed: {e})");
@@ -111,4 +158,52 @@ fn main() -> ExitCode {
         println!("[{id} done in {:.1?}]\n", start.elapsed());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn journal_flag_both_spellings() {
+        let o = parse(&argv(&["--quick", "--journal", "j.jsonl", "e2"])).unwrap();
+        assert_eq!(o.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
+        assert!(!o.resume);
+        let o = parse(&argv(&["--journal=target/j.jsonl", "--resume"])).unwrap();
+        assert_eq!(o.journal.as_deref(), Some(std::path::Path::new("target/j.jsonl")));
+        assert!(o.resume);
+    }
+
+    #[test]
+    fn resume_without_journal_exits_2() {
+        let (message, code) = parse(&argv(&["--resume", "e2"])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--resume needs --journal"), "{message}");
+    }
+
+    #[test]
+    fn journal_without_path_exits_2() {
+        let (message, code) = parse(&argv(&["--journal"])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--journal needs a path"), "{message}");
+    }
+
+    #[test]
+    fn unknown_flags_still_exit_2() {
+        let (_, code) = parse(&argv(&["--jornal", "j"])).unwrap_err();
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn defaults_are_unchanged() {
+        let o = parse(&argv(&[])).unwrap();
+        assert_eq!(o.size, ExperimentSize::Full);
+        assert!(o.journal.is_none());
+        assert!(!o.resume);
+        assert_eq!(o.ids.len(), 14);
+    }
 }

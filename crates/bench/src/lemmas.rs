@@ -8,12 +8,14 @@
 //! | E4 | Lemma 13: Algorithm 3 marks all nodes within `⌈10·log_{k/a} n⌉ + 1` iterations |
 //! | E5 | Lemma 14 + star property: typical degree ≤ k, ≤ 2a atypical per node, `F_{i,j}` are stars |
 //!
-//! Every experiment is phrased as a list of independent jobs (a workload
-//! paired with its parameter sweep point) sharded via
-//! [`shard_map`](crate::shard::shard_map); rows are appended in job order,
-//! so tables are identical for every pool size.
+//! Every experiment is a named resumable run on the [`Driver`]: a list of
+//! independent jobs (a workload paired with its parameter sweep point)
+//! whose [`JobOutput`]s are checkpointed to the driver's journal and
+//! aggregated in job order, so tables are identical for every pool size
+//! and across crash-resume. Workload *generation* runs on the pool but is
+//! never journaled — regenerating a seeded graph is cheap and exact.
 
-use crate::shard::shard_map;
+use crate::driver::{collect_rows, Driver, JobOutput};
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
 use treelocal_decomp::{
@@ -27,13 +29,13 @@ use treelocal_gen::{
 use treelocal_graph::Graph;
 
 /// Tree workloads, generated on the pool (generation itself is a job).
-fn tree_workloads(size: ExperimentSize, threads: usize) -> Vec<(String, Graph)> {
+fn tree_workloads(size: ExperimentSize, driver: &Driver) -> Vec<(String, Graph)> {
     let ns: &[usize] = match size {
         ExperimentSize::Quick => &[1_000],
         ExperimentSize::Full => &[1_000, 10_000, 100_000],
     };
     let specs: Vec<(usize, u8)> = ns.iter().flat_map(|&n| [(n, 0u8), (n, 1), (n, 2)]).collect();
-    shard_map(threads, &specs, |&(n, kind)| match kind {
+    driver.map(&specs, |&(n, kind)| match kind {
         0 => (format!("random/{n}"), random_tree(n, 1)),
         1 => (format!("bal-d8/{n}"), balanced_regular_tree(8, n)),
         _ => (format!("path/{n}"), treelocal_gen::path(n)),
@@ -45,107 +47,91 @@ fn k_sweep_jobs(workloads: &[(String, Graph)]) -> Vec<(usize, usize)> {
     (0..workloads.len()).flat_map(|w| [2usize, 4, 16].map(|k| (w, k))).collect()
 }
 
-/// Appends `(row, holds)` results in job order, tracking the conjunction.
-fn collect_checked(t: &mut Table, results: Vec<(Vec<String>, bool)>) -> bool {
-    let mut all = true;
-    for (row, ok) in results {
-        all &= ok;
-        t.row(row);
-    }
-    all
-}
-
 /// E1: Lemma 9 iterations vs bound.
-pub fn e1(size: ExperimentSize, threads: usize) -> Table {
+pub fn e1(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E1",
         "Lemma 9: rake-and-compress iterations vs ceil(log_k n)+1",
         &["workload", "n", "k", "iterations", "bound", "holds"],
     );
-    let workloads = tree_workloads(size, threads);
-    let results = shard_map(threads, &k_sweep_jobs(&workloads), |&(w, k)| {
+    let workloads = tree_workloads(size, driver);
+    let results = driver.run_jobs("e1", &k_sweep_jobs(&workloads), |&(w, k)| {
         let (name, g) = &workloads[w];
         let rc = rake_compress(g, k);
         let bound = lemma9_bound(g.node_count(), k);
         let ok = u64::from(rc.iterations) <= bound;
-        (
-            vec![
-                name.clone(),
-                g.node_count().to_string(),
-                k.to_string(),
-                rc.iterations.to_string(),
-                bound.to_string(),
-                ok.to_string(),
-            ],
-            ok,
-        )
+        JobOutput::from_row(vec![
+            name.clone(),
+            g.node_count().to_string(),
+            k.to_string(),
+            rc.iterations.to_string(),
+            bound.to_string(),
+            ok.to_string(),
+        ])
+        .with_holds(ok)
     });
-    let all = collect_checked(&mut t, results);
+    let all = collect_rows(&mut t, results);
     t.note(format!("Lemma 9 holds on all instances: {all}"));
     t
 }
 
 /// E2: Lemma 10 degrees vs k.
-pub fn e2(size: ExperimentSize, threads: usize) -> Table {
+pub fn e2(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E2",
         "Lemma 10: max degree of compress-edge subgraph vs k",
         &["workload", "n", "k", "max-degree", "holds"],
     );
-    let workloads = tree_workloads(size, threads);
-    let results = shard_map(threads, &k_sweep_jobs(&workloads), |&(w, k)| {
+    let workloads = tree_workloads(size, driver);
+    let results = driver.run_jobs("e2", &k_sweep_jobs(&workloads), |&(w, k)| {
         let (name, g) = &workloads[w];
         let rc = rake_compress(g, k);
         let d = compress_edge_max_degree(g, &rc);
         let ok = d <= k;
-        (
-            vec![
-                name.clone(),
-                g.node_count().to_string(),
-                k.to_string(),
-                d.to_string(),
-                ok.to_string(),
-            ],
-            ok,
-        )
+        JobOutput::from_row(vec![
+            name.clone(),
+            g.node_count().to_string(),
+            k.to_string(),
+            d.to_string(),
+            ok.to_string(),
+        ])
+        .with_holds(ok)
     });
-    let all = collect_checked(&mut t, results);
+    let all = collect_rows(&mut t, results);
     t.note(format!("Lemma 10 holds on all instances: {all}"));
     t
 }
 
 /// E3: Lemma 11 diameters vs bound.
-pub fn e3(size: ExperimentSize, threads: usize) -> Table {
+pub fn e3(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E3",
         "Lemma 11: raked-component diameter vs 4(log_k n + 1) + 2",
         &["workload", "n", "k", "max-diameter", "bound", "holds"],
     );
-    let workloads = tree_workloads(size, threads);
-    let results = shard_map(threads, &k_sweep_jobs(&workloads), |&(w, k)| {
+    let workloads = tree_workloads(size, driver);
+    let results = driver.run_jobs("e3", &k_sweep_jobs(&workloads), |&(w, k)| {
         let (name, g) = &workloads[w];
         let rc = rake_compress(g, k);
         let d = raked_component_max_diameter(g, &rc);
         let bound = lemma11_bound(g.node_count(), k);
         let ok = d <= bound;
-        (
-            vec![
-                name.clone(),
-                g.node_count().to_string(),
-                k.to_string(),
-                d.to_string(),
-                bound.to_string(),
-                ok.to_string(),
-            ],
-            ok,
-        )
+        JobOutput::from_row(vec![
+            name.clone(),
+            g.node_count().to_string(),
+            k.to_string(),
+            d.to_string(),
+            bound.to_string(),
+            ok.to_string(),
+        ])
+        .with_holds(ok)
     });
-    let all = collect_checked(&mut t, results);
+    let all = collect_rows(&mut t, results);
     t.note(format!("Lemma 11 holds on all instances: {all}"));
     t
 }
 
-fn arb_workloads(size: ExperimentSize, threads: usize) -> Vec<(String, Graph, usize)> {
+fn arb_workloads(size: ExperimentSize, driver: &Driver) -> Vec<(String, Graph, usize)> {
     let scale = match size {
         ExperimentSize::Quick => 1usize,
         ExperimentSize::Full => 4,
@@ -153,7 +139,7 @@ fn arb_workloads(size: ExperimentSize, threads: usize) -> Vec<(String, Graph, us
     let side = 20 * scale;
     let n = 400 * scale * scale;
     let specs: [u8; 5] = [0, 1, 2, 3, 4];
-    shard_map(threads, &specs, |&kind| match kind {
+    driver.map(&specs, |&kind| match kind {
         0 => (format!("tree/{n}"), random_tree(n, 2), 1),
         1 => (format!("grid/{}x{}", side, side), grid(side, side), 2),
         2 => (format!("tri/{}x{}", side, side), triangulated_grid(side, side), 3),
@@ -163,48 +149,46 @@ fn arb_workloads(size: ExperimentSize, threads: usize) -> Vec<(String, Graph, us
 }
 
 /// E4: Lemma 13 iterations vs bound.
-pub fn e4(size: ExperimentSize, threads: usize) -> Table {
+pub fn e4(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E4",
         "Lemma 13: (b,k)-decomposition iterations vs ceil(10 log_{k/a} n)+1",
         &["workload", "n", "a", "k", "iterations", "bound", "holds"],
     );
-    let workloads = arb_workloads(size, threads);
+    let workloads = arb_workloads(size, driver);
     let jobs: Vec<(usize, usize)> =
         (0..workloads.len()).flat_map(|w| [5usize, 8].map(|mult| (w, mult))).collect();
-    let results = shard_map(threads, &jobs, |&(w, mult)| {
+    let results = driver.run_jobs("e4", &jobs, |&(w, mult)| {
         let (name, g, a) = &workloads[w];
         let k = mult * a;
         let d = arb_decompose(g, *a, k);
         let bound = lemma13_bound(g.node_count(), *a, k);
         let ok = u64::from(d.iterations) <= bound;
-        (
-            vec![
-                name.clone(),
-                g.node_count().to_string(),
-                a.to_string(),
-                k.to_string(),
-                d.iterations.to_string(),
-                bound.to_string(),
-                ok.to_string(),
-            ],
-            ok,
-        )
+        JobOutput::from_row(vec![
+            name.clone(),
+            g.node_count().to_string(),
+            a.to_string(),
+            k.to_string(),
+            d.iterations.to_string(),
+            bound.to_string(),
+            ok.to_string(),
+        ])
+        .with_holds(ok)
     });
-    let all = collect_checked(&mut t, results);
+    let all = collect_rows(&mut t, results);
     t.note(format!("Lemma 13 holds on all instances: {all}"));
     t
 }
 
 /// E5: Lemma 14 + atypical budget + star property.
-pub fn e5(size: ExperimentSize, threads: usize) -> Table {
+pub fn e5(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E5",
         "Lemma 14 & Section 4: typical degree <= k, atypical/node <= 2a, F_ij are stars",
         &["workload", "a", "k", "typ-deg", "atyp/node", "atyp-frac", "stars-ok"],
     );
-    let workloads = arb_workloads(size, threads);
-    let results = shard_map(threads, &workloads, |(name, g, a)| {
+    let workloads = arb_workloads(size, driver);
+    let results = driver.run_jobs("e5", &workloads, |(name, g, a)| {
         let k = 5 * a;
         let d = arb_decompose(g, *a, k);
         let typ = typical_max_degree(g, &d);
@@ -213,20 +197,18 @@ pub fn e5(size: ExperimentSize, threads: usize) -> Table {
         let stars = check_star_property(g, &d, &split);
         let frac = d.atypical_edges().len() as f64 / g.edge_count().max(1) as f64;
         let ok = typ <= k && per_node <= 2 * a && stars;
-        (
-            vec![
-                name.clone(),
-                a.to_string(),
-                k.to_string(),
-                typ.to_string(),
-                per_node.to_string(),
-                fnum(frac),
-                stars.to_string(),
-            ],
-            ok,
-        )
+        JobOutput::from_row(vec![
+            name.clone(),
+            a.to_string(),
+            k.to_string(),
+            typ.to_string(),
+            per_node.to_string(),
+            fnum(frac),
+            stars.to_string(),
+        ])
+        .with_holds(ok)
     });
-    let all = collect_checked(&mut t, results);
+    let all = collect_rows(&mut t, results);
     t.note(format!("all structural claims hold: {all}"));
     t
 }
@@ -237,12 +219,13 @@ mod tests {
 
     #[test]
     fn lemma_tables_report_success() {
+        let driver = Driver::sequential();
         for table in [
-            e1(ExperimentSize::Quick, 1),
-            e2(ExperimentSize::Quick, 1),
-            e3(ExperimentSize::Quick, 1),
-            e4(ExperimentSize::Quick, 1),
-            e5(ExperimentSize::Quick, 1),
+            e1(ExperimentSize::Quick, &driver),
+            e2(ExperimentSize::Quick, &driver),
+            e3(ExperimentSize::Quick, &driver),
+            e4(ExperimentSize::Quick, &driver),
+            e5(ExperimentSize::Quick, &driver),
         ] {
             assert!(!table.rows.is_empty());
             assert!(

@@ -9,12 +9,15 @@
 #![warn(missing_docs)]
 
 mod ablations;
+pub mod driver;
+mod journal;
 mod lemmas;
 mod shard;
 pub mod table;
 mod theorems;
 
-pub use shard::auto_threads;
+pub use driver::{Driver, DriverConfig, JobOutput};
+pub use shard::{auto_threads, shard_map};
 pub use table::Table;
 
 /// How large the experiment workloads should be.
@@ -52,25 +55,40 @@ pub fn run_experiment(id: &str, size: ExperimentSize) -> Vec<Table> {
 ///
 /// # Panics
 ///
-/// Panics on an unknown id (callers validate against
-/// [`all_experiment_ids`]) or if a pipeline produces an invalid solution —
-/// an invariant violation, not a reportable outcome.
+/// As [`run_experiment_with_driver`].
 pub fn run_experiment_with_threads(id: &str, size: ExperimentSize, threads: usize) -> Vec<Table> {
+    run_experiment_with_driver(id, size, &Driver::with_threads(threads))
+}
+
+/// Runs one experiment by id on `driver`, returning its table(s).
+///
+/// Every suite is a named resumable run: the driver pulls its job queue on
+/// pool workers, skips jobs already checkpointed in the driver's journal,
+/// and aggregates by job index — so a resumed run renders byte-identical
+/// tables (pinned by `tests/driver_resume.rs`).
+///
+/// # Panics
+///
+/// Panics on an unknown id (callers validate against
+/// [`all_experiment_ids`]), if a pipeline produces an invalid solution —
+/// an invariant violation, not a reportable outcome — or if the driver's
+/// journal becomes unwritable.
+pub fn run_experiment_with_driver(id: &str, size: ExperimentSize, driver: &Driver) -> Vec<Table> {
     match id {
-        "e1" => vec![lemmas::e1(size, threads)],
-        "e2" => vec![lemmas::e2(size, threads)],
-        "e3" => vec![lemmas::e3(size, threads)],
-        "e4" => vec![lemmas::e4(size, threads)],
-        "e5" => vec![lemmas::e5(size, threads)],
-        "e6" => vec![theorems::e6(size, threads)],
-        "e7" => vec![theorems::e7(size, threads)],
-        "e8" => vec![theorems::e8_executed(size, threads), theorems::e8_model(size)],
-        "e9" => vec![theorems::e9(size, threads)],
-        "e10" => vec![ablations::e10(size, threads)],
-        "e11" => vec![ablations::e11(size, threads), ablations::e11_model(size)],
-        "e12" => vec![ablations::e12(size, threads)],
-        "e13" => vec![theorems::e13(size, threads)],
-        "e14" => vec![ablations::e14(size, threads)],
+        "e1" => vec![lemmas::e1(size, driver)],
+        "e2" => vec![lemmas::e2(size, driver)],
+        "e3" => vec![lemmas::e3(size, driver)],
+        "e4" => vec![lemmas::e4(size, driver)],
+        "e5" => vec![lemmas::e5(size, driver)],
+        "e6" => vec![theorems::e6(size, driver)],
+        "e7" => vec![theorems::e7(size, driver)],
+        "e8" => vec![theorems::e8_executed(size, driver), theorems::e8_model(size)],
+        "e9" => vec![theorems::e9(size, driver)],
+        "e10" => vec![ablations::e10(size, driver)],
+        "e11" => vec![ablations::e11(size, driver), ablations::e11_model(size)],
+        "e12" => vec![ablations::e12(size, driver)],
+        "e13" => vec![theorems::e13(size, driver)],
+        "e14" => vec![ablations::e14(size, driver)],
         other => panic!("unknown experiment id {other:?}; known: {:?}", all_experiment_ids()),
     }
 }

@@ -23,7 +23,12 @@ pub fn auto_threads() -> usize {
 }
 
 /// Maps `f` over `jobs` on `threads` workers, results in job order.
-pub(crate) fn shard_map<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
+///
+/// This is the partition primitive the driver and every experiment suite
+/// build on: each job index is claimed by exactly one worker, and results
+/// are assembled **by job index**, so the output equals a sequential map
+/// for every pool size (pinned by `tests/shard_props.rs`).
+pub fn shard_map<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
 where
     J: Sync,
     R: Send,

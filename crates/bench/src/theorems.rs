@@ -9,12 +9,12 @@
 //! | E9 | Theorem 3: `O(a + log^{12/13} n)` on bounded arboricity (planar included) |
 //!
 //! The measured experiments run as independent `(instance, pipeline,
-//! seed)` jobs sharded via [`shard_map`](crate::shard::shard_map); rows
-//! (and fit samples) are aggregated in job order, so tables are identical
-//! for every pool size. The model tables (E8b) are arithmetic and stay
-//! sequential.
+//! seed)` jobs on the [`Driver`]'s queue — checkpointed, resumable, and
+//! aggregated (rows and fit samples alike) in job order, so tables are
+//! identical for every pool size and across crash-resume. The model
+//! tables (E8b) are arithmetic and stay sequential.
 
-use crate::shard::shard_map;
+use crate::driver::{collect_rows, Driver, JobOutput};
 use crate::table::{fnum, Table};
 use crate::ExperimentSize;
 use treelocal_algos::{DegColoringAlgo, MisAlgo};
@@ -39,7 +39,7 @@ fn log_over_loglog(n: usize) -> f64 {
 }
 
 /// E6: node problems on trees via Theorem 12.
-pub fn e6(size: ExperimentSize, threads: usize) -> Table {
+pub fn e6(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E6",
         "Theorem 12: MIS / (deg+1)-coloring on trees; rounds vs log n/log log n",
@@ -49,7 +49,7 @@ pub fn e6(size: ExperimentSize, threads: usize) -> Table {
     // regular trees, footnote 11).
     let jobs: Vec<(usize, u8)> =
         n_sweep(size).into_iter().flat_map(|n| [(n, 0u8), (n, 1)]).collect();
-    let results = shard_map(threads, &jobs, |&(n, kind)| {
+    let results = driver.run_jobs("e6", &jobs, |&(n, kind)| {
         let (shape, tree) = match kind {
             0 => ("random", random_tree(n, 7)),
             _ => ("bal-d8", treelocal_gen::balanced_regular_tree(8, n)),
@@ -61,8 +61,7 @@ pub fn e6(size: ExperimentSize, threads: usize) -> Table {
         let direct = direct_baseline(&Mis, &MisAlgo, &tree);
         let gather = gather_baseline_node(&Mis, &tree);
         let ll = log_over_loglog(n);
-        let sample = (shape == "random").then(|| ((n as f64).log2(), mis.total_rounds() as f64));
-        let row = vec![
+        let mut out = JobOutput::from_row(vec![
             shape.to_string(),
             n.to_string(),
             mis.params.k.to_string(),
@@ -71,14 +70,15 @@ pub fn e6(size: ExperimentSize, threads: usize) -> Table {
             col.total_rounds().to_string(),
             direct.total_rounds().to_string(),
             gather.total_rounds().to_string(),
-        ];
-        (row, sample)
+        ]);
+        if shape == "random" {
+            out = out.with_sample(((n as f64).log2(), mis.total_rounds() as f64));
+        }
+        out
     });
-    let mut samples = Vec::new();
-    for (row, sample) in results {
-        samples.extend(sample);
-        t.row(row);
-    }
+    let samples: Vec<(f64, f64)> =
+        results.iter().flat_map(|out| out.samples.iter().copied()).collect();
+    collect_rows(&mut t, results);
     if samples.len() >= 2 {
         let ratios: Vec<f64> = samples.iter().map(|&(l2n, r)| r / (l2n / l2n.log2())).collect();
         let (lo, hi) =
@@ -96,7 +96,7 @@ pub fn e6(size: ExperimentSize, threads: usize) -> Table {
 
 /// E13: `(deg+1)`-list coloring on trees via Theorem 12 (the MT20-style
 /// list problem the paper's footnote 9 points at).
-pub fn e13(size: ExperimentSize, threads: usize) -> Table {
+pub fn e13(size: ExperimentSize, driver: &Driver) -> Table {
     use treelocal_algos::ListColoringAlgo;
     use treelocal_problems::ListColoring;
     let mut t = Table::new(
@@ -105,7 +105,7 @@ pub fn e13(size: ExperimentSize, threads: usize) -> Table {
         &["n", "k", "rounds", "rounds/LL", "valid"],
     );
     let jobs = n_sweep(size);
-    let rows = shard_map(threads, &jobs, |&n| {
+    let results = driver.run_jobs("e13", &jobs, |&n| {
         let tree = random_tree(n, 19);
         // Non-contiguous per-node lists with exactly deg+1 entries.
         let lists: Vec<Vec<u32>> = tree
@@ -120,52 +120,47 @@ pub fn e13(size: ExperimentSize, threads: usize) -> Table {
         let out = TreeTransform::new(&p, &ListColoringAlgo).run(&tree);
         assert!(out.valid);
         let ll = log_over_loglog(n);
-        vec![
+        JobOutput::from_row(vec![
             n.to_string(),
             out.params.k.to_string(),
             out.total_rounds().to_string(),
             fnum(out.total_rounds() as f64 / ll),
             out.valid.to_string(),
-        ]
+        ])
     });
-    for row in rows {
-        t.row(row);
-    }
+    collect_rows(&mut t, results);
     t.note("list constraints are per-node inputs; the transform machinery is unchanged (class P1)");
     t
 }
 
 /// E7: maximal matching on trees via Theorem 15.
-pub fn e7(size: ExperimentSize, threads: usize) -> Table {
+pub fn e7(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E7",
         "Section 5.2: maximal matching on trees, O(log n/log log n)",
         &["n", "k", "executed", "charged(PR01)", "charged/LL", "valid"],
     );
     let jobs = n_sweep(size);
-    let results = shard_map(threads, &jobs, |&n| {
+    let results = driver.run_jobs("e7", &jobs, |&n| {
         let tree = random_tree(n, 11);
         let (out, matching) = matching_on_tree(&tree);
         assert!(out.valid);
         assert!(classic::is_valid_maximal_matching(&tree, &matching));
         let charged = out.total_charged().unwrap_or(0);
         let ll = log_over_loglog(n);
-        let sample = ((n as f64).log2(), charged as f64);
-        let row = vec![
+        JobOutput::from_row(vec![
             n.to_string(),
             out.params.k.to_string(),
             out.total_rounds().to_string(),
             charged.to_string(),
             fnum(charged as f64 / ll),
             out.valid.to_string(),
-        ];
-        (row, sample)
+        ])
+        .with_sample(((n as f64).log2(), charged as f64))
     });
-    let mut samples = Vec::new();
-    for (row, sample) in results {
-        samples.push(sample);
-        t.row(row);
-    }
+    let samples: Vec<(f64, f64)> =
+        results.iter().flat_map(|out| out.samples.iter().copied()).collect();
+    collect_rows(&mut t, results);
     if samples.len() >= 2 {
         let ratios: Vec<f64> = samples.iter().map(|&(l2n, r)| r / (l2n / l2n.log2())).collect();
         let (lo, hi) =
@@ -178,31 +173,29 @@ pub fn e7(size: ExperimentSize, threads: usize) -> Table {
 }
 
 /// E8a: the executed Theorem 3 pipeline at simulable sizes.
-pub fn e8_executed(size: ExperimentSize, threads: usize) -> Table {
+pub fn e8_executed(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E8a",
         "Theorem 3 executed: (edge-degree+1)-edge coloring on trees",
         &["n", "k", "executed", "charged(BBKO)", "mis-rounds", "valid"],
     );
     let jobs = n_sweep(size);
-    let rows = shard_map(threads, &jobs, |&n| {
+    let results = driver.run_jobs("e8a", &jobs, |&n| {
         let tree = random_tree(n, 13);
         let (out, colors) = edge_coloring_on_tree(&tree);
         assert!(out.valid);
         assert!(classic::is_valid_edge_degree_coloring(&tree, &colors));
         let (mis, _) = mis_on_tree(&tree);
-        vec![
+        JobOutput::from_row(vec![
             n.to_string(),
             out.params.k.to_string(),
             out.total_rounds().to_string(),
             out.total_charged().unwrap_or(0).to_string(),
             mis.total_rounds().to_string(),
             out.valid.to_string(),
-        ]
+        ])
     });
-    for row in rows {
-        t.row(row);
-    }
+    collect_rows(&mut t, results);
     t.note("at simulable n the asymptotic separation is not yet visible (see E8b)");
     t
 }
@@ -236,7 +229,7 @@ pub fn e8_model(_size: ExperimentSize) -> Table {
 }
 
 /// E9: Theorem 3 on bounded-arboricity graphs.
-pub fn e9(size: ExperimentSize, threads: usize) -> Table {
+pub fn e9(size: ExperimentSize, driver: &Driver) -> Table {
     let mut t = Table::new(
         "E9",
         "Theorem 3 arboricity: O(a + log^{12/13} n) incl. planar-style graphs",
@@ -250,17 +243,17 @@ pub fn e9(size: ExperimentSize, threads: usize) -> Table {
     let n = 900 * scale * scale;
     let specs: [u8; 4] = [0, 1, 2, 3];
     let workloads: Vec<(String, treelocal_graph::Graph, usize)> =
-        shard_map(threads, &specs, |&kind| match kind {
+        driver.map(&specs, |&kind| match kind {
             0 => (format!("grid/{side}x{side}"), grid(side, side), 2),
             1 => (format!("tri/{side}x{side}"), triangulated_grid(side, side), 3),
             2 => (format!("union2/{n}"), random_arboricity_graph(n, 2, 5), 2),
             _ => (format!("union4/{n}"), random_arboricity_graph(n, 4, 5), 4),
         });
-    let rows = shard_map(threads, &workloads, |(name, g, a)| {
+    let results = driver.run_jobs("e9", &workloads, |(name, g, a)| {
         let (out, colors) = edge_coloring_bounded_arboricity(g, *a);
         assert!(out.valid, "{name}");
         assert!(classic::is_valid_edge_degree_coloring(g, &colors), "{name}");
-        vec![
+        JobOutput::from_row(vec![
             name.clone(),
             g.node_count().to_string(),
             a.to_string(),
@@ -271,11 +264,9 @@ pub fn e9(size: ExperimentSize, threads: usize) -> Table {
             out.executed.rounds_of("star-groups(Alg4)").to_string(),
             out.total_rounds().to_string(),
             out.valid.to_string(),
-        ]
+        ])
     });
-    for row in rows {
-        t.row(row);
-    }
+    collect_rows(&mut t, results);
     t.note("star-groups grows linearly with a (the O(a) term); the rest is n-driven");
     t
 }
@@ -286,12 +277,13 @@ mod tests {
 
     #[test]
     fn theorem_tables_quick() {
+        let driver = Driver::sequential();
         for table in [
-            e6(ExperimentSize::Quick, 1),
-            e7(ExperimentSize::Quick, 1),
-            e8_executed(ExperimentSize::Quick, 1),
+            e6(ExperimentSize::Quick, &driver),
+            e7(ExperimentSize::Quick, &driver),
+            e8_executed(ExperimentSize::Quick, &driver),
             e8_model(ExperimentSize::Quick),
-            e9(ExperimentSize::Quick, 1),
+            e9(ExperimentSize::Quick, &driver),
         ] {
             assert!(!table.rows.is_empty(), "{}", table.id);
         }

@@ -116,6 +116,7 @@ impl<S> ExecCore<S> {
             "algorithm did not halt within {max_rounds} rounds (still {} active)",
             self.frontier.len()
         );
+        crate::counters::record_round(self.frontier.len() as u64);
         self.rounds += 1;
         self.rounds
     }

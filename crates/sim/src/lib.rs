@@ -10,8 +10,10 @@
 //! * [`RoundReport`] — per-phase accounting used by every pipeline,
 //! * [`gather_rounds_at`] and friends — the honest cost of the paper's
 //!   "gather the component at its highest node" steps,
-//! * [`log_star_f64`] / [`ceil_log`] — the complexity-function helpers, and
-//! * [`next_prime`] — support for Linial-style color reduction.
+//! * [`log_star_f64`] / [`ceil_log`] — the complexity-function helpers,
+//! * [`next_prime`] — support for Linial-style color reduction, and
+//! * [`counters`] — process-wide round/node-step counters that progress
+//!   reporters (the `treelocal-bench` driver) read.
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 mod engine;
 mod exec_core;
 mod gather;
