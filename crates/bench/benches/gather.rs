@@ -1,0 +1,98 @@
+//! Criterion smoke for the gather-costing eccentricity cache: the
+//! per-center sparse-BFS loop versus one `GatherPlan` pass, on the
+//! workloads where gather costing is actually hot.
+//!
+//! Two shapes:
+//!
+//! * `gather_all_centers` — a caterpillar *forest* (many medium
+//!   components, the Theorem 12 residual-layer shape): costing every node
+//!   as a center is `O(n · component)` with per-center BFS but `O(n)`
+//!   with the plan, so both sides are fully measurable at 1M nodes.
+//! * `gather_deep_caterpillar` — one million-node Θ(n)-diameter
+//!   caterpillar: the full per-center loop would be `O(n²)` (days), so
+//!   the BFS side is a deterministic 64-center sample while the plan
+//!   side still costs **all** 1,000,000 centers — and should win anyway.
+//!
+//! `BENCH_gather.json` records a run of this file (see its note for the
+//! profile); the acceptance bar is plan ≥ 5× the per-center loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelocal_gen::caterpillar;
+use treelocal_graph::{Graph, NodeId};
+use treelocal_sim::{gather_rounds_at, GatherPlan};
+
+/// A forest of `count` disjoint caterpillars (spine `spine`, `legs` legs
+/// per spine node) as one graph — the many-components gather workload.
+fn caterpillar_forest(count: usize, spine: usize, legs: usize) -> Graph {
+    let per = spine * (1 + legs);
+    let mut edges = Vec::with_capacity(count * (per - 1));
+    for c in 0..count {
+        let base = c * per;
+        for i in 0..spine - 1 {
+            edges.push((base + i, base + i + 1));
+        }
+        let mut next = base + spine;
+        for s in 0..spine {
+            for _ in 0..legs {
+                edges.push((base + s, next));
+                next += 1;
+            }
+        }
+    }
+    Graph::from_edges(count * per, &edges).expect("disjoint caterpillars form a simple forest")
+}
+
+/// Every node costed as a gather center, one sparse BFS each (the
+/// pre-cache implementation of the costing loops).
+fn all_centers_bfs(g: &Graph) -> u64 {
+    g.node_ids().iter().map(|&v| gather_rounds_at(g, v)).max().unwrap_or(0)
+}
+
+/// Every node costed as a gather center through one `GatherPlan`.
+fn all_centers_plan(g: &Graph) -> u64 {
+    let plan = GatherPlan::new(g);
+    g.node_ids().iter().map(|&v| plan.rounds_at(v)).max().unwrap_or(0)
+}
+
+fn bench_all_centers_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_all_centers");
+    // 256-node components (64-node spines, 3 legs each), scaled from 64k
+    // to 1M total nodes.
+    for &count in &[256usize, 4096] {
+        let g = caterpillar_forest(count, 64, 3);
+        let n = g.node_count();
+        assert_eq!(all_centers_bfs(&g), all_centers_plan(&g), "cache must be byte-identical");
+        group.bench_with_input(BenchmarkId::new("per_center_bfs", n), &g, |b, g| {
+            b.iter(|| all_centers_bfs(g))
+        });
+        group.bench_with_input(BenchmarkId::new("gather_plan", n), &g, |b, g| {
+            b.iter(|| all_centers_plan(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_caterpillar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_deep_caterpillar");
+    let n = 1_000_000usize;
+    let g = caterpillar(n / 2, 1);
+    // 64 deterministic sample centers for the BFS side (the full loop is
+    // O(n²) here); the plan side costs every node.
+    let sample: Vec<NodeId> = (0..64).map(|i| NodeId::new((i * 31_415) % n)).collect();
+    {
+        let plan = GatherPlan::new(&g);
+        for &v in &sample {
+            assert_eq!(plan.rounds_at(v), gather_rounds_at(&g, v), "cache must be byte-identical");
+        }
+    }
+    group.bench_with_input(BenchmarkId::new("per_center_bfs_64_sample", n), &g, |b, g| {
+        b.iter(|| sample.iter().map(|&v| gather_rounds_at(g, v)).max().unwrap_or(0))
+    });
+    group.bench_with_input(BenchmarkId::new("gather_plan_all_centers", n), &g, |b, g| {
+        b.iter(|| all_centers_plan(g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_centers_forest, bench_deep_caterpillar);
+criterion_main!(benches);

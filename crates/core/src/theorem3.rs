@@ -5,7 +5,14 @@
 //!
 //! Each entry point wires the appropriate problem, inner algorithm,
 //! charged literature model and `ρ` together, runs the pipeline, and
-//! extracts the classic solution.
+//! extracts the classic solution. The tree pipelines cost their
+//! gather-residual phase through [`treelocal_sim::GatherPlan`]'s
+//! component-level eccentricity cache (see `TreeTransform`) — round
+//! counts are unchanged (pinned by the bench crate's golden fixture).
+//! With one gather center per residual component the plan costs about
+//! what the former per-center BFS did; its speedup materializes on
+//! all-centers workloads (the gather bench and the million-node smoke
+//! tier), where one component pass replaces a BFS per queried center.
 
 use crate::arb_transform::ArbTransform;
 use crate::report::TransformOutcome;

@@ -24,7 +24,7 @@ use treelocal_algos::{ChargedModel, GlobalCtx, TrulyLocal};
 use treelocal_decomp::{rake_compress, RakeCompress};
 use treelocal_graph::{components, Graph, NodeId};
 use treelocal_problems::{solve_nodes_sequential, verify_graph, NodeSequential, Problem};
-use treelocal_sim::{gather_rounds_at, log_star_u64, RoundReport};
+use treelocal_sim::{log_star_u64, GatherPlan, RoundReport};
 
 /// The Theorem 12 pipeline, configured with a problem and an inner
 /// algorithm.
@@ -125,9 +125,13 @@ where
         executed.absorb("A", &rep_a);
 
         // Phase 3: Π× on the components of T_R, each gathered at its
-        // highest node and completed by the P1 sequential process.
+        // highest node and completed by the P1 sequential process. The
+        // GatherPlan costs each component with one eccentricity pass
+        // (byte-identical to the former BFS per center, pinned by the
+        // gather_equiv suite and the golden round-count fixture).
         let order = rc.layer_order();
         let cc = components(&tr);
+        let gather_plan = GatherPlan::new(&tr);
         let mut max_gather = 0u64;
         for c in 0..cc.count() {
             let mut members: Vec<NodeId> = cc.members(c).to_vec();
@@ -137,7 +141,7 @@ where
                 ky.cmp(&kx) // highest first
             });
             let center = members[0];
-            max_gather = max_gather.max(gather_rounds_at(&tr, center));
+            max_gather = max_gather.max(gather_plan.rounds_at(center));
             solve_nodes_sequential(self.problem, tree, &members, &mut labeling)
                 .expect("P1 guarantees the edge-list variant is solvable");
         }

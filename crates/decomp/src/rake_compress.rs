@@ -17,7 +17,7 @@
 //! which the test suite asserts.
 
 use crate::order::LayerOrder;
-use treelocal_graph::{components, Graph, NodeId, SemiGraph, Topology};
+use treelocal_graph::{Graph, NodeId, SemiGraph, Topology};
 use treelocal_sim::{ceil_log, run, Ctx, Snapshot, SyncAlgorithm, Verdict};
 
 /// Which operation marked a node.
@@ -198,17 +198,14 @@ pub fn check_lemma10(g: &Graph, rc: &RakeCompress) -> bool {
 /// The Lemma 11 quantity: the maximum diameter over connected components
 /// of the graph induced by the raked nodes.
 ///
-/// Exact: raked components are subtrees of the input tree, so the sparse
-/// double sweep computes each diameter exactly in linear time.
+/// Exact: raked components are subtrees of the input tree, and a tree
+/// component's diameter is the maximum eccentricity over its members, so
+/// one all-node eccentricity pass (the same rerooting DP backing the
+/// gather costing cache) covers every component in linear total time —
+/// no per-component double sweep, and no `components()` partition at all.
 pub fn raked_component_max_diameter(g: &Graph, rc: &RakeCompress) -> u32 {
     let tr = rc.raked_semigraph(g);
-    let cc = components(&tr);
-    let mut worst = 0;
-    for c in 0..cc.count() {
-        let start = cc.members(c)[0];
-        worst = worst.max(treelocal_graph::tree_component_diameter_sparse(&tr, start));
-    }
-    worst
+    treelocal_graph::all_eccentricities(&tr).max()
 }
 
 /// The Lemma 11 bound `4(log_k n + 1) + 2`.

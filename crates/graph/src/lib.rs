@@ -33,6 +33,7 @@
 
 mod adjacency;
 mod arboricity;
+mod eccentricity;
 mod forest;
 mod ids;
 mod semigraph;
@@ -44,13 +45,17 @@ pub use arboricity::{
     degeneracy, density_lower_bound, forest_partition, is_forest_partition, ForestPartition,
     Peeling,
 };
+pub use eccentricity::{
+    all_eccentricities, component_eccentricities, Eccentricities, ECC_UNCOMPUTED,
+};
 pub use forest::{is_forest, is_tree, root_forest, RootedForest};
 pub use ids::{EdgeId, HalfEdge, NodeId, Side};
 pub use semigraph::SemiGraph;
 pub use topology::Topology;
 pub use traversal::{
     bfs_distances, component_diameter_double_sweep, component_diameter_exact, components,
-    eccentricity, eccentricity_sparse, farthest_from, tree_component_diameter_sparse, Components,
+    eccentricity, eccentricity_sparse, farthest_from, sparse_bfs_farthest,
+    tree_component_diameter_sparse, Components,
 };
 
 use std::error::Error;

@@ -156,8 +156,10 @@ thread_local! {
 /// maximum distance**, where neighbors are visited in adjacency-list
 /// order — deterministic, and identical to the previous `HashMap`-keyed
 /// implementation (the map only ever gated visitation; the queue order
-/// decided ties).
-fn sparse_bfs_farthest<T: Topology>(topo: &T, v: NodeId) -> (NodeId, u32) {
+/// decided ties). The all-node eccentricity pass
+/// ([`all_eccentricities`](crate::all_eccentricities)) pins its own
+/// tie-break to this function, so the two are interchangeable per node.
+pub fn sparse_bfs_farthest<T: Topology>(topo: &T, v: NodeId) -> (NodeId, u32) {
     SPARSE_BFS.with(|cell| {
         let scratch = &mut *cell.borrow_mut();
         if scratch.dist.len() < topo.index_space() {

@@ -6,49 +6,188 @@
 //! LOCAL model this costs `ecc` rounds to collect plus `ecc` rounds to
 //! redistribute, where `ecc` is the eccentricity of the collector within
 //! its component. This module computes that cost exactly.
+//!
+//! [`gather_rounds_at`] is the uncached single-query primitive (one sparse
+//! BFS per call). Pipelines that cost a whole *family* of components —
+//! Theorem 12's residual loop, the experiment suites — go through a
+//! [`GatherPlan`]: a component-keyed eccentricity cache that fills each
+//! component with one linear pass (the rerooting DP of
+//! [`treelocal_graph::component_eccentricities`]) the first time any of
+//! its members is queried, after which every further center in that
+//! component is O(1). The costs are **byte-identical** to the uncached
+//! BFS per center — the DP pins the same farthest-node tie-break — which
+//! the `gather_equiv` property suite and the golden round-count fixture
+//! both enforce.
 
-use treelocal_graph::{eccentricity_sparse, NodeId, Topology};
+use std::cell::RefCell;
+use treelocal_graph::{component_eccentricities, eccentricity_sparse, NodeId, Topology};
 
 /// Rounds for one component gathered at `center`: `2 · ecc(center)`.
+///
+/// Uncached: one sparse BFS per call. Use a [`GatherPlan`] when costing
+/// many centers over the same topology.
 pub fn gather_rounds_at<T: Topology>(topo: &T, center: NodeId) -> u64 {
     2 * u64::from(eccentricity_sparse(topo, center))
+}
+
+/// A component-keyed eccentricity cache over one topology.
+///
+/// The first query touching a component computes the eccentricity of
+/// **every** node of that component in one linear pass; later queries in
+/// the same component are table lookups. Untouched components cost
+/// nothing, so building a plan is free and a plan used for a single
+/// center degenerates to (a constant factor of) the plain BFS.
+///
+/// # Determinism contract
+///
+/// For every node, the cached eccentricity (and farthest node) equals
+/// what [`gather_rounds_at`]'s sparse BFS would report — tie-break
+/// included — so swapping a plan into a costing loop never changes a
+/// reported round count. Property tests
+/// (`crates/sim/tests/gather_equiv.rs`) pin this per node; the bench
+/// crate's golden fixture pins it end-to-end through the E-tables.
+///
+/// # Examples
+///
+/// ```
+/// use treelocal_graph::{Graph, NodeId};
+/// use treelocal_sim::{gather_rounds_at, GatherPlan};
+/// let path = Graph::from_edges(5, &(0..4).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+/// let plan = GatherPlan::new(&path);
+/// assert_eq!(plan.rounds_at(NodeId::new(0)), 8);
+/// assert_eq!(plan.rounds_at(NodeId::new(2)), gather_rounds_at(&path, NodeId::new(2)));
+/// ```
+pub struct GatherPlan<'t, T: Topology> {
+    topo: &'t T,
+    /// Index-keyed cache; `ECC_UNCOMPUTED` marks untouched components.
+    /// Interior mutability keeps the costing API `&self` like the free
+    /// functions it replaces (plans are per-thread values, not shared).
+    ecc: RefCell<Vec<u32>>,
+    far: RefCell<Vec<NodeId>>,
+}
+
+impl<'t, T: Topology> GatherPlan<'t, T> {
+    /// Creates an empty plan over `topo` (no eccentricities are computed
+    /// until a component is first queried).
+    pub fn new(topo: &'t T) -> Self {
+        GatherPlan {
+            topo,
+            ecc: RefCell::new(vec![treelocal_graph::ECC_UNCOMPUTED; topo.index_space()]),
+            // Placeholder entries: `component_eccentricities` writes every
+            // member's farthest node before `farthest` can read it.
+            far: RefCell::new(vec![NodeId::new(0); topo.index_space()]),
+        }
+    }
+
+    /// The eccentricity of `v` within its component, filling the
+    /// component's cache entries on first touch.
+    pub fn eccentricity(&self, v: NodeId) -> u32 {
+        let mut ecc = self.ecc.borrow_mut();
+        if ecc[v.index()] == treelocal_graph::ECC_UNCOMPUTED {
+            component_eccentricities(self.topo, v, &mut ecc, &mut self.far.borrow_mut());
+        }
+        ecc[v.index()]
+    }
+
+    /// The farthest node from `v` and its distance — identical to
+    /// [`treelocal_graph::sparse_bfs_farthest`], tie-break included.
+    pub fn farthest(&self, v: NodeId) -> (NodeId, u32) {
+        let e = self.eccentricity(v);
+        (self.far.borrow()[v.index()], e)
+    }
+
+    /// Rounds for one component gathered at `center`: `2 · ecc(center)`.
+    pub fn rounds_at(&self, center: NodeId) -> u64 {
+        2 * u64::from(self.eccentricity(center))
+    }
+
+    /// Applies `pick_center` to one component and enforces membership (a
+    /// foreign center would silently charge the wrong component's
+    /// eccentricity — a hard error in every build profile).
+    fn checked_center(
+        comp: &[NodeId],
+        pick_center: &mut impl FnMut(&[NodeId]) -> NodeId,
+    ) -> NodeId {
+        let center = pick_center(comp);
+        assert!(
+            comp.contains(&center),
+            "gather center {center:?} is not a member of its component \
+             (pick_center must choose within the component it is given)"
+        );
+        center
+    }
+
+    /// Cached variant of [`parallel_gather_rounds`]: the worst
+    /// single-component cost over the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pick_center` returns a node outside its component.
+    pub fn parallel_rounds(
+        &self,
+        components: impl IntoIterator<Item = Vec<NodeId>>,
+        mut pick_center: impl FnMut(&[NodeId]) -> NodeId,
+    ) -> u64 {
+        let mut worst = 0u64;
+        for comp in components {
+            worst = worst.max(self.rounds_at(Self::checked_center(&comp, &mut pick_center)));
+        }
+        worst
+    }
+
+    /// Cached variant of [`sequential_gather_rounds`]: the sum of
+    /// per-component costs, each at least one coordination round.
+    ///
+    /// # Panics
+    ///
+    /// As [`parallel_rounds`](GatherPlan::parallel_rounds).
+    pub fn sequential_rounds(
+        &self,
+        components: impl IntoIterator<Item = Vec<NodeId>>,
+        mut pick_center: impl FnMut(&[NodeId]) -> NodeId,
+    ) -> u64 {
+        let mut total = 0u64;
+        for comp in components {
+            total += self.rounds_at(Self::checked_center(&comp, &mut pick_center)).max(1);
+        }
+        total
+    }
 }
 
 /// Rounds for solving a family of components *in parallel*, each gathered at
 /// the center chosen by `pick_center`: the maximum single-component cost.
 ///
 /// `component_members` must list each component's nodes; centers must be
-/// members of their component.
+/// members of their component. Costed through a [`GatherPlan`], so the
+/// family is filled one component-pass at a time instead of one BFS per
+/// center; results are byte-identical to the uncached loop.
+///
+/// # Panics
+///
+/// Panics if `pick_center` returns a node outside its component.
 pub fn parallel_gather_rounds<T: Topology>(
     topo: &T,
     components: impl IntoIterator<Item = Vec<NodeId>>,
-    mut pick_center: impl FnMut(&[NodeId]) -> NodeId,
+    pick_center: impl FnMut(&[NodeId]) -> NodeId,
 ) -> u64 {
-    let mut worst = 0u64;
-    for comp in components {
-        let center = pick_center(&comp);
-        debug_assert!(comp.contains(&center), "center must belong to the component");
-        worst = worst.max(gather_rounds_at(topo, center));
-    }
-    worst
+    GatherPlan::new(topo).parallel_rounds(components, pick_center)
 }
 
 /// Rounds for solving a family of components *sequentially* (one after the
 /// other, as Algorithm 4 does with the `2a · 3` star-forest groups): the sum
 /// of the per-component costs, where each gather costs at least one round of
-/// coordination even for singleton components.
+/// coordination even for singleton components. Costed through a
+/// [`GatherPlan`] like [`parallel_gather_rounds`].
+///
+/// # Panics
+///
+/// Panics if `pick_center` returns a node outside its component.
 pub fn sequential_gather_rounds<T: Topology>(
     topo: &T,
     components: impl IntoIterator<Item = Vec<NodeId>>,
-    mut pick_center: impl FnMut(&[NodeId]) -> NodeId,
+    pick_center: impl FnMut(&[NodeId]) -> NodeId,
 ) -> u64 {
-    let mut total = 0u64;
-    for comp in components {
-        let center = pick_center(&comp);
-        debug_assert!(comp.contains(&center));
-        total += gather_rounds_at(topo, center).max(1);
-    }
-    total
+    GatherPlan::new(topo).sequential_rounds(components, pick_center)
 }
 
 /// Picks the component member with the maximum LOCAL identifier — the
@@ -87,6 +226,27 @@ mod tests {
     }
 
     #[test]
+    fn plan_matches_uncached_costs_per_center() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (5, 6)]).unwrap();
+        let plan = GatherPlan::new(&g);
+        for &v in g.node_ids() {
+            assert_eq!(plan.rounds_at(v), gather_rounds_at(&g, v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn plan_fills_components_lazily_and_consistently() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let plan = GatherPlan::new(&g);
+        // Query both endpoints of one component, then the other component.
+        assert_eq!(plan.rounds_at(NodeId::new(0)), 4);
+        assert_eq!(plan.rounds_at(NodeId::new(2)), 4);
+        assert_eq!(plan.rounds_at(NodeId::new(1)), 2);
+        assert_eq!(plan.rounds_at(NodeId::new(4)), 2);
+        assert_eq!(plan.farthest(NodeId::new(3)), (NodeId::new(5), 2));
+    }
+
+    #[test]
     fn highest_id_center_picks_max_id() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let mut pick = highest_id_center(&g);
@@ -101,5 +261,25 @@ mod tests {
         let g = Graph::from_edges(4, &(0..3).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
         let s = SemiGraph::induced_by_nodes(&g, |v| v.index() <= 1);
         assert_eq!(gather_rounds_at(&s, NodeId::new(0)), 2);
+        let plan = GatherPlan::new(&s);
+        assert_eq!(plan.rounds_at(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member of its component")]
+    fn parallel_rejects_foreign_center() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let _ = parallel_gather_rounds(&g, vec![vec![NodeId::new(0), NodeId::new(1)]], |_| {
+            NodeId::new(3)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member of its component")]
+    fn sequential_rejects_foreign_center() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let _ = sequential_gather_rounds(&g, vec![vec![NodeId::new(2), NodeId::new(3)]], |_| {
+            NodeId::new(0)
+        });
     }
 }

@@ -8,8 +8,9 @@
 //! * [`SyncAlgorithm`] / [`run`] — per-node state machines executed in
 //!   lockstep with exact round counting,
 //! * [`RoundReport`] — per-phase accounting used by every pipeline,
-//! * [`gather_rounds_at`] and friends — the honest cost of the paper's
-//!   "gather the component at its highest node" steps,
+//! * [`gather_rounds_at`] and the [`GatherPlan`] eccentricity cache — the
+//!   honest cost of the paper's "gather the component at its highest
+//!   node" steps, one linear pass per costed component,
 //! * [`log_star_f64`] / [`ceil_log`] — the complexity-function helpers,
 //! * [`next_prime`] — support for Linial-style color reduction, and
 //! * [`counters`] — process-wide round/node-step counters that progress
@@ -65,6 +66,7 @@ pub use engine::{run, Ctx, ParSafe, RunOutcome, Snapshot, SyncAlgorithm, Verdict
 pub use exec_core::ExecCore;
 pub use gather::{
     gather_rounds_at, highest_id_center, parallel_gather_rounds, sequential_gather_rounds,
+    GatherPlan,
 };
 pub use logstar::{ceil_log, log_star_f64, log_star_u64};
 pub use msg_engine::{run_messages, MessageAlgorithm};

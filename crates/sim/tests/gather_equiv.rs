@@ -1,0 +1,155 @@
+//! Equivalence properties pinning the `GatherPlan` eccentricity cache
+//! byte-identical to the uncached per-center BFS.
+//!
+//! The cache replaces one sparse BFS per gather center with one rerooting
+//! pass per component, so every number it feeds into round accounting must
+//! match the BFS **exactly** — eccentricities, the farthest-node
+//! tie-break, and the aggregate parallel/sequential costs under every
+//! center-picking rule. These properties exercise random Prüfer forests,
+//! caterpillars, stars and paths (with permuted identifier assignments so
+//! "highest id" is not node order), semi-graph restrictions, and
+//! cyclic topologies (the non-tree fallback path).
+
+use proptest::prelude::*;
+use treelocal_gen::{caterpillar, path, random_forest, relabel, star, IdStrategy};
+use treelocal_graph::{components, sparse_bfs_farthest, Graph, NodeId, SemiGraph, Topology};
+use treelocal_sim::{
+    gather_rounds_at, highest_id_center, parallel_gather_rounds, sequential_gather_rounds,
+    GatherPlan,
+};
+
+/// The pre-cache implementation of `parallel_gather_rounds`: one BFS per
+/// center, worst component wins.
+fn parallel_uncached<T: Topology>(
+    topo: &T,
+    comps: &[Vec<NodeId>],
+    mut pick: impl FnMut(&[NodeId]) -> NodeId,
+) -> u64 {
+    comps.iter().map(|c| gather_rounds_at(topo, pick(c))).max().unwrap_or(0)
+}
+
+/// The pre-cache implementation of `sequential_gather_rounds`.
+fn sequential_uncached<T: Topology>(
+    topo: &T,
+    comps: &[Vec<NodeId>],
+    mut pick: impl FnMut(&[NodeId]) -> NodeId,
+) -> u64 {
+    comps.iter().map(|c| gather_rounds_at(topo, pick(c)).max(1)).sum()
+}
+
+/// Asserts the full equivalence contract on one topology (the vendored
+/// proptest's `prop_assert!` panics on failure, so this returns unit).
+fn assert_gather_equivalence<T: Topology>(topo: &T) {
+    // Per-center: cached cost and farthest pair equal the direct BFS for
+    // every participating node.
+    let plan = GatherPlan::new(topo);
+    for &v in topo.nodes() {
+        prop_assert_eq!(plan.rounds_at(v), gather_rounds_at(topo, v), "center {:?}", v);
+        prop_assert_eq!(plan.farthest(v), sparse_bfs_farthest(topo, v), "farthest {:?}", v);
+    }
+    // Aggregates: cached free functions equal the uncached loops under
+    // both center strategies (paper's highest-id rule and a positional
+    // rule that often lands on component boundaries).
+    let comps: Vec<Vec<NodeId>> = components(topo).iter().map(<[NodeId]>::to_vec).collect();
+    let first = |c: &[NodeId]| c[0];
+    prop_assert_eq!(
+        parallel_gather_rounds(topo, comps.clone(), highest_id_center(topo)),
+        parallel_uncached(topo, &comps, highest_id_center(topo))
+    );
+    prop_assert_eq!(
+        parallel_gather_rounds(topo, comps.clone(), first),
+        parallel_uncached(topo, &comps, first)
+    );
+    prop_assert_eq!(
+        sequential_gather_rounds(topo, comps.clone(), highest_id_center(topo)),
+        sequential_uncached(topo, &comps, highest_id_center(topo))
+    );
+    prop_assert_eq!(
+        sequential_gather_rounds(topo, comps.clone(), first),
+        sequential_uncached(topo, &comps, first)
+    );
+    // One shared plan across both aggregates reuses component fills.
+    let shared = GatherPlan::new(topo);
+    prop_assert_eq!(
+        shared.parallel_rounds(comps.clone(), highest_id_center(topo)),
+        parallel_uncached(topo, &comps, highest_id_center(topo))
+    );
+    prop_assert_eq!(
+        shared.sequential_rounds(comps.clone(), highest_id_center(topo)),
+        sequential_uncached(topo, &comps, highest_id_center(topo))
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prufer_forests_cost_identically(
+        n in 2usize..180,
+        frac_pct in 0u32..101,
+        seed in any::<u64>(),
+    ) {
+        let frac = f64::from(frac_pct) / 100.0;
+        let g = relabel(&random_forest(n, frac, seed), IdStrategy::Permuted { seed });
+        assert_gather_equivalence(&g);
+    }
+
+    #[test]
+    fn caterpillars_cost_identically(
+        spine in 1usize..40,
+        legs in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = relabel(&caterpillar(spine, legs), IdStrategy::Permuted { seed });
+        assert_gather_equivalence(&g);
+    }
+
+    #[test]
+    fn stars_and_paths_cost_identically(n in 1usize..120, seed in any::<u64>()) {
+        assert_gather_equivalence(&relabel(&star(n), IdStrategy::Permuted { seed }));
+        assert_gather_equivalence(&relabel(&path(n), IdStrategy::Permuted { seed }));
+    }
+
+    #[test]
+    fn semigraph_restrictions_cost_identically(
+        n in 2usize..150,
+        seed in any::<u64>(),
+        modulus in 2usize..5,
+    ) {
+        // Restricting a forest by a node predicate yields semi-graph
+        // components with rank-1 boundary edges — the exact shape of the
+        // Theorem 12 residual layers.
+        let g = relabel(&random_forest(n, 0.9, seed), IdStrategy::Permuted { seed });
+        let s = SemiGraph::induced_by_nodes(&g, |v| v.index() % modulus != 0);
+        assert_gather_equivalence(&s);
+    }
+
+    #[test]
+    fn cyclic_topologies_fall_back_identically(n in 3usize..60, extra in 1usize..4) {
+        // A cycle plus chords plus a pendant path: forces the per-node BFS
+        // fallback (the rerooting DP only applies to tree components).
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        for e in 0..extra {
+            let chord = (e, (e + n / 2) % n);
+            if chord.0 != chord.1 {
+                edges.push((chord.0.min(chord.1), chord.0.max(chord.1)));
+            }
+        }
+        edges.push((n - 1, n)); // pendant node outside the cycle
+        edges.sort_unstable();
+        edges.dedup();
+        if let Ok(g) = Graph::from_edges(n + 1, &edges) {
+            assert_gather_equivalence(&g);
+        }
+    }
+}
+
+/// Non-property pin: the exact Y-tree/star tie-break cases documented on
+/// `sparse_bfs_farthest` hold through the cache too.
+#[test]
+fn documented_tie_breaks_hold_through_the_plan() {
+    let star = Graph::from_edges(5, &[(0, 3), (0, 1), (0, 4), (0, 2)]).unwrap();
+    assert_eq!(GatherPlan::new(&star).farthest(NodeId::new(0)), (NodeId::new(1), 1));
+    let y = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4)]).unwrap();
+    assert_eq!(GatherPlan::new(&y).farthest(NodeId::new(0)), (NodeId::new(2), 2));
+}

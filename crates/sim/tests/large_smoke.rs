@@ -22,9 +22,9 @@
 use treelocal_algos::{is_proper, run_linial};
 use treelocal_core::mis_on_tree;
 use treelocal_gen::{caterpillar, random_tree};
-use treelocal_graph::Graph;
+use treelocal_graph::{Graph, NodeId};
 use treelocal_problems::classic;
-use treelocal_sim::{log_star_u64, Ctx};
+use treelocal_sim::{gather_rounds_at, highest_id_center, log_star_u64, Ctx, GatherPlan};
 
 const N: usize = 1_000_000;
 
@@ -106,4 +106,60 @@ fn theorem12_mis_on_million_node_trees_stays_sublogarithmic() {
             "{name}: rounds should stay well below 4 log2 n",
         );
     }
+}
+
+/// Gather-heavy scenario: one `GatherPlan` costs **every** node of a
+/// million-node deep caterpillar as a gather center — an all-centers
+/// eccentricity pass over a Θ(n)-diameter tree, the workload where the
+/// pre-cache loop (one BFS per center, `O(n)` each) would be `O(n²)` and
+/// out of reach. A deterministic sample of centers is spot-checked
+/// against the direct sparse BFS, pinning the cached totals to the
+/// uncached answers at a scale the property suite cannot visit.
+#[test]
+#[ignore = "million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
+fn gather_plan_all_centers_on_million_node_caterpillar_matches_direct_bfs() {
+    if skip_in_debug() {
+        return;
+    }
+    // Deep caterpillar: a 500k-node spine each carrying one leg, so the
+    // diameter (and hence every gather cost) is Θ(n).
+    let tree = caterpillar(N / 2, 1);
+    assert_eq!(tree.node_count(), N);
+    let spine = N / 2;
+
+    // The cached all-centers pass: every node costed as a gather center.
+    let plan = GatherPlan::new(&tree);
+    let mut worst = 0u64;
+    let mut total = 0u64;
+    for &v in tree.node_ids() {
+        let r = plan.rounds_at(v);
+        worst = worst.max(r);
+        total += r;
+    }
+    // Structure checks: the worst center is a leg of a spine endpoint,
+    // whose eccentricity is the diameter (spine - 1 spine hops plus one
+    // leg hop at each end), and no center beats half the diameter.
+    let diameter = u64::try_from(spine - 1 + 2).unwrap();
+    assert_eq!(worst, 2 * diameter, "worst gather center cost is off");
+    assert!(total >= u64::try_from(N).unwrap() * diameter, "totals below the diameter floor");
+
+    // Spot-check a deterministic sample of centers (endpoints, middle,
+    // legs, and an even sweep) against the uncached BFS.
+    let mut sample: Vec<usize> = vec![0, 1, spine / 2, spine - 1, spine, N - 1];
+    sample.extend((0..32).map(|i| (i * 31_415) % N));
+    for idx in sample {
+        let v = NodeId::new(idx);
+        assert_eq!(
+            plan.rounds_at(v),
+            gather_rounds_at(&tree, v),
+            "cached cost diverges from direct BFS at center {idx}"
+        );
+    }
+
+    // The aggregate entry points agree with the plan on the single
+    // component under the paper's highest-id center rule.
+    let members: Vec<NodeId> = tree.node_ids().to_vec();
+    let mut pick = highest_id_center(&tree);
+    let center = pick(&members);
+    assert_eq!(plan.parallel_rounds(vec![members], pick), plan.rounds_at(center));
 }
