@@ -4,7 +4,9 @@
 //! # Primitives
 //!
 //! * [`run_linial`] — Linial-style color reduction to `O(Δ²)` colors in
-//!   `log* n + O(1)` rounds (polynomial construction over `F_q`),
+//!   `log* n + O(1)` rounds (polynomial construction over `F_q`), also
+//!   available in explicit Definition 5 message-passing form
+//!   ([`run_linial_messages`], identical colors and round counts),
 //! * [`kw_reduce`] — Kuhn–Wattenhofer parallel halving to `Δ+1` colors in
 //!   `O(Δ log Δ)` rounds,
 //! * [`sweep_reduce`] — class-sweep reduction to a greedy coloring,
@@ -40,7 +42,8 @@ pub use cv::{cv_reduce_rounds, is_proper_on_forest, three_color_rooted, CvOutcom
 pub use edge_solvers::{BMatchingAlgo, EdgeColoringAlgo, MatchingAlgo, PaletteEdgeColoringAlgo};
 pub use line_graph::{line_graph, simulated_rounds, LineGraph};
 pub use linial::{
-    is_proper, linial_final_colors, linial_schedule, run_linial, ColorState, LinialOutcome, Stage,
+    is_proper, linial_final_colors, linial_schedule, run_linial, run_linial_messages, ColorState,
+    LinialOutcome, Stage,
 };
 pub use list_sweep::{list_sweep, ListSweepOutcome};
 pub use mis_phase::{is_valid_mis_on, mis_from_coloring, MisDecision, MisOutcome};

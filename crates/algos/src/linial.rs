@@ -13,7 +13,10 @@
 //! function of `(id_space, Δ)`, so all nodes compute it locally.
 
 use treelocal_graph::{NodeId, Topology};
-use treelocal_sim::{next_prime, run, Ctx, ParSafe, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{
+    next_prime, run, run_messages, Ctx, MessageAlgorithm, ParSafe, RunOutcome, Snapshot,
+    SyncAlgorithm, Verdict,
+};
 
 /// One stage of the reduction: colors `< c_in` become colors `< q²` using
 /// degree-`d` polynomials over `F_q`.
@@ -133,29 +136,78 @@ impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
         prev: &Snapshot<'_, ColorState>,
     ) -> Verdict<ColorState> {
         let stage = self.schedule[(round - 1) as usize];
-        let my_poly = digits(own.color, stage.q, stage.d);
-        let neighbor_polys: Vec<Vec<u64>> = ctx
-            .topo
-            .neighbors(v)
-            .iter()
-            .map(|&(w, _)| digits(prev.get(w).color, stage.q, stage.d))
-            .collect();
-        // Find an evaluation point disagreeing with every neighbor.
-        let mut x_found = None;
-        'outer: for x in 0..stage.q {
-            let mine = eval_poly(&my_poly, x, stage.q);
-            for theirs in &neighbor_polys {
-                if eval_poly(theirs, x, stage.q) == mine {
-                    continue 'outer;
-                }
-            }
-            x_found = Some((x, mine));
-            break;
+        let neighbor_colors = ctx.topo.neighbors(v).iter().map(|&(w, _)| prev.get(w).color);
+        let state = ColorState { color: recolor(stage, own.color, neighbor_colors) };
+        if round as usize == self.schedule.len() {
+            Verdict::Halted(state)
+        } else {
+            Verdict::Active(state)
         }
-        let (x, px) = x_found.expect("q > d*Delta guarantees an evaluation point");
-        let color = x * stage.q + px;
-        debug_assert!(color < stage.q * stage.q);
-        let state = ColorState { color };
+    }
+}
+
+/// One stage of the polynomial construction at one node: encode `own` as a
+/// degree-`d` polynomial over `F_q`, pick the first evaluation point `x`
+/// disagreeing with every neighbor polynomial, adopt `(x, p(x))`.
+///
+/// Shared verbatim by the snapshot form (neighbor colors read through the
+/// state snapshot) and the message form (neighbor colors received through
+/// ports), which is what makes the two engines produce identical colorings
+/// round for round.
+fn recolor(stage: Stage, own: u64, neighbor_colors: impl Iterator<Item = u64>) -> u64 {
+    let my_poly = digits(own, stage.q, stage.d);
+    let neighbor_polys: Vec<Vec<u64>> =
+        neighbor_colors.map(|c| digits(c, stage.q, stage.d)).collect();
+    // Find an evaluation point disagreeing with every neighbor.
+    let mut x_found = None;
+    'outer: for x in 0..stage.q {
+        let mine = eval_poly(&my_poly, x, stage.q);
+        for theirs in &neighbor_polys {
+            if eval_poly(theirs, x, stage.q) == mine {
+                continue 'outer;
+            }
+        }
+        x_found = Some((x, mine));
+        break;
+    }
+    let (x, px) = x_found.expect("q > d*Delta guarantees an evaluation point");
+    let color = x * stage.q + px;
+    debug_assert!(color < stage.q * stage.q);
+    color
+}
+
+/// The reduction in explicit Definition 5 message-passing form: each round
+/// every active node sends its current color on every port and recolors
+/// from the received colors. All nodes run the same stage schedule and
+/// halt together at its last stage, so every inbox is fully populated in
+/// every round and the colors computed are identical to [`LinialAlgo`]'s.
+struct LinialMsgAlgo {
+    schedule: Vec<Stage>,
+}
+
+impl<T: Topology> MessageAlgorithm<T> for LinialMsgAlgo {
+    type State = ColorState;
+    type Msg = u64;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> ColorState {
+        ColorState { color: ctx.topo.local_id(v) }
+    }
+
+    fn send(&self, ctx: &Ctx<T>, v: NodeId, _round: u64, state: &ColorState) -> Vec<Option<u64>> {
+        vec![Some(state.color); ctx.topo.degree(v)]
+    }
+
+    fn receive(
+        &self,
+        _ctx: &Ctx<T>,
+        _v: NodeId,
+        round: u64,
+        state: ColorState,
+        inbox: &[Option<u64>],
+    ) -> Verdict<ColorState> {
+        let stage = self.schedule[(round - 1) as usize];
+        let state =
+            ColorState { color: recolor(stage, state.color, inbox.iter().flatten().copied()) };
         if round as usize == self.schedule.len() {
             Verdict::Halted(state)
         } else {
@@ -202,6 +254,32 @@ pub fn run_linial<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
     let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
     let algo = LinialAlgo { schedule };
     let out: RunOutcome<ColorState> = run(ctx, &algo, 200);
+    LinialOutcome {
+        colors: out.states.iter().map(|s| s.as_ref().map(|c| c.color)).collect(),
+        final_bound,
+        rounds: out.rounds,
+    }
+}
+
+/// [`run_linial`] through the literal Definition 5 message-passing engine
+/// ([`run_messages`]): identical colors, final bound and round count — the
+/// cross-engine parity the `msgpar` bench asserts before timing.
+///
+/// An empty stage schedule needs zero communication; the message trait has
+/// no round-0 halt (a snapshot algorithm halts in `init`), so that case
+/// returns the identity coloring directly instead of burning a round.
+pub fn run_linial_messages<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
+    let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
+    let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
+    if schedule.is_empty() {
+        let mut colors = vec![None; ctx.topo.index_space()];
+        for &v in ctx.topo.nodes() {
+            colors[v.index()] = Some(ctx.topo.local_id(v));
+        }
+        return LinialOutcome { colors, final_bound, rounds: 0 };
+    }
+    let algo = LinialMsgAlgo { schedule };
+    let out: RunOutcome<ColorState> = run_messages(ctx, &algo, 200);
     LinialOutcome {
         colors: out.states.iter().map(|s| s.as_ref().map(|c| c.color)).collect(),
         final_bound,
@@ -303,5 +381,61 @@ mod tests {
         let ctx = Ctx::of(&g);
         let out = run_linial(&ctx);
         assert!(out.colors[0].is_some());
+    }
+
+    #[test]
+    fn message_form_matches_the_snapshot_form() {
+        for (label, g) in [
+            ("path", path(60)),
+            ("star", Graph::from_edges(12, &(1..12).map(|i| (0, i)).collect::<Vec<_>>()).unwrap()),
+            ("tree", treelocal_gen::random_tree(200, 5)),
+        ] {
+            let ctx = Ctx::of(&g);
+            let snap = run_linial(&ctx);
+            let msgs = run_linial_messages(&ctx);
+            assert_eq!(snap.rounds, msgs.rounds, "{label}: round counts diverge");
+            assert_eq!(snap.final_bound, msgs.final_bound, "{label}");
+            assert_eq!(snap.colors, msgs.colors, "{label}: colors diverge");
+            assert!(is_proper(&g, &msgs.colors), "{label}: improper");
+        }
+    }
+
+    #[test]
+    fn message_form_matches_with_sparse_ids_and_restrictions() {
+        // Sparse ids exercise multi-stage schedules; the semi-graph
+        // restriction exercises partial index spaces.
+        let n = 48;
+        let mut b = treelocal_graph::GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1);
+        }
+        b.local_ids((0..n as u64).map(|i| i * i * 131 + 17).collect());
+        let g = b.finish().unwrap();
+        let snap_whole = run_linial(&Ctx::of(&g));
+        let msgs_whole = run_linial_messages(&Ctx::of(&g));
+        assert_eq!(snap_whole.colors, msgs_whole.colors);
+        assert_eq!(snap_whole.rounds, msgs_whole.rounds);
+        let s = treelocal_graph::SemiGraph::induced_by_nodes(&g, |v| v.index() % 5 != 0);
+        let ctx = Ctx::restricted(&s, g.node_count(), g.id_space());
+        let snap = run_linial(&ctx);
+        let msgs = run_linial_messages(&ctx);
+        assert_eq!(snap.colors, msgs.colors);
+        assert_eq!(snap.rounds, msgs.rounds);
+    }
+
+    #[test]
+    fn message_form_zero_stage_schedule_runs_zero_rounds() {
+        // A tiny id space can make every stage useless; both forms must
+        // report the identity coloring after zero rounds.
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let ctx = Ctx::of(&g);
+        if !linial_schedule(ctx.id_space, ctx.max_degree).is_empty() {
+            return; // schedule helps here; the zero-stage case is covered elsewhere
+        }
+        let snap = run_linial(&ctx);
+        let msgs = run_linial_messages(&ctx);
+        assert_eq!(snap.rounds, 0);
+        assert_eq!(msgs.rounds, 0);
+        assert_eq!(snap.colors, msgs.colors);
     }
 }

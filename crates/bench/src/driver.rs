@@ -13,8 +13,8 @@
 //!    feature);
 //! 3. each completed job is appended to the journal (one flushed line) and
 //!    reported on stderr: jobs done / total, simulator rounds and
-//!    node-steps consumed (from [`treelocal_sim::counters`]), elapsed time
-//!    and an ETA;
+//!    node-steps consumed (from [`treelocal_sim::counters`]; message-engine
+//!    send-steps too whenever the run did any), elapsed time and an ETA;
 //! 4. results are returned **by job index**, so a resumed run aggregates
 //!    into byte-identical tables — journal-loaded and freshly computed
 //!    results are indistinguishable (jobs are deterministic, and
@@ -273,21 +273,29 @@ impl Driver {
         total: usize,
         fresh_done: usize,
         started: Instant,
-        counters0: (u64, u64),
+        counters0: (u64, u64, u64),
     ) {
         if !self.progress {
             return;
         }
         let elapsed = started.elapsed().as_secs_f64();
-        let (rounds, steps) = treelocal_sim::counters::snapshot();
+        let (rounds, steps, sends) = treelocal_sim::counters::snapshot();
         let eta = if done < total && fresh_done > 0 {
             let remaining = (total - done) as f64 * elapsed / fresh_done as f64;
             format!(", ~{remaining:.1}s left")
         } else {
             String::new()
         };
+        // Send-phase steps are message-engine work the receive counter does
+        // not see; report them whenever the run did any, so progress on
+        // message-heavy suites reflects the full simulation effort.
+        let send_part = match sends.saturating_sub(counters0.2) {
+            0 => String::new(),
+            d => format!(", +{d} send-steps"),
+        };
         eprintln!(
-            "[{run}] {done}/{total} jobs | +{} rounds, +{} node-steps | {elapsed:.1}s elapsed{eta}",
+            "[{run}] {done}/{total} jobs | +{} rounds, +{} node-steps{send_part} | \
+             {elapsed:.1}s elapsed{eta}",
             rounds.saturating_sub(counters0.0),
             steps.saturating_sub(counters0.1),
         );

@@ -42,6 +42,10 @@ pub struct ExecCore<S> {
     /// Nodes still running, in seeding order (the engines seed in
     /// `topo.nodes()` order, which keeps execution deterministic).
     frontier: Vec<NodeId>,
+    /// `active[i]` iff slot `i` holds a frontier node — the O(1) liveness
+    /// query the message engine's send phase uses to drop deliveries to
+    /// halted recipients.
+    active: Vec<bool>,
     /// Communication rounds executed so far.
     rounds: u64,
 }
@@ -53,7 +57,13 @@ impl<S> ExecCore<S> {
         states.resize_with(index_space, || None);
         let mut scratch = Vec::with_capacity(index_space);
         scratch.resize_with(index_space, || None);
-        ExecCore { states, scratch, frontier: Vec::new(), rounds: 0 }
+        ExecCore {
+            states,
+            scratch,
+            frontier: Vec::new(),
+            active: vec![false; index_space],
+            rounds: 0,
+        }
     }
 
     /// Registers node `v` with its round-0 verdict. A node seeded
@@ -71,6 +81,7 @@ impl<S> ExecCore<S> {
         match verdict {
             Verdict::Active(s) => {
                 self.states[v.index()] = Some(s);
+                self.active[v.index()] = true;
                 self.frontier.push(v);
             }
             Verdict::Halted(s) => {
@@ -87,6 +98,12 @@ impl<S> ExecCore<S> {
     /// The nodes that will execute the next round, in deterministic order.
     pub fn frontier(&self) -> &[NodeId] {
         &self.frontier
+    }
+
+    /// Whether `v` is still running (seeded [`Verdict::Active`] and not yet
+    /// halted) — equivalent to frontier membership, in O(1).
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active[v.index()]
     }
 
     /// Rounds executed so far.
@@ -151,11 +168,7 @@ impl<S> ExecCore<S> {
         F: Fn(NodeId, &S, &Snapshot<'_, S>) -> Verdict<S> + Sync,
         S: Send + Sync,
     {
-        /// Below this frontier size a round is cheaper than the scoped
-        /// fork/join, so it runs inline (the choice cannot affect results,
-        /// only speed).
-        const PAR_FRONTIER_MIN: usize = 1024;
-        if threads <= 1 || self.frontier.len() < PAR_FRONTIER_MIN {
+        if threads <= 1 || self.frontier.len() < crate::par::PAR_FRONTIER_MIN {
             self.step_snapshot(step);
             return;
         }
@@ -173,6 +186,7 @@ impl<S> ExecCore<S> {
     fn commit_in_frontier_order(&mut self, verdicts: Vec<Verdict<S>>) {
         debug_assert_eq!(verdicts.len(), self.frontier.len());
         let states = &mut self.states;
+        let active = &mut self.active;
         let mut verdicts = verdicts.into_iter();
         self.frontier.retain(|&v| match verdicts.next().expect("one verdict per frontier node") {
             Verdict::Active(s) => {
@@ -181,6 +195,7 @@ impl<S> ExecCore<S> {
             }
             Verdict::Halted(s) => {
                 states[v.index()] = Some(s);
+                active[v.index()] = false;
                 false
             }
         });
@@ -202,11 +217,40 @@ impl<S> ExecCore<S> {
         self.commit();
     }
 
+    /// Executes one round in owned style on `threads` pool workers.
+    ///
+    /// The frontier's states are moved out sequentially (never cloned),
+    /// chunks are stepped concurrently on the pool — sound because an
+    /// owned-style step reads no neighbor state — and the round commits
+    /// **sequentially in frontier order**, so outcomes and round counts are
+    /// byte-identical to [`ExecCore::step_owned`] for every pool size.
+    /// Small frontiers (and `threads <= 1`) take the sequential path
+    /// unchanged.
+    #[cfg(feature = "parallel")]
+    pub fn step_owned_threads<F>(&mut self, threads: usize, step: F)
+    where
+        F: Fn(NodeId, S) -> Verdict<S> + Sync,
+        S: Send,
+    {
+        if threads <= 1 || self.frontier.len() < crate::par::PAR_FRONTIER_MIN {
+            self.step_owned(step);
+            return;
+        }
+        let mut taken = Vec::with_capacity(self.frontier.len());
+        for idx in 0..self.frontier.len() {
+            let v = self.frontier[idx];
+            taken.push((v, self.states[v.index()].take().expect("frontier node has a state")));
+        }
+        let verdicts = crate::par::par_map_vec(taken, threads, |_, (v, state)| step(v, state));
+        self.commit_in_frontier_order(verdicts);
+    }
+
     /// Commits the round: moves every verdict's state into its slot and
     /// drops newly halted nodes from the frontier (order preserved).
     fn commit(&mut self) {
         let states = &mut self.states;
         let scratch = &mut self.scratch;
+        let active = &mut self.active;
         self.frontier.retain(|&v| {
             let i = v.index();
             match scratch[i].take().expect("frontier node was stepped this round") {
@@ -216,6 +260,7 @@ impl<S> ExecCore<S> {
                 }
                 Verdict::Halted(s) => {
                     states[i] = Some(s);
+                    active[i] = false;
                     false
                 }
             }
@@ -246,6 +291,30 @@ mod tests {
         assert_eq!(core.frontier(), &[NodeId::new(1), NodeId::new(2)]);
         assert!(!core.is_done());
         assert_eq!(*core.state(NodeId::new(0)), 7);
+        assert!(!core.is_active(NodeId::new(0)));
+        assert!(core.is_active(NodeId::new(1)));
+    }
+
+    #[test]
+    fn is_active_tracks_frontier_membership_exactly() {
+        let mut core: ExecCore<u32> = ExecCore::new(4);
+        for i in 0..3 {
+            core.seed(NodeId::new(i), Verdict::Active(i as u32));
+        }
+        // Slot 3 was never seeded: not active.
+        assert!(!core.is_active(NodeId::new(3)));
+        core.begin_round(10);
+        core.step_snapshot(|v, own, _| {
+            if v.index() == 1 {
+                Verdict::Halted(*own)
+            } else {
+                Verdict::Active(*own)
+            }
+        });
+        for i in 0..4 {
+            let v = NodeId::new(i);
+            assert_eq!(core.is_active(v), core.frontier().contains(&v), "slot {i}");
+        }
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub use gather::{
     GatherPlan,
 };
 pub use logstar::{ceil_log, log_star_f64, log_star_u64};
+#[cfg(feature = "parallel")]
+pub use msg_engine::run_messages_with_threads;
 pub use msg_engine::{run_messages, MessageAlgorithm};
 pub use primes::{is_prime, next_prime};
 pub use rounds::{Phase, RoundReport};

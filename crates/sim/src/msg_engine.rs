@@ -10,9 +10,29 @@
 //! both engines and compares outputs and round counts.
 //!
 //! Ports are positions in a node's neighbor list; the engine precomputes
-//! the reverse port map so routing is O(1) per message.
+//! the reverse port map (one O(m) pass over edge sides, see
+//! [`build_back_ports`]) so routing is O(1) per message. Messages addressed
+//! to already-halted recipients are dropped at routing time: a halted
+//! node's inbox is dead — never cleared, never read — so writing into it
+//! would be pure waste (pinned by `halted_recipients_inboxes_are_never_touched`).
+//!
+//! With the `parallel` feature both phases of a round run on the vendored
+//! rayon pool, **byte-identically** for every pool size:
+//!
+//! * the **send phase** steps frontier chunks on pool workers, each worker
+//!   collecting one routed bucket per sender; the buckets are assembled by
+//!   chunk index and merged sequentially in frontier order, so every inbox
+//!   slot is filled by the same unique sender as in a sequential send (a
+//!   slot is owned by one `(recipient, port)` pair, so the merge order is
+//!   observable only through determinism bugs, which
+//!   `tests/msg_parallel_equiv.rs` hunts);
+//! * the **receive phase** rides [`ExecCore::step_owned_threads`]
+//!   (frontier states moved — never cloned — to pool workers, verdicts
+//!   committed sequentially in frontier order), exactly mirroring the
+//!   snapshot engine's threaded stepping path.
 
-use crate::engine::{Ctx, RunOutcome, Verdict};
+use crate::engine::{Ctx, ParSafe, RunOutcome, Verdict};
+use crate::ExecCore;
 use std::fmt::Debug;
 use treelocal_graph::{NodeId, Topology};
 
@@ -49,78 +69,265 @@ pub trait MessageAlgorithm<T: Topology> {
     ) -> Verdict<Self::State>;
 }
 
+/// Per-node routing tables and dense inboxes for one message run.
+///
+/// `inboxes[inbox_of[v]]` is `v`'s inbox, one slot per port;
+/// `back_port[v][p]` is the port of the neighbor behind `v`'s port `p`
+/// that leads back to `v`. Split from the run loop so the halted-inbox
+/// invariant is unit-testable against the real routing code.
+struct Router<M> {
+    back_port: Vec<Vec<usize>>,
+    inbox_of: Vec<usize>,
+    inboxes: Vec<Vec<Option<M>>>,
+}
+
+/// Builds the reverse port map in **one O(m) pass** over edge sides.
+///
+/// The port a node occupies in its neighbor's list is recorded per
+/// `(edge, side)` while walking each adjacency list once; a second walk
+/// reads the opposite side back. The older per-port `position()` scan was
+/// O(Σ_v Σ_{w ∈ N(v)} deg(w)) — ~Δ² on a star, which at 100k leaves means
+/// ~10¹⁰ comparisons before round 1 (pinned by the
+/// `high_degree_star_setup_is_linear` regression).
+fn build_back_ports<T: Topology>(topo: &T) -> Vec<Vec<usize>> {
+    let graph = topo.graph();
+    let mut edge_port: Vec<[usize; 2]> = vec![[usize::MAX; 2]; graph.edge_count()];
+    for &v in topo.nodes() {
+        for (p, &(_, e)) in topo.neighbors(v).iter().enumerate() {
+            edge_port[e.index()][graph.side_of(e, v).index()] = p;
+        }
+    }
+    let mut back: Vec<Vec<usize>> = vec![Vec::new(); topo.index_space()];
+    for &v in topo.nodes() {
+        back[v.index()] = topo
+            .neighbors(v)
+            .iter()
+            .map(|&(w, e)| {
+                let p = edge_port[e.index()][graph.side_of(e, w).index()];
+                debug_assert_ne!(p, usize::MAX, "adjacency is symmetric");
+                p
+            })
+            .collect();
+    }
+    back
+}
+
+impl<M> Router<M> {
+    fn new<T: Topology>(topo: &T) -> Self {
+        let mut inbox_of = vec![usize::MAX; topo.index_space()];
+        for (i, &v) in topo.nodes().iter().enumerate() {
+            inbox_of[v.index()] = i;
+        }
+        Router {
+            back_port: build_back_ports(topo),
+            inbox_of,
+            inboxes: topo
+                .nodes()
+                .iter()
+                .map(|&v| (0..topo.degree(v)).map(|_| None).collect())
+                .collect(),
+        }
+    }
+
+    /// Clears the inboxes of this round's recipients. Only frontier nodes
+    /// receive, so only their inboxes need clearing — a halted node's
+    /// inbox is frozen at its halt-round contents.
+    fn clear_frontier(&mut self, frontier: &[NodeId]) {
+        for &v in frontier {
+            self.inboxes[self.inbox_of[v.index()]].iter_mut().for_each(|m| *m = None);
+        }
+    }
+
+    /// Drains one bucket of routed messages into the inbox slots (the
+    /// bucket keeps its capacity for reuse). Each `(recipient, port)` slot
+    /// has a unique sender, so delivery order across buckets cannot
+    /// influence the final inbox contents; merging buckets in frontier
+    /// order makes the write sequence byte-identical to a sequential send
+    /// anyway.
+    fn deliver(&mut self, bucket: &mut Vec<(usize, usize, M)>) {
+        for (slot, port, m) in bucket.drain(..) {
+            self.inboxes[slot][port] = Some(m);
+        }
+    }
+
+    /// The current inbox of node `v`.
+    fn inbox(&self, v: NodeId) -> &[Option<M>] {
+        &self.inboxes[self.inbox_of[v.index()]]
+    }
+}
+
+/// Collects node `v`'s outgoing messages for this round into `bucket` as
+/// `(recipient inbox slot, recipient port, message)` triples. Liveness and
+/// state come from `core`, so the halted-recipient rule below is driven by
+/// the engine's own frontier bookkeeping.
+///
+/// Messages addressed to halted recipients are dropped here — their
+/// inboxes are dead (never cleared, never read again), so routing into
+/// them would be wasted writes that keep dead messages alive until the end
+/// of the run.
+fn outgoing_into<T: Topology, A: MessageAlgorithm<T>>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    round: u64,
+    v: NodeId,
+    core: &ExecCore<A::State>,
+    router: &Router<A::Msg>,
+    bucket: &mut Vec<(usize, usize, A::Msg)>,
+) {
+    let out = algo.send(ctx, v, round, core.state(v));
+    assert_eq!(out.len(), ctx.topo.degree(v), "one message slot per port");
+    let back = &router.back_port[v.index()];
+    for (p, msg) in out.into_iter().enumerate() {
+        if let Some(m) = msg {
+            let (w, _) = ctx.topo.neighbors(v)[p];
+            if !core.is_active(w) {
+                continue;
+            }
+            bucket.push((router.inbox_of[w.index()], back[p], m));
+        }
+    }
+}
+
+/// The send phase: every frontier node's messages are collected and
+/// delivered. With `threads > 1` and a large frontier, collection runs on
+/// pool workers (one bucket per sender, assembled by chunk) and delivery
+/// merges the buckets sequentially in frontier order; otherwise the nodes
+/// route inline through one reused scratch bucket — the same write
+/// sequence either way.
+fn send_phase<T, A>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    round: u64,
+    core: &ExecCore<A::State>,
+    router: &mut Router<A::Msg>,
+    threads: usize,
+) where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: ParSafe,
+    A::Msg: ParSafe,
+{
+    #[cfg(feature = "parallel")]
+    if threads > 1 && core.frontier().len() >= crate::par::PAR_FRONTIER_MIN {
+        let mut buckets = {
+            let shared: &Router<A::Msg> = router;
+            crate::par::par_map(core.frontier(), threads, |_, &v| {
+                let mut bucket = Vec::new();
+                outgoing_into(ctx, algo, round, v, core, shared, &mut bucket);
+                bucket
+            })
+        };
+        for bucket in &mut buckets {
+            router.deliver(bucket);
+        }
+        return;
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+    let mut scratch = Vec::new();
+    for idx in 0..core.frontier().len() {
+        let v = core.frontier()[idx];
+        outgoing_into(ctx, algo, round, v, core, router, &mut scratch);
+        router.deliver(&mut scratch);
+    }
+}
+
+/// Shared run loop of [`run_messages`] and [`run_messages_with_threads`]
+/// (`threads` is fixed to 1 in sequential builds).
+fn run_messages_on_pool<T, A>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    max_rounds: u64,
+    threads: usize,
+) -> RunOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: ParSafe,
+    A::Msg: ParSafe,
+{
+    let mut core = ExecCore::new(ctx.topo.index_space());
+    for &v in ctx.topo.nodes() {
+        core.seed(v, Verdict::Active(algo.init(ctx, v)));
+    }
+    let mut router: Router<A::Msg> = Router::new(ctx.topo);
+    while !core.is_done() {
+        let round = core.begin_round(max_rounds);
+        // Send-phase work is real simulation work (one `send` per frontier
+        // node); account it so driver ETAs stay honest on message-heavy
+        // suites. Counted per phase, never per worker, so totals are
+        // pool-size-invariant.
+        crate::counters::record_send_round(core.frontier().len() as u64);
+        router.clear_frontier(core.frontier());
+        send_phase(ctx, algo, round, &core, &mut router, threads);
+        let recv = |v: NodeId, state: A::State| algo.receive(ctx, v, round, state, router.inbox(v));
+        #[cfg(feature = "parallel")]
+        core.step_owned_threads(threads, recv);
+        #[cfg(not(feature = "parallel"))]
+        core.step_owned(recv);
+    }
+    core.finish()
+}
+
 /// Runs a message-passing algorithm until every node halts.
 ///
 /// Built on the shared [`ExecCore`](crate::ExecCore): the send phase walks
-/// the active frontier (terminated nodes are silent by construction), the
-/// receive phase consumes frontier states by value, and round accounting
-/// is the core's — identical to the snapshot engine's, which is what the
-/// cross-engine equivalence tests assert.
+/// the active frontier (terminated nodes are silent by construction, and
+/// messages *to* terminated nodes are dropped unrouted), the receive phase
+/// consumes frontier states by value, and round accounting is the core's —
+/// identical to the snapshot engine's, which is what the cross-engine
+/// equivalence tests assert.
+///
+/// With the `parallel` feature, large frontiers run both phases on the
+/// vendored rayon pool ([`crate::par::auto_threads`] sizes it; the
+/// `TREELOCAL_THREADS` environment variable overrides). Outcomes, round
+/// counts and work counters are byte-identical to a sequential run —
+/// pinned by `tests/msg_parallel_equiv.rs` and `tests/msg_counters.rs`.
 ///
 /// # Panics
 ///
 /// Panics if the algorithm exceeds `max_rounds` or sends a malformed
 /// message vector (wrong port count).
-pub fn run_messages<T: Topology, A: MessageAlgorithm<T>>(
+pub fn run_messages<T, A>(ctx: &Ctx<'_, T>, algo: &A, max_rounds: u64) -> RunOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: ParSafe,
+    A::Msg: ParSafe,
+{
+    #[cfg(feature = "parallel")]
+    {
+        run_messages_with_threads(ctx, algo, max_rounds, crate::par::auto_threads())
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        run_messages_on_pool(ctx, algo, max_rounds, 1)
+    }
+}
+
+/// [`run_messages`] with an explicit pool size (1 forces sequential
+/// execution).
+///
+/// Exists so tests and harnesses can compare pool sizes; every size
+/// produces the same [`RunOutcome`].
+///
+/// # Panics
+///
+/// As [`run_messages`].
+#[cfg(feature = "parallel")]
+pub fn run_messages_with_threads<T, A>(
     ctx: &Ctx<'_, T>,
     algo: &A,
     max_rounds: u64,
-) -> RunOutcome<A::State> {
-    let space = ctx.topo.index_space();
-    // Reverse port map: for node v's port p leading to w, the port of w
-    // that leads back to v.
-    let mut back_port: Vec<Vec<usize>> = vec![Vec::new(); space];
-    for &v in ctx.topo.nodes() {
-        back_port[v.index()] = ctx
-            .topo
-            .neighbors(v)
-            .iter()
-            .map(|&(w, _)| {
-                ctx.topo
-                    .neighbors(w)
-                    .iter()
-                    .position(|&(x, _)| x == v)
-                    .expect("adjacency is symmetric")
-            })
-            .collect();
-    }
-    let mut core = crate::ExecCore::new(space);
-    for &v in ctx.topo.nodes() {
-        core.seed(v, Verdict::Active(algo.init(ctx, v)));
-    }
-    let mut inboxes: Vec<Vec<Option<A::Msg>>> =
-        ctx.topo.nodes().iter().map(|&v| vec![None; ctx.topo.degree(v)]).collect();
-    // Map node -> dense inbox index.
-    let mut inbox_of = vec![usize::MAX; space];
-    for (i, &v) in ctx.topo.nodes().iter().enumerate() {
-        inbox_of[v.index()] = i;
-    }
-    while !core.is_done() {
-        let round = core.begin_round(max_rounds);
-        // Send phase: route every frontier message into the recipient's
-        // inbox slot. Only frontier nodes receive this round, so only their
-        // inboxes need clearing — messages addressed to halted nodes are
-        // never read, keeping the per-round cost O(frontier · Δ).
-        for &v in core.frontier() {
-            inboxes[inbox_of[v.index()]].iter_mut().for_each(|m| *m = None);
-        }
-        for &v in core.frontier() {
-            let out = algo.send(ctx, v, round, core.state(v));
-            assert_eq!(out.len(), ctx.topo.degree(v), "one message slot per port");
-            for (p, msg) in out.into_iter().enumerate() {
-                if let Some(m) = msg {
-                    let (w, _) = ctx.topo.neighbors(v)[p];
-                    let bp = back_port[v.index()][p];
-                    inboxes[inbox_of[w.index()]][bp] = Some(m);
-                }
-            }
-        }
-        // Receive phase.
-        core.step_owned(|v, state| {
-            algo.receive(ctx, v, round, state, &inboxes[inbox_of[v.index()]])
-        });
-    }
-    core.finish()
+    threads: usize,
+) -> RunOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: ParSafe,
+    A::Msg: ParSafe,
+{
+    run_messages_on_pool(ctx, algo, max_rounds, threads)
 }
 
 #[cfg(test)]
@@ -247,6 +454,115 @@ mod tests {
         assert_eq!(*out.state(NodeId::new(0)), 1);
         assert_eq!(*out.state(NodeId::new(1)), 2);
         assert_eq!(*out.state(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn back_ports_match_the_position_scan() {
+        // The O(m) edge-side construction must agree with the definition
+        // (the port of w that leads back to v) on every shape, including
+        // semi-graph restrictions.
+        for seed in 0..6u64 {
+            let g = treelocal_gen::random_tree(60 + 10 * seed as usize, seed);
+            let s = treelocal_graph::SemiGraph::induced_by_nodes(&g, |v| v.index() % 4 != 1);
+            check_back_ports(&g);
+            check_back_ports(&s);
+        }
+        check_back_ports(&treelocal_gen::star(50));
+    }
+
+    fn check_back_ports<T: Topology>(topo: &T) {
+        let back = build_back_ports(topo);
+        for &v in topo.nodes() {
+            for (p, &(w, _)) in topo.neighbors(v).iter().enumerate() {
+                let expect = topo
+                    .neighbors(w)
+                    .iter()
+                    .position(|&(x, _)| x == v)
+                    .expect("adjacency is symmetric");
+                assert_eq!(back[v.index()][p], expect, "{v:?} port {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_degree_star_setup_is_linear() {
+        // Regression for the quadratic back-port construction: the old
+        // per-port `position()` scan did ~Δ²/2 ≈ 5·10⁹ comparisons on this
+        // star before round 1 (minutes in a debug build). The O(m) build
+        // plus one engine round completes far inside a generous budget.
+        struct OneRound;
+        impl<T: Topology> MessageAlgorithm<T> for OneRound {
+            type State = u64;
+            type Msg = u64;
+            fn init(&self, ctx: &Ctx<T>, v: NodeId) -> u64 {
+                ctx.topo.local_id(v)
+            }
+            fn send(&self, ctx: &Ctx<T>, v: NodeId, _: u64, state: &u64) -> Vec<Option<u64>> {
+                vec![Some(*state); ctx.topo.degree(v)]
+            }
+            fn receive(
+                &self,
+                _: &Ctx<T>,
+                _: NodeId,
+                _: u64,
+                state: u64,
+                inbox: &[Option<u64>],
+            ) -> Verdict<u64> {
+                Verdict::Halted(inbox.iter().flatten().copied().fold(state, u64::max))
+            }
+        }
+        let g = treelocal_gen::star(100_000);
+        let ctx = Ctx::of(&g);
+        let started = std::time::Instant::now();
+        let out = run_messages(&ctx, &OneRound, 10);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "run_messages setup must be O(m), took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(out.rounds, 1);
+        // The center heard every leaf, so it holds the maximum id.
+        assert_eq!(*out.state(NodeId::new(0)), 100_000);
+    }
+
+    #[test]
+    fn halted_recipients_inboxes_are_never_touched() {
+        // Drives the real routing code (`Router` + `outgoing_into`) over
+        // several rounds with node 0 halted in the core: its inbox must
+        // keep its halt-round contents bit for bit, while active
+        // recipients keep receiving.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let ctx = Ctx::of(&g);
+        let mut core: crate::ExecCore<u64> = crate::ExecCore::new(3);
+        core.seed(NodeId::new(0), Verdict::Halted(7));
+        core.seed(NodeId::new(1), Verdict::Active(41));
+        core.seed(NodeId::new(2), Verdict::Active(42));
+        let mut router: Router<u64> = Router::new(&g);
+        // Freeze node 0's inbox at its pretend halt-round contents.
+        let slot0 = router.inbox_of[0];
+        router.inboxes[slot0][0] = Some(99);
+        for round in 1..=3u64 {
+            router.clear_frontier(core.frontier());
+            let mut scratch = Vec::new();
+            for idx in 0..core.frontier().len() {
+                let v = core.frontier()[idx];
+                // MaxIdMsg sends `Some(state)` on every port, so node 1
+                // addresses node 0 each round; the message must be dropped.
+                outgoing_into(&ctx, &MaxIdMsg, round, v, &core, &router, &mut scratch);
+                for (slot, _, _) in &scratch {
+                    assert_ne!(*slot, slot0, "round {round}: routed into a halted inbox");
+                }
+                router.deliver(&mut scratch);
+            }
+            assert_eq!(
+                router.inbox(NodeId::new(0)),
+                &[Some(99)],
+                "round {round}: halted inbox mutated"
+            );
+            // Active recipients still got this round's messages.
+            assert_eq!(router.inbox(NodeId::new(2)), &[Some(41)]);
+            assert_eq!(router.inbox(NodeId::new(1)), &[None, Some(42)]);
+        }
     }
 
     #[test]

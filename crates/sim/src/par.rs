@@ -19,11 +19,17 @@
 //! sequential runs byte-identical (pinned by `tests/parallel_equiv.rs`).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 /// Chunks claimed per worker on average; >1 gives dynamic load balancing
 /// without shrinking chunks so far that claiming dominates.
 const CHUNKS_PER_WORKER: usize = 4;
+
+/// Below this frontier size a round phase is cheaper than the scoped
+/// fork/join, so the engines run it inline. The choice cannot affect
+/// results, only speed — both [`crate::ExecCore`] stepping variants and the
+/// message engine's send phase share this one threshold.
+pub(crate) const PAR_FRONTIER_MIN: usize = 1024;
 
 thread_local! {
     /// Set while this thread is a [`par_map`] worker. Work launched from
@@ -91,35 +97,51 @@ where
     let workers = threads.min(n);
     let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
     let n_chunks = n.div_ceil(chunk_len);
+    drive_chunks(n_chunks, workers, n, |c| {
+        let lo = c * chunk_len;
+        let hi = (lo + chunk_len).min(n);
+        items[lo..hi].iter().enumerate().map(|(j, t)| f(lo + j, t)).collect()
+    })
+}
+
+/// The chunk-claiming driver shared by [`par_map`] and [`par_map_vec`]:
+/// `workers` pool workers claim chunk indices `0..n_chunks` from a shared
+/// atomic counter (self-scheduling, so a slow chunk never stalls the
+/// others), compute each through `compute`, and send results back tagged
+/// with the chunk index. The caller's vector is assembled **by chunk
+/// index** — identical to a sequential map for every pool size.
+///
+/// Panics inside `compute` are caught so the original payload (an
+/// algorithm's assertion message, say) reaches the caller instead of std's
+/// opaque "a scoped thread panicked"; once any chunk panicked the map's
+/// fate is sealed, remaining chunks are skipped, and the lowest-index
+/// panic re-raises deterministically (skipped chunks always have higher
+/// indices than the first panicked chunk, because the claim counter is
+/// monotone).
+fn drive_chunks<R, F>(n_chunks: usize, workers: usize, capacity: usize, compute: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> Vec<R> + Sync,
+{
+    type Computed<R> = Result<Vec<R>, Box<dyn std::any::Any + Send>>;
     let next_chunk = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
-    type Computed<R> = Result<Vec<R>, Box<dyn std::any::Any + Send>>;
     let (tx, rx) = mpsc::channel::<(usize, Computed<R>)>();
     rayon::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
             let tx = tx.clone();
             let next_chunk = &next_chunk;
             let poisoned = &poisoned;
-            let f = &f;
+            let compute = &compute;
             s.spawn(move |_| {
                 let _in_worker = WorkerGuard::enter();
                 loop {
                     let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                    // Once any worker panicked the map's fate is sealed
-                    // (the panic re-raises below); don't burn time on the
-                    // remaining chunks.
                     if c >= n_chunks || poisoned.load(Ordering::Relaxed) {
                         break;
                     }
-                    let lo = c * chunk_len;
-                    let hi = (lo + chunk_len).min(n);
-                    // Catch panics so the original payload (an algorithm's
-                    // assertion message, say) reaches the caller instead of
-                    // std's opaque "a scoped thread panicked".
                     let out: Computed<R> =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            items[lo..hi].iter().enumerate().map(|(j, t)| f(lo + j, t)).collect()
-                        }));
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(c)));
                     if out.is_err() {
                         poisoned.store(true, Ordering::Relaxed);
                     }
@@ -136,15 +158,68 @@ where
     for (c, out) in rx {
         by_chunk[c] = Some(out);
     }
-    // Re-raise the lowest-index panic (deterministic pick) before assembly.
-    let mut result = Vec::with_capacity(n);
+    let mut result = Vec::with_capacity(capacity);
     for slot in by_chunk {
-        match slot.expect("every chunk was computed exactly once") {
-            Ok(out) => result.extend(out),
-            Err(payload) => std::panic::resume_unwind(payload),
+        match slot {
+            // Only possible after poisoning: a skipped chunk, whose index
+            // is above the panicked chunk's — the `Err` arm re-raises
+            // before assembly would miss anything.
+            None => continue,
+            Some(Ok(out)) => result.extend(out),
+            Some(Err(payload)) => std::panic::resume_unwind(payload),
         }
     }
     result
+}
+
+/// [`par_map`] for **owned** items: consumes `items`, moving each into `f`
+/// exactly once, and returns results in item order for every pool size.
+///
+/// This is what the message engine's receive phase needs —
+/// [`MessageAlgorithm::receive`](crate::MessageAlgorithm::receive) consumes
+/// the node state by value, and the engines never clone states
+/// (`crates/sim/tests/clone_accounting.rs`), so a by-reference map cannot
+/// express it. The items are pre-split into contiguous chunk vectors;
+/// workers claim chunk indices from the same shared atomic counter as
+/// [`par_map`] and take sole ownership of a claimed chunk through its
+/// mutex. Results are assembled by chunk index, and the lowest-index panic
+/// is re-raised deterministically.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(n);
+    let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    // Pre-split into `(base index, chunk)` slots; a worker that claims
+    // chunk `c` takes sole ownership of its items through the mutex (each
+    // index is claimed at most once, so the lock is never contended).
+    type ChunkSlot<T> = Mutex<Option<(usize, Vec<T>)>>;
+    let chunks: Vec<ChunkSlot<T>> = {
+        let mut chunks = Vec::with_capacity(n.div_ceil(chunk_len));
+        let mut items = items.into_iter();
+        let mut base = 0usize;
+        while base < n {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            let len = chunk.len();
+            chunks.push(Mutex::new(Some((base, chunk))));
+            base += len;
+        }
+        chunks
+    };
+    drive_chunks(chunks.len(), workers, n, |c| {
+        let (base, chunk) = chunks[c]
+            .lock()
+            .expect("chunk mutex is never poisoned (taken at most once)")
+            .take()
+            .expect("each chunk index is claimed exactly once");
+        chunk.into_iter().enumerate().map(|(j, t)| f(base + j, t)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -188,6 +263,44 @@ mod tests {
         let _ = par_map(&items, 2, |_, x| {
             assert!(*x < 50, "intentional");
             *x
+        });
+    }
+
+    #[test]
+    fn owned_map_matches_sequential_for_every_pool_size() {
+        let expect: Vec<String> =
+            (0..1000u64).enumerate().map(|(i, x)| format!("{i}:{}", x * 7)).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let items: Vec<u64> = (0..1000).collect();
+            let got = par_map_vec(items, threads, |i, x| format!("{i}:{}", x * 7));
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn owned_map_moves_each_item_exactly_once() {
+        // A non-Clone item type: the map must move every box through `f`
+        // exactly once (double use would not compile; a skipped item would
+        // shrink the output).
+        let items: Vec<Box<u32>> = (0..500).map(Box::new).collect();
+        let got = par_map_vec(items, 4, |i, b| *b as usize + i);
+        assert_eq!(got, (0..500).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_map_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_vec(empty, 4, |_, x| x).is_empty());
+        assert_eq!(par_map_vec(vec![9u32], 4, |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "owned intentional")]
+    fn owned_map_worker_panics_propagate() {
+        let items: Vec<u32> = (0..100).collect();
+        let _ = par_map_vec(items, 2, |_, x| {
+            assert!(x < 50, "owned intentional");
+            x
         });
     }
 
