@@ -118,7 +118,7 @@ impl<T: Topology> SyncAlgorithm<T> for CvAlgo<'_> {
                 if let Some(p) = parent {
                     forbidden.push(prev.get(p).color);
                 }
-                for &(w, _) in ctx.topo.neighbors(v) {
+                for &w in ctx.topo.neighbor_nodes(v) {
                     if Some(w) != parent {
                         forbidden.push(prev.get(w).color);
                         break; // children are monochromatic after shift-down
@@ -183,7 +183,7 @@ mod tests {
         let ctx = Ctx::of(g);
         let out = three_color_rooted(&ctx, &forest);
         assert!(is_proper_on_forest(&forest, &out.colors), "improper");
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             assert!(out.colors[v.index()].unwrap() < 3);
         }
     }

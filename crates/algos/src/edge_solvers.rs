@@ -71,9 +71,9 @@ impl TrulyLocal<MaximalMatching> for MatchingAlgo {
         // A node of `sub` is matched iff some incident rank-2 edge is.
         let g = sub.parent();
         let node_matched = |v: NodeId| -> bool {
-            sub.underlying_neighbors(v)
+            sub.underlying_neighbor_edges(v)
                 .iter()
-                .any(|&(_, e)| l.lnode_of[e.index()].is_some_and(|ln| matched_lnode[ln as usize]))
+                .any(|&e| l.lnode_of[e.index()].is_some_and(|ln| matched_lnode[ln as usize]))
         };
         for &e in sub.edges() {
             match sub.rank(e) {
@@ -278,9 +278,9 @@ impl TrulyLocal<BMatching> for BMatchingAlgo {
         }
         report.push("labeling", 1);
         let load_of = |w: NodeId| -> usize {
-            sub.underlying_neighbors(w)
+            sub.underlying_neighbor_edges(w)
                 .iter()
-                .filter(|&&(_, f)| l.lnode_of[f.index()].is_some_and(|ln| chosen[ln as usize]))
+                .filter(|&&f| l.lnode_of[f.index()].is_some_and(|ln| chosen[ln as usize]))
                 .count()
         };
         for &e in sub.edges() {

@@ -59,11 +59,11 @@ pub fn line_graph(s: &SemiGraph<'_>) -> LineGraph {
     // Adjacent rank-2 edges share exactly one endpoint in a simple graph,
     // so enumerating per-node pairs yields each line edge once.
     for &v in s.nodes() {
-        let inc = s.underlying_neighbors(v);
+        let inc = s.underlying_neighbor_edges(v);
         for i in 0..inc.len() {
             for j in (i + 1)..inc.len() {
-                let a = lnode_of[inc[i].1.index()].expect("rank-2 edge is a line node");
-                let c = lnode_of[inc[j].1.index()].expect("rank-2 edge is a line node");
+                let a = lnode_of[inc[i].index()].expect("rank-2 edge is a line node");
+                let c = lnode_of[inc[j].index()].expect("rank-2 edge is a line node");
                 b.add_edge(a as usize, c as usize);
             }
         }
@@ -133,7 +133,7 @@ mod tests {
         let g = treelocal_gen::random_tree(50, 3);
         let s = SemiGraph::whole(&g);
         let l = line_graph(&s);
-        let mut ids: Vec<u64> = l.graph.node_ids().iter().map(|&v| l.graph.local_id(v)).collect();
+        let mut ids: Vec<u64> = l.graph.node_ids().map(|v| l.graph.local_id(v)).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), l.graph.node_count());
@@ -147,14 +147,14 @@ mod tests {
         let l = line_graph(&s);
         for v in l.graph.node_ids() {
             let e = l.edge_of[v.index()];
-            for &(w, _) in Topology::neighbors(&l.graph, *v) {
+            for &w in l.graph.neighbor_nodes(v) {
                 let f = l.edge_of[w.index()];
                 let [a, b] = g.endpoints(e);
                 let [c, d] = g.endpoints(f);
                 assert!(a == c || a == d || b == c || b == d, "{e:?} vs {f:?}");
             }
             // Degree in L equals edge-degree in g.
-            assert_eq!(Topology::degree(&l.graph, *v), g.edge_degree(e));
+            assert_eq!(Topology::degree(&l.graph, v), g.edge_degree(e));
         }
     }
 

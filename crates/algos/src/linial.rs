@@ -136,7 +136,7 @@ impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
         prev: &Snapshot<'_, ColorState>,
     ) -> Verdict<ColorState> {
         let stage = self.schedule[(round - 1) as usize];
-        let neighbor_colors = ctx.topo.neighbors(v).iter().map(|&(w, _)| prev.get(w).color);
+        let neighbor_colors = ctx.topo.neighbor_nodes(v).iter().map(|&w| prev.get(w).color);
         let state = ColorState { color: recolor(stage, own.color, neighbor_colors) };
         if round as usize == self.schedule.len() {
             Verdict::Halted(state)
@@ -273,7 +273,7 @@ pub fn run_linial_messages<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOut
     let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
     if schedule.is_empty() {
         let mut colors = vec![None; ctx.topo.index_space()];
-        for &v in ctx.topo.nodes() {
+        for v in ctx.topo.nodes() {
             colors[v.index()] = Some(ctx.topo.local_id(v));
         }
         return LinialOutcome { colors, final_bound, rounds: 0 };
@@ -290,8 +290,7 @@ pub fn run_linial_messages<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOut
 /// Checks that `colors` is proper on the topology (test helper).
 pub fn is_proper<T: Topology>(topo: &T, colors: &[Option<u64>]) -> bool {
     topo.nodes()
-        .iter()
-        .all(|&v| topo.neighbors(v).iter().all(|&(w, _)| colors[v.index()] != colors[w.index()]))
+        .all(|v| topo.neighbor_nodes(v).iter().all(|&w| colors[v.index()] != colors[w.index()]))
 }
 
 #[cfg(test)]
@@ -331,7 +330,7 @@ mod tests {
             let ctx = Ctx::of(&g);
             let out = run_linial(&ctx);
             assert!(is_proper(&g, &out.colors), "improper coloring");
-            for &v in g.node_ids() {
+            for v in g.node_ids() {
                 assert!(out.colors[v.index()].unwrap() < out.final_bound);
             }
             assert_eq!(out.rounds as usize, linial_schedule(ctx.id_space, ctx.max_degree).len());

@@ -42,9 +42,9 @@ impl<T: Topology> SyncAlgorithm<T> for ListSweep<'_> {
         }
         let mut used: Vec<Color> = ctx
             .topo
-            .neighbors(v)
+            .neighbor_nodes(v)
             .iter()
-            .filter_map(|&(w, _)| match prev.get(w) {
+            .filter_map(|&w| match prev.get(w) {
                 LsState::Chosen(c) => Some(*c),
                 LsState::Waiting { .. } => None,
             })
@@ -102,8 +102,7 @@ mod tests {
 
     fn lists_for(g: &Graph, offset: u32) -> Vec<Vec<Color>> {
         g.node_ids()
-            .iter()
-            .map(|&v| (0..=(g.degree(v) as Color)).map(|i| offset + 3 * i + 1).collect())
+            .map(|v| (0..=(g.degree(v) as Color)).map(|i| offset + 3 * i + 1).collect())
             .collect()
     }
 
@@ -115,10 +114,10 @@ mod tests {
             let ctx = Ctx::of(&g);
             let lin = run_linial(&ctx);
             let out = list_sweep(&ctx, &lin.colors, lin.final_bound, &lists);
-            for &v in g.node_ids() {
+            for v in g.node_ids() {
                 let c = out.colors[v.index()].unwrap();
                 assert!(lists[v.index()].contains(&c));
-                for &(w, _) in g.neighbors(v) {
+                for &w in g.neighbor_nodes(v) {
                     assert_ne!(out.colors[w.index()].unwrap(), c);
                 }
             }

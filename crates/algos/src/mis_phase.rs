@@ -60,10 +60,9 @@ impl<T: Topology> SyncAlgorithm<T> for MisSweep<'_> {
         let blocker = ctx
             .topo
             .neighbors(v)
-            .iter()
-            .find(|&&(w, _)| matches!(prev.get(w), SweepState::Decided(MisDecision::Member)));
+            .find(|&(w, _)| matches!(prev.get(w), SweepState::Decided(MisDecision::Member)));
         let decision = match blocker {
-            Some(&(_, e)) => MisDecision::NonMember { witness: e },
+            Some((_, e)) => MisDecision::NonMember { witness: e },
             None => MisDecision::Member,
         };
         Verdict::Halted(SweepState::Decided(decision))
@@ -104,11 +103,11 @@ pub fn mis_from_coloring<T: Topology + ParSafe>(
 
 /// Checks that the decisions form an MIS of the topology (test helper).
 pub fn is_valid_mis_on<T: Topology>(topo: &T, decisions: &[Option<MisDecision>]) -> bool {
-    topo.nodes().iter().all(|&v| match decisions[v.index()] {
+    topo.nodes().all(|v| match decisions[v.index()] {
         Some(MisDecision::Member) => topo
-            .neighbors(v)
+            .neighbor_nodes(v)
             .iter()
-            .all(|&(w, _)| !matches!(decisions[w.index()], Some(MisDecision::Member))),
+            .all(|&w| !matches!(decisions[w.index()], Some(MisDecision::Member))),
         Some(MisDecision::NonMember { witness }) => {
             let other = topo.graph().other_endpoint(witness, v);
             matches!(decisions[other.index()], Some(MisDecision::Member))

@@ -300,11 +300,8 @@ mod tests {
     fn list_coloring_solves_whole_and_restrictions() {
         let g = random_tree(90, 6);
         // Offset lists exercising non-contiguous palettes.
-        let lists: Vec<Vec<u32>> = g
-            .node_ids()
-            .iter()
-            .map(|&v| (0..=(g.degree(v) as u32)).map(|i| 5 * i + 2).collect())
-            .collect();
+        let lists: Vec<Vec<u32>> =
+            g.node_ids().map(|v| (0..=(g.degree(v) as u32)).map(|i| 5 * i + 2).collect()).collect();
         let p = ListColoring::new(&g, lists).unwrap();
         let s = SemiGraph::whole(&g);
         let (labeling, _) = ListColoringAlgo.solve(&s, &GlobalCtx::of(&g), &p);

@@ -71,9 +71,9 @@ impl<T: Topology> SyncAlgorithm<T> for SweepAlgo<'_> {
         // so they never block small colors.
         let mut used: Vec<u64> = ctx
             .topo
-            .neighbors(v)
+            .neighbor_nodes(v)
             .iter()
-            .map(|&(w, _)| prev.get(w).color)
+            .map(|&w| prev.get(w).color)
             .filter(|&c| c < self.m)
             .collect();
         used.sort_unstable();
@@ -177,9 +177,9 @@ impl<T: Topology> SyncAlgorithm<T> for KwPhase<'_> {
         // nothing).
         let used_slots: Vec<u64> = ctx
             .topo
-            .neighbors(v)
+            .neighbor_nodes(v)
             .iter()
-            .map(|&(w, _)| prev.get(w).color)
+            .map(|&w| prev.get(w).color)
             .filter(|&c| c & FINAL_TAG != 0)
             .map(|c| c & !FINAL_TAG)
             .filter(|&c| c / self.slots == group)
@@ -260,7 +260,7 @@ mod tests {
         let lin = run_linial(&ctx);
         let out = sweep_reduce(&ctx, &lin.colors, lin.final_bound);
         assert!(check_proper_u32(&g, &out.colors));
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             let c = out.colors[v.index()].unwrap();
             assert!(c as usize <= g.degree(v) + 1, "node {v}: color {c}");
         }

@@ -1,0 +1,119 @@
+//! Criterion benchmarks pinning the CSR adjacency speedup (the SoA/CSR
+//! refactor's acceptance numbers).
+//!
+//! Two kinds of measurement:
+//!
+//! * `linial` and `rake_compress/k2` rerun the exact workloads of
+//!   `primitives.rs` / `decomposition.rs`, so their rows compare directly
+//!   against the same names in `BENCH_baseline.json` (recorded on the
+//!   nested `Vec<Vec<(NodeId, EdgeId)>>` layout). The acceptance bar is
+//!   ≥ 1.3× on both 100k rows.
+//! * `linial_layout` is the in-process control: the same Linial run over
+//!   the flat CSR graph versus a [`Topology`] whose adjacency lives in
+//!   per-node heap allocations (the old layout's allocation pattern),
+//!   isolating the memory-layout effect from everything else that moved
+//!   between recordings.
+//!
+//! `BENCH_csr.json` records a run of this file (see its note for the
+//! profile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelocal_algos::run_linial;
+use treelocal_decomp::rake_compress;
+use treelocal_gen::{random_tree, relabel, IdStrategy};
+use treelocal_graph::{EdgeId, Graph, NodeId, NodeIter, Topology};
+use treelocal_sim::Ctx;
+
+/// The pre-refactor adjacency layout as a [`Topology`]: one heap
+/// allocation per node instead of three flat arrays. The trait now hands
+/// out slices, so the nested layout splits each per-node list into a
+/// node and an edge vector; what this control preserves is the pointer
+/// chase — every `neighbor_nodes` call lands on a separately allocated,
+/// non-contiguous list, exactly like the old `Vec<Vec<…>>` walk.
+struct NestedAdjacency<'g> {
+    g: &'g Graph,
+    node_lists: Vec<Vec<NodeId>>,
+    edge_lists: Vec<Vec<EdgeId>>,
+}
+
+impl<'g> NestedAdjacency<'g> {
+    fn of(g: &'g Graph) -> Self {
+        let mut node_lists = vec![Vec::new(); g.node_count()];
+        let mut edge_lists = vec![Vec::new(); g.node_count()];
+        for v in g.node_ids() {
+            node_lists[v.index()] = g.neighbor_nodes(v).to_vec();
+            edge_lists[v.index()] = g.neighbor_edges(v).to_vec();
+        }
+        NestedAdjacency { g, node_lists, edge_lists }
+    }
+}
+
+impl Topology for NestedAdjacency<'_> {
+    fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    fn nodes(&self) -> NodeIter<'_> {
+        NodeIter::Range(self.g.node_ids())
+    }
+
+    fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.g.node_count()
+    }
+
+    fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+        &self.node_lists[v.index()]
+    }
+
+    fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.edge_lists[v.index()]
+    }
+
+    fn max_degree(&self) -> usize {
+        self.g.max_degree()
+    }
+}
+
+fn bench_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = relabel(&random_tree(n, 1), IdStrategy::Sparse { seed: 1 });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let ctx = Ctx::of(g);
+            b.iter(|| run_linial(&ctx).rounds)
+        });
+    }
+    group.finish();
+}
+
+fn bench_rake_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rake_compress");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let tree = random_tree(n, 1);
+        group.bench_with_input(BenchmarkId::new("k2", n), &tree, |b, tree| {
+            b.iter(|| rake_compress(tree, 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linial_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial_layout");
+    let n = 100_000usize;
+    let g = relabel(&random_tree(n, 1), IdStrategy::Sparse { seed: 1 });
+    let nested = NestedAdjacency::of(&g);
+    // Same rounds on both layouts or the comparison is meaningless.
+    assert_eq!(run_linial(&Ctx::of(&g)).rounds, run_linial(&Ctx::of(&nested)).rounds);
+    group.bench_with_input(BenchmarkId::new("csr", n), &g, |b, g| {
+        let ctx = Ctx::of(g);
+        b.iter(|| run_linial(&ctx).rounds)
+    });
+    group.bench_with_input(BenchmarkId::new("nested", n), &nested, |b, nested| {
+        let ctx = Ctx::of(nested);
+        b.iter(|| run_linial(&ctx).rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial, bench_rake_compress, bench_linial_layout);
+criterion_main!(benches);

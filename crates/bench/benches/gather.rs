@@ -45,13 +45,13 @@ fn caterpillar_forest(count: usize, spine: usize, legs: usize) -> Graph {
 /// Every node costed as a gather center, one sparse BFS each (the
 /// pre-cache implementation of the costing loops).
 fn all_centers_bfs(g: &Graph) -> u64 {
-    g.node_ids().iter().map(|&v| gather_rounds_at(g, v)).max().unwrap_or(0)
+    g.node_ids().map(|v| gather_rounds_at(g, v)).max().unwrap_or(0)
 }
 
 /// Every node costed as a gather center through one `GatherPlan`.
 fn all_centers_plan(g: &Graph) -> u64 {
     let plan = GatherPlan::new(g);
-    g.node_ids().iter().map(|&v| plan.rounds_at(v)).max().unwrap_or(0)
+    g.node_ids().map(|v| plan.rounds_at(v)).max().unwrap_or(0)
 }
 
 fn bench_all_centers_forest(c: &mut Criterion) {

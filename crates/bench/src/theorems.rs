@@ -110,8 +110,7 @@ pub fn e13(size: ExperimentSize, driver: &Driver) -> Table {
         // Non-contiguous per-node lists with exactly deg+1 entries.
         let lists: Vec<Vec<u32>> = tree
             .node_ids()
-            .iter()
-            .map(|&v| {
+            .map(|v| {
                 let base = (v.index() as u32 % 7) + 1;
                 (0..=(tree.degree(v) as u32)).map(|i| base + 3 * i).collect()
             })

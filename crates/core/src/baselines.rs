@@ -52,7 +52,7 @@ pub fn direct_baseline<P: Problem, A: TrulyLocal<P>>(
 /// The gather center used by the trivial baselines: the highest-identifier
 /// node (any fixed local rule would do; the cost is its eccentricity).
 fn gather_center(g: &Graph) -> NodeId {
-    *g.node_ids().iter().max_by_key(|&&v| g.local_id(v)).expect("non-empty graph")
+    g.node_ids().max_by_key(|&v| g.local_id(v)).expect("non-empty graph")
 }
 
 /// The trivial global-gather algorithm for `P1` problems: `2·ecc` rounds.
@@ -63,7 +63,7 @@ pub fn gather_baseline_node<P: Problem + NodeSequential>(
     let center = gather_center(g);
     let rounds = 2 * u64::from(eccentricity(g, center));
     let mut labeling = HalfEdgeLabeling::for_graph(g);
-    let order: Vec<NodeId> = g.node_ids().to_vec();
+    let order: Vec<NodeId> = g.node_ids().collect();
     solve_nodes_sequential(problem, g, &order, &mut labeling)
         .expect("sequential process completes on valid instances");
     let valid = verify_graph(problem, g, &labeling).is_ok();

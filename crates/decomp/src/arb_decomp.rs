@@ -82,20 +82,20 @@ pub fn arb_decompose(g: &Graph, a: usize, k: usize) -> ArbDecomposition {
         iterations += 1;
         assert!(u64::from(iterations) <= cap, "(b,k)-decomposition exceeded safety cap");
         let mut marked = Vec::new();
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             if !alive[v.index()] || deg[v.index()] > k {
                 continue;
             }
             let high = g
-                .neighbors(v)
+                .neighbor_nodes(v)
                 .iter()
-                .filter(|&&(w, _)| alive[w.index()] && deg[w.index()] > k)
+                .filter(|&&w| alive[w.index()] && deg[w.index()] > k)
                 .count();
             if high <= b {
                 marked.push(v);
                 // Record atypical edges now: neighbors that are currently
                 // alive with degree > k end in strictly higher layers.
-                for &(w, e) in g.neighbors(v) {
+                for (w, e) in g.neighbors(v) {
                     if alive[w.index()] && deg[w.index()] > k {
                         atypical[e.index()] = true;
                     }
@@ -107,9 +107,9 @@ pub fn arb_decompose(g: &Graph, a: usize, k: usize) -> ArbDecomposition {
             iteration_of[v.index()] = iterations;
             remaining -= 1;
         }
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             if alive[v.index()] {
-                deg[v.index()] = g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
+                deg[v.index()] = g.neighbor_nodes(v).iter().filter(|&&w| alive[w.index()]).count();
             }
         }
     }
@@ -228,7 +228,7 @@ impl<T: Topology> SyncAlgorithm<T> for ArbDistributed {
         let mut next = own.clone();
         if sub == 0 {
             // Publish the alive-degree.
-            next.deg = ctx.topo.neighbors(v).iter().filter(|&&(w, _)| prev.get(w).alive).count();
+            next.deg = ctx.topo.neighbor_nodes(v).iter().filter(|&&w| prev.get(w).alive).count();
             return Verdict::Active(next);
         }
         // Mark decision.
@@ -239,12 +239,11 @@ impl<T: Topology> SyncAlgorithm<T> for ArbDistributed {
         let high: Vec<treelocal_graph::EdgeId> = ctx
             .topo
             .neighbors(v)
-            .iter()
-            .filter(|&&(w, _)| {
+            .filter(|&(w, _)| {
                 let s = prev.get(w);
                 s.alive && s.deg > self.k
             })
-            .map(|&(_, e)| e)
+            .map(|(_, e)| e)
             .collect();
         if high.len() <= self.b {
             next.alive = false;
@@ -281,7 +280,7 @@ pub fn arb_decompose_distributed(g: &Graph, a: usize, k: usize) -> ArbDecomposit
     let mut iteration_of = vec![0u32; n];
     let mut atypical = vec![false; g.edge_count()];
     let mut iterations = 0;
-    for &v in g.node_ids() {
+    for v in g.node_ids() {
         let st = out.states[v.index()].as_ref().expect("participated");
         let it = st.marked_at.expect("all nodes marked (Lemma 13)");
         iteration_of[v.index()] = it;

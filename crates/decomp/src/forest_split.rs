@@ -56,12 +56,11 @@ pub fn split_atypical(g: &Graph, d: &ArbDecomposition) -> ForestSplit {
     // Step 1: each node colors its higher-going atypical edges with
     // distinct colors (deterministically: by neighbor identifier).
     let mut forest_of: Vec<Option<u32>> = vec![None; g.edge_count()];
-    for &v in g.node_ids() {
+    for v in g.node_ids() {
         let mut mine: Vec<(u64, EdgeId)> = g
             .neighbors(v)
-            .iter()
-            .filter(|&&(_, e)| d.atypical[e.index()] && order.lower_endpoint(g, e) == v)
-            .map(|&(w, e)| (g.local_id(w), e))
+            .filter(|&(_, e)| d.atypical[e.index()] && order.lower_endpoint(g, e) == v)
+            .map(|(w, e)| (g.local_id(w), e))
             .collect();
         mine.sort_unstable();
         assert!(
@@ -108,9 +107,8 @@ fn rooted_forest_towards_higher(
         member[v.index()] = true;
         let mut higher = sub
             .underlying_neighbors(v)
-            .iter()
-            .filter(|&&(_, e)| order.lower_endpoint(g, e) == v)
-            .map(|&(w, _)| w);
+            .filter(|&(_, e)| order.lower_endpoint(g, e) == v)
+            .map(|(w, _)| w);
         parent[v.index()] = higher.next();
         debug_assert!(higher.next().is_none(), "at most one higher neighbor per F_i");
     }

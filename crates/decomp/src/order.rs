@@ -59,7 +59,7 @@ impl LayerOrder {
     /// processing order used when solving list variants component by
     /// component (the paper lets the highest node collect its component).
     pub fn nodes_highest_first(&self, g: &Graph) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = g.node_ids().to_vec();
+        let mut nodes: Vec<NodeId> = g.node_ids().collect();
         nodes.sort_by(|&a, &b| {
             let ka = (self.layer_rank[a.index()], g.local_id(a));
             let kb = (self.layer_rank[b.index()], g.local_id(b));

@@ -96,64 +96,74 @@ pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
     let mut iteration_of = vec![0u32; n];
     let mut mark_of = vec![Mark::Rake; n];
     let mut alive: Vec<bool> = vec![true; n];
-    let mut deg: Vec<usize> = (0..n).map(|i| g.degree(NodeId::new(i))).collect();
-    let mut remaining = n;
+    let mut deg: Vec<u32> = (0..n).map(|i| g.degree(NodeId::new(i)) as u32).collect();
+    // The not-yet-marked nodes, kept in increasing index order so every
+    // scan below visits them exactly as a full `node_ids()` sweep skipping
+    // dead nodes would — the layering is bit-for-bit that of the naive
+    // all-nodes loops, but each iteration only pays for the survivors
+    // (which Lemma 9 shrinks geometrically: O(n) total work, not
+    // O(n log_k n)).
+    let mut alive_list: Vec<NodeId> = g.node_ids().collect();
+    let mut compressed: Vec<NodeId> = Vec::new();
     let mut iterations = 0u32;
     let cap = lemma9_bound(n, k) * 4 + 16;
-    while remaining > 0 {
+    // A node is "just compressed" (marked by this iteration's compress
+    // step) iff its mark was written this iteration and is Compress —
+    // derivable from the output tables, no per-iteration scratch array.
+    let just = |iteration_of: &[u32], mark_of: &[Mark], w: NodeId, it: u32| {
+        iteration_of[w.index()] == it && mark_of[w.index()] == Mark::Compress
+    };
+    while !alive_list.is_empty() {
         iterations += 1;
         assert!(u64::from(iterations) <= cap, "rake-compress exceeded safety cap");
         // Compress step on G[V_{i-1}].
-        let mut compressed = Vec::new();
-        for &v in g.node_ids() {
-            if !alive[v.index()] || deg[v.index()] > k {
+        compressed.clear();
+        for &v in &alive_list {
+            if deg[v.index()] as usize > k {
                 continue;
             }
-            let ok = g.neighbors(v).iter().all(|&(w, _)| !alive[w.index()] || deg[w.index()] <= k);
+            let ok = g
+                .neighbor_nodes(v)
+                .iter()
+                .all(|&w| !alive[w.index()] || deg[w.index()] as usize <= k);
             if ok {
                 compressed.push(v);
             }
         }
-        let mut just_compressed = vec![false; n];
         for &v in &compressed {
-            just_compressed[v.index()] = true;
             iteration_of[v.index()] = iterations;
             mark_of[v.index()] = Mark::Compress;
         }
         // Rake step on G[V_{i-1} \ C_i].
-        let mut raked = Vec::new();
-        for &v in g.node_ids() {
-            if !alive[v.index()] || just_compressed[v.index()] {
+        for &v in &alive_list {
+            if just(&iteration_of, &mark_of, v, iterations) {
                 continue;
             }
             let d = g
-                .neighbors(v)
+                .neighbor_nodes(v)
                 .iter()
-                .filter(|&&(w, _)| alive[w.index()] && !just_compressed[w.index()])
+                .filter(|&&w| alive[w.index()] && !just(&iteration_of, &mark_of, w, iterations))
                 .count();
             if d <= 1 {
-                raked.push(v);
                 iteration_of[v.index()] = iterations;
                 mark_of[v.index()] = Mark::Rake;
             }
         }
-        // Remove marked nodes and update degrees.
-        for &v in compressed.iter().chain(&raked) {
-            alive[v.index()] = false;
-            remaining -= 1;
-            for &(w, _) in g.neighbors(v) {
-                if alive[w.index()] {
-                    deg[w.index()] -= 1;
-                }
+        // Remove every node marked this iteration, then recompute the
+        // survivors' alive-degrees exactly (removals within the same
+        // iteration interact; recompute keeps the implementation obviously
+        // correct — dead nodes' stale entries are never read, every check
+        // above tests `alive` first).
+        alive_list.retain(|&v| {
+            let marked = iteration_of[v.index()] == iterations;
+            if marked {
+                alive[v.index()] = false;
             }
-        }
-        // Recompute degrees exactly (removals within the same iteration
-        // interact; recompute keeps the reference implementation obviously
-        // correct).
-        for &v in g.node_ids() {
-            if alive[v.index()] {
-                deg[v.index()] = g.neighbors(v).iter().filter(|&&(w, _)| alive[w.index()]).count();
-            }
+            !marked
+        });
+        for &v in &alive_list {
+            deg[v.index()] =
+                g.neighbor_nodes(v).iter().filter(|&&w| alive[w.index()]).count() as u32;
         }
     }
     RakeCompress { iteration_of, mark_of, iterations, k, rounds: 3 * u64::from(iterations) }
@@ -265,7 +275,7 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
             0 => {
                 // Publish the current alive-degree.
                 next.deg =
-                    ctx.topo.neighbors(v).iter().filter(|&&(w, _)| prev.get(w).alive).count();
+                    ctx.topo.neighbor_nodes(v).iter().filter(|&&w| prev.get(w).alive).count();
                 Verdict::Active(next)
             }
             1 => {
@@ -274,9 +284,9 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
                 let me_ok = own.deg <= self.k;
                 let nbrs_ok = ctx
                     .topo
-                    .neighbors(v)
+                    .neighbor_nodes(v)
                     .iter()
-                    .all(|&(w, _)| !prev.get(w).alive || prev.get(w).deg <= self.k);
+                    .all(|&w| !prev.get(w).alive || prev.get(w).deg <= self.k);
                 if me_ok && nbrs_ok {
                     next.just_compressed = true;
                     next.marked_at = Some((iteration, Mark::Compress));
@@ -292,9 +302,9 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
                 }
                 let d = ctx
                     .topo
-                    .neighbors(v)
+                    .neighbor_nodes(v)
                     .iter()
-                    .filter(|&&(w, _)| {
+                    .filter(|&&w| {
                         let s = prev.get(w);
                         s.alive && !s.just_compressed
                     })
@@ -332,7 +342,7 @@ pub fn rake_compress_distributed(g: &Graph, k: usize) -> RakeCompress {
     let mut iteration_of = vec![0u32; n];
     let mut mark_of = vec![Mark::Rake; n];
     let mut iterations = 0u32;
-    for &v in g.node_ids() {
+    for v in g.node_ids() {
         let st = out.states[v.index()].as_ref().expect("every node participated");
         let (it, mark) = st.marked_at.expect("every node marked (Lemma 9)");
         iteration_of[v.index()] = it;
@@ -379,8 +389,8 @@ mod tests {
         let g = random_tree(100, 42);
         let rc = rake_compress(&g, 3);
         assert!(rc.iteration_of.iter().all(|&i| i >= 1));
-        let c = g.node_ids().iter().filter(|&&v| rc.is_compressed(v)).count();
-        let r = g.node_ids().iter().filter(|&&v| rc.is_raked(v)).count();
+        let c = g.node_ids().filter(|&v| rc.is_compressed(v)).count();
+        let r = g.node_ids().filter(|&v| rc.is_raked(v)).count();
         assert_eq!(c + r, 100);
     }
 
@@ -389,7 +399,7 @@ mod tests {
         let g = path(30);
         let rc = rake_compress(&g, 2);
         assert_eq!(rc.iterations, 1);
-        assert!(g.node_ids().iter().all(|&v| rc.is_compressed(v)));
+        assert!(g.node_ids().all(|v| rc.is_compressed(v)));
     }
 
     #[test]

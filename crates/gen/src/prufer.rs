@@ -131,13 +131,13 @@ mod tests {
         // In a uniform random tree the expected number of leaves is ~ n/e.
         let n = 2000;
         let g = random_tree(n, 123);
-        let leaves = g.node_ids().iter().filter(|&&v| g.degree(v) == 1).count();
+        let leaves = g.node_ids().filter(|&v| g.degree(v) == 1).count();
         let ratio = leaves as f64 / n as f64;
         assert!((0.30..0.44).contains(&ratio), "leaf ratio {ratio}");
         // Max degree of a random tree is O(log n / log log n); allow slack.
         assert!(g.max_degree() < 30, "max degree {}", g.max_degree());
         let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             *hist.entry(g.degree(v)).or_default() += 1;
         }
         assert!(hist.len() > 3, "degenerate degree histogram {hist:?}");

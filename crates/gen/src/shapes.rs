@@ -214,9 +214,8 @@ mod tests {
         let g = balanced_regular_tree_of_depth(3, 3);
         assert!(is_tree(&g));
         assert_eq!(g.node_count(), 1 + 3 + 6 + 12);
-        let leaves = g.node_ids().iter().filter(|&&v| g.degree(v) == 1).count();
-        let interior_ok =
-            g.node_ids().iter().filter(|&&v| g.degree(v) > 1).all(|&v| g.degree(v) == 3);
+        let leaves = g.node_ids().filter(|&v| g.degree(v) == 1).count();
+        let interior_ok = g.node_ids().filter(|&v| g.degree(v) > 1).all(|v| g.degree(v) == 3);
         assert!(interior_ok);
         assert_eq!(leaves, 12);
     }

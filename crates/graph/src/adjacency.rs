@@ -6,8 +6,16 @@
 //! the paper) makes visible to the node's algorithm. Node indices
 //! ([`NodeId`]) are a packed `0..n` representation used for storage and are
 //! never exposed to simulated algorithms.
+//!
+//! Adjacency is stored in flat CSR/struct-of-arrays form (see
+//! [`crate::csr`]): one u32 offsets table over a flat neighbor array and a
+//! flat edge array. Neighbor walks scan contiguous memory, degrees are
+//! offset deltas, and instance size is capped by the u32 index space
+//! (`n <= u32::MAX`, `2m <= u32::MAX`) — exceeding it is a typed
+//! [`GraphError::TooLarge`], never a silent truncation.
 
-use crate::ids::{EdgeId, NodeId, Side};
+use crate::csr::{check_index_space, zip_neighbors, CsrPairs, Neighbors};
+use crate::ids::{EdgeId, NodeId, NodeRange, Side};
 use crate::GraphError;
 
 /// An immutable simple undirected graph.
@@ -30,10 +38,8 @@ pub struct Graph {
     ids: Vec<u64>,
     /// Endpoints of each edge (`endpoints[e] = [u, v]` with `u != v`).
     endpoints: Vec<[NodeId; 2]>,
-    /// Adjacency lists: `adj[v]` holds `(neighbor, edge)` pairs.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
-    /// All node indices, in order (cached for cheap iteration).
-    node_list: Vec<NodeId>,
+    /// CSR adjacency: per-node neighbor/edge slices in two flat arrays.
+    adj: CsrPairs,
     max_degree: usize,
 }
 
@@ -97,11 +103,15 @@ impl GraphBuilder {
     ///
     /// # Errors
     ///
-    /// Returns an error if an edge references a node index `>= n`, if a
-    /// self-loop or parallel edge is present, or if identifiers are
-    /// malformed (wrong length, duplicate, or zero).
+    /// Returns an error if the node or edge count exceeds the u32 index
+    /// space ([`GraphError::TooLarge`]), if an edge references a node index
+    /// `>= n`, if a self-loop or parallel edge is present, or if
+    /// identifiers are malformed (wrong length, duplicate, or zero).
     pub fn finish(self) -> Result<Graph, GraphError> {
         let n = self.n;
+        // Fail before any index is narrowed to u32 (and before the O(n)
+        // identifier table is even allocated).
+        check_index_space(n, self.edges.len())?;
         let ids = match self.ids {
             Some(ids) => {
                 if ids.len() != n {
@@ -143,19 +153,12 @@ impl GraphBuilder {
             return Err(GraphError::ParallelEdge { u: w[0].0 as usize, v: w[0].1 as usize });
         }
 
-        let mut adj = vec![Vec::new(); n];
-        for (i, &[u, v]) in endpoints.iter().enumerate() {
-            let e = EdgeId::new(i);
-            adj[u.index()].push((v, e));
-            adj[v.index()].push((u, e));
-        }
-        // Deterministic neighbor order: by neighbor index.
-        for list in &mut adj {
-            list.sort_unstable_by_key(|&(w, _)| w);
-        }
-        let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0);
-        let node_list = (0..n).map(NodeId::new).collect();
-        Ok(Graph { ids, endpoints, adj, node_list, max_degree })
+        let adj = CsrPairs::from_undirected_edges(
+            n,
+            endpoints.iter().enumerate().map(|(i, &[u, v])| (u, v, EdgeId::new(i))),
+        );
+        let max_degree = adj.max_degree();
+        Ok(Graph { ids, endpoints, adj, max_degree })
     }
 }
 
@@ -191,10 +194,11 @@ impl Graph {
         self.endpoints.len()
     }
 
-    /// All node indices in increasing order.
+    /// All node indices in increasing order (a counter over the packed
+    /// `0..n` id space — nothing is stored).
     #[inline]
-    pub fn node_ids(&self) -> &[NodeId] {
-        &self.node_list
+    pub fn node_ids(&self) -> NodeRange {
+        NodeRange::upto(self.node_count())
     }
 
     /// Iterates over all edge indices.
@@ -248,17 +252,33 @@ impl Graph {
         }
     }
 
-    /// Adjacency list of `v`: `(neighbor, connecting edge)` pairs sorted by
-    /// neighbor index.
+    /// The neighbors of `v`, sorted by node index — a contiguous slice of
+    /// the flat CSR neighbor array. Use this (not [`neighbors`](Graph::neighbors))
+    /// when the connecting edges are not needed: it touches half the bytes.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[v.index()]
+    pub fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+        self.adj.nodes_of(v)
     }
 
-    /// Degree of `v`.
+    /// The edges connecting `v` to [`neighbor_nodes`](Graph::neighbor_nodes),
+    /// slot for slot (`neighbor_edges(v)[p]` joins `v` to
+    /// `neighbor_nodes(v)[p]`).
+    #[inline]
+    pub fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        self.adj.edges_of(v)
+    }
+
+    /// Iterates `(neighbor, connecting edge)` pairs of `v` in neighbor
+    /// order, pairing the two CSR slices.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        zip_neighbors(self.adj.nodes_of(v), self.adj.edges_of(v))
+    }
+
+    /// Degree of `v` — an O(1) offset delta in the CSR table.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        self.adj.degree(v)
     }
 
     /// Maximum degree Δ of the graph.
@@ -293,12 +313,12 @@ impl Graph {
     /// Looks up the edge connecting `u` and `v`, if any.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a).binary_search_by_key(&b, |&(w, _)| w).ok().map(|i| self.neighbors(a)[i].1)
+        self.neighbor_nodes(a).binary_search(&b).ok().map(|i| self.neighbor_edges(a)[i])
     }
 
     /// Sum of all degrees (twice the edge count); useful for sanity checks.
     pub fn degree_sum(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.adj.slot_count()
     }
 }
 
@@ -317,6 +337,7 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.id_space(), 1);
+        assert_eq!(g.node_ids().count(), 0);
     }
 
     #[test]
@@ -334,8 +355,23 @@ mod tests {
         assert_eq!(g.degree(NodeId::new(2)), 2);
         assert_eq!(g.max_degree(), 2);
         assert_eq!(g.degree_sum(), 2 * g.edge_count());
-        let nbrs: Vec<_> = g.neighbors(NodeId::new(2)).iter().map(|&(w, _)| w.index()).collect();
+        let nbrs: Vec<_> = g.neighbor_nodes(NodeId::new(2)).iter().map(|w| w.index()).collect();
         assert_eq!(nbrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn neighbor_slices_stay_aligned() {
+        // Star with shuffled edge insertion: the neighbor slice is sorted
+        // and the edge slice rides along slot for slot.
+        let g = Graph::from_edges(5, &[(0, 3), (0, 1), (0, 4), (0, 2)]).unwrap();
+        let c = NodeId::new(0);
+        let nodes: Vec<usize> = g.neighbor_nodes(c).iter().map(|w| w.index()).collect();
+        assert_eq!(nodes, vec![1, 2, 3, 4]);
+        for (w, e) in g.neighbors(c) {
+            assert_eq!(g.other_endpoint(e, c), w);
+        }
+        assert_eq!(g.neighbors(c).len(), g.degree(c));
+        assert_eq!(g.neighbor_nodes(c).len(), g.neighbor_edges(c).len());
     }
 
     #[test]
@@ -375,6 +411,21 @@ mod tests {
             Graph::from_edges(2, &[(0, 5)]),
             Err(GraphError::NodeOutOfRange { index: 5, n: 2 })
         ));
+    }
+
+    #[test]
+    fn rejects_oversized_node_count() {
+        // One past the u32 index space. The check fires before the O(n)
+        // identifier table is allocated, so this is cheap to test.
+        let n = u32::MAX as usize + 1;
+        let err = GraphBuilder::new(n).finish().unwrap_err();
+        assert!(matches!(err, GraphError::TooLarge { nodes, edges: 0 } if nodes == n));
+        assert!(err.to_string().contains("u32 index space"));
+        // At the boundary the count check passes (edge validation then
+        // rejects the out-of-range endpoints, proving we got past it).
+        let mut b = GraphBuilder::new(u32::MAX as usize);
+        b.local_ids(vec![]); // wrong length: fails fast after the size check
+        assert!(matches!(b.finish(), Err(GraphError::IdCountMismatch { .. })));
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn degeneracy(g: &Graph) -> Peeling {
         removed[v.index()] = true;
         degeneracy = degeneracy.max(deg[v.index()]);
         order.push(v);
-        for &(w, _) in g.neighbors(v) {
+        for &w in g.neighbor_nodes(v) {
             if !removed[w.index()] {
                 deg[w.index()] -= 1;
                 buckets[deg[w.index()]].push(w);
@@ -120,7 +120,7 @@ pub fn forest_partition(g: &Graph) -> ForestPartition {
     // forest indices.
     for &v in peel.order.iter().rev() {
         let mut next = 0usize;
-        for &(w, e) in g.neighbors(v) {
+        for (w, e) in g.neighbors(v) {
             if rank[w.index()] > rank[v.index()] {
                 forest_of[e.index()] = next;
                 next += 1;

@@ -100,7 +100,7 @@ impl Eccentricities {
 pub fn all_eccentricities<T: Topology>(topo: &T) -> Eccentricities {
     let mut ecc = vec![ECC_UNCOMPUTED; topo.index_space()];
     let mut far: Vec<NodeId> = (0..topo.index_space()).map(NodeId::new).collect();
-    for &v in topo.nodes() {
+    for v in topo.nodes() {
         if ecc[v.index()] == ECC_UNCOMPUTED {
             component_eccentricities(topo, v, &mut ecc, &mut far);
         }
@@ -187,7 +187,7 @@ pub fn component_eccentricities<T: Topology>(
         while head < scratch.order.len() {
             let v = scratch.order[head];
             head += 1;
-            for &(w, _) in topo.neighbors(v) {
+            for &w in topo.neighbor_nodes(v) {
                 half_edges += 1;
                 if scratch.seen[w.index()] != epoch {
                     scratch.seen[w.index()] = epoch;
@@ -214,7 +214,7 @@ pub fn component_eccentricities<T: Topology>(
             let v = scratch.order[idx];
             let mut h = 0u32;
             let mut f = v;
-            for &(c, _) in topo.neighbors(v) {
+            for &c in topo.neighbor_nodes(v) {
                 if scratch.parent[c.index()] == v && c != v && scratch.parent[v.index()] != c {
                     let cand = 1 + scratch.down_h[c.index()];
                     if cand > h {
@@ -235,9 +235,9 @@ pub fn component_eccentricities<T: Topology>(
         // adjacency position wins ties" reproduces the BFS tie-break.
         for idx in 0..scratch.order.len() {
             let p = scratch.order[idx];
-            let nbrs = topo.neighbors(p);
+            let nbrs = topo.neighbor_nodes(p);
             scratch.entries.clear();
-            for &(y, _) in nbrs {
+            for &y in nbrs {
                 let e = if idx != 0 && scratch.parent[p.index()] == y {
                     (scratch.up_h[p.index()], scratch.up_f[p.index()])
                 } else {
@@ -261,7 +261,7 @@ pub fn component_eccentricities<T: Topology>(
                 // `>=`: on ties the earlier adjacency position wins.
                 scratch.suffix[i] = if e.0 >= best.0 { e } else { best };
             }
-            for (i, &(y, _)) in nbrs.iter().enumerate() {
+            for (i, &y) in nbrs.iter().enumerate() {
                 if idx != 0 && scratch.parent[p.index()] == y {
                     continue; // the edge toward p's own parent
                 }
@@ -285,7 +285,7 @@ pub fn component_eccentricities<T: Topology>(
         for idx in 0..scratch.order.len() {
             let v = scratch.order[idx];
             let mut best = (0u32, v);
-            for &(y, _) in topo.neighbors(v) {
+            for &y in topo.neighbor_nodes(v) {
                 let cand = if idx != 0 && scratch.parent[v.index()] == y {
                     (scratch.up_h[v.index()], scratch.up_f[v.index()])
                 } else {
@@ -310,7 +310,7 @@ mod tests {
 
     fn assert_matches_sparse<T: Topology>(topo: &T) {
         let all = all_eccentricities(topo);
-        for &v in topo.nodes() {
+        for v in topo.nodes() {
             assert_eq!(all.farthest(v), sparse_bfs_farthest(topo, v), "node {v:?}");
         }
     }

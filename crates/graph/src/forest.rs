@@ -144,7 +144,7 @@ pub fn root_forest<T: Topology>(topo: &T) -> RootedForest {
         member[root.index()] = true;
         let mut visited_edges = 0usize;
         while let Some(v) = stack.pop() {
-            for &(w, _) in topo.neighbors(v) {
+            for &w in topo.neighbor_nodes(v) {
                 if Some(w) == parent[v.index()] {
                     continue;
                 }

@@ -136,6 +136,48 @@ impl HalfEdge {
     }
 }
 
+/// Iterator over a contiguous range of packed node indices.
+///
+/// With packed `0..n` ids, the set of all nodes is just a counter — this
+/// is what [`Graph::node_ids`](crate::Graph::node_ids) returns instead of
+/// a cached `Vec<NodeId>`.
+#[derive(Clone, Debug)]
+pub struct NodeRange {
+    range: std::ops::Range<u32>,
+}
+
+impl NodeRange {
+    /// The range `0..n` of a graph with `n` nodes.
+    #[inline]
+    pub(crate) fn upto(n: usize) -> Self {
+        NodeRange { range: 0..u32::try_from(n).expect("node count exceeds u32") }
+    }
+}
+
+impl Iterator for NodeRange {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.range.next().map(NodeId)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for NodeRange {
+    #[inline]
+    fn next_back(&mut self) -> Option<NodeId> {
+        self.range.next_back().map(NodeId)
+    }
+}
+
+impl ExactSizeIterator for NodeRange {}
+impl std::iter::FusedIterator for NodeRange {}
+
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
@@ -218,6 +260,17 @@ mod tests {
         assert_eq!(h.opposite().edge, EdgeId::new(3));
         assert_eq!(h.opposite().side, Side::Second);
         assert_eq!(h.opposite().opposite(), h);
+    }
+
+    #[test]
+    fn node_range_iterates_all_packed_ids() {
+        let r = NodeRange::upto(4);
+        assert_eq!(r.len(), 4);
+        let v: Vec<usize> = r.clone().map(NodeId::index).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        let back: Vec<usize> = r.rev().map(NodeId::index).collect();
+        assert_eq!(back, vec![3, 2, 1, 0]);
+        assert_eq!(NodeRange::upto(0).count(), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod adjacency;
 mod arboricity;
+mod csr;
 mod eccentricity;
 mod forest;
 mod ids;
@@ -45,13 +46,14 @@ pub use arboricity::{
     degeneracy, density_lower_bound, forest_partition, is_forest_partition, ForestPartition,
     Peeling,
 };
+pub use csr::Neighbors;
 pub use eccentricity::{
     all_eccentricities, component_eccentricities, Eccentricities, ECC_UNCOMPUTED,
 };
 pub use forest::{is_forest, is_tree, root_forest, RootedForest};
-pub use ids::{EdgeId, HalfEdge, NodeId, Side};
+pub use ids::{EdgeId, HalfEdge, NodeId, NodeRange, Side};
 pub use semigraph::SemiGraph;
-pub use topology::Topology;
+pub use topology::{NodeIter, Topology};
 pub use traversal::{
     bfs_distances, component_diameter_double_sweep, component_diameter_exact, components,
     eccentricity, eccentricity_sparse, farthest_from, sparse_bfs_farthest,
@@ -95,6 +97,14 @@ pub enum GraphError {
     DuplicateId,
     /// A LOCAL identifier is zero (identifiers are from `{1, ..., n^c}`).
     ZeroId,
+    /// The instance exceeds the u32 index space of the CSR adjacency
+    /// (`n <= u32::MAX` nodes, `2m <= u32::MAX` half-edges).
+    TooLarge {
+        /// The requested node count.
+        nodes: usize,
+        /// The requested edge count.
+        edges: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -110,6 +120,13 @@ impl fmt::Display for GraphError {
             }
             GraphError::DuplicateId => write!(f, "duplicate LOCAL identifier"),
             GraphError::ZeroId => write!(f, "LOCAL identifiers must be positive"),
+            GraphError::TooLarge { nodes, edges } => write!(
+                f,
+                "instance with {nodes} nodes / {edges} edges exceeds the u32 index space \
+                 (need n <= {} and 2m <= {})",
+                u32::MAX,
+                u32::MAX
+            ),
         }
     }
 }

@@ -12,6 +12,7 @@
 //! directly (this is exactly what Algorithms 2 and 4 of the paper do).
 
 use crate::adjacency::Graph;
+use crate::csr::{zip_neighbors, CsrEdges, CsrPairs, Neighbors};
 use crate::ids::{EdgeId, HalfEdge, NodeId, Side};
 
 /// A semi-graph view into a parent [`Graph`].
@@ -40,11 +41,11 @@ pub struct SemiGraph<'g> {
     /// Which half-edges are present, per parent edge (only meaningful for
     /// edges contained in the semi-graph).
     half: Vec<[bool; 2]>,
-    /// Half-edge incidence: for each node, the contained edges whose half at
-    /// this node is present.
-    inc: Vec<Vec<EdgeId>>,
-    /// Rank-2 adjacency (the communication graph / underlying graph).
-    adj2: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Half-edge incidence (CSR): for each node, the contained edges whose
+    /// half at this node is present, in ascending edge order.
+    inc: CsrEdges,
+    /// Rank-2 adjacency (CSR): the communication graph / underlying graph.
+    adj2: CsrPairs,
     max_underlying_degree: usize,
 }
 
@@ -107,26 +108,24 @@ impl<'g> SemiGraph<'g> {
         let n = graph.node_count();
         let nodes: Vec<NodeId> = (0..n).map(NodeId::new).filter(|v| node_in[v.index()]).collect();
         let edges: Vec<EdgeId> = graph.edge_ids().filter(|e| edge_in[e.index()]).collect();
-        let mut inc = vec![Vec::new(); n];
-        let mut adj2 = vec![Vec::new(); n];
-        for &e in &edges {
-            let [u, v] = graph.endpoints(e);
-            let [hu, hv] = half[e.index()];
-            if hu {
-                inc[u.index()].push(e);
-            }
-            if hv {
-                inc[v.index()].push(e);
-            }
-            if hu && hv {
-                adj2[u.index()].push((v, e));
-                adj2[v.index()].push((u, e));
-            }
-        }
-        for list in &mut adj2 {
-            list.sort_unstable_by_key(|&(w, _)| w);
-        }
-        let max_underlying_degree = adj2.iter().map(Vec::len).max().unwrap_or(0);
+        // Incidences fed in ascending edge order; the stable counting fill
+        // keeps each per-node list ascending.
+        let inc = CsrEdges::from_incidences(
+            n,
+            edges.iter().flat_map(|&e| {
+                let [u, v] = graph.endpoints(e);
+                let [hu, hv] = half[e.index()];
+                hu.then_some((u, e)).into_iter().chain(hv.then_some((v, e)))
+            }),
+        );
+        let adj2 = CsrPairs::from_undirected_edges(
+            n,
+            edges.iter().filter(|&&e| half[e.index()] == [true, true]).map(|&e| {
+                let [u, v] = graph.endpoints(e);
+                (u, v, e)
+            }),
+        );
+        let max_underlying_degree = nodes.iter().map(|&v| adj2.degree(v)).max().unwrap_or(0);
         SemiGraph { graph, node_in, nodes, edge_in, edges, half, inc, adj2, max_underlying_degree }
     }
 
@@ -185,19 +184,19 @@ impl<'g> SemiGraph<'g> {
     /// node-edge-checkability formalism.
     #[inline]
     pub fn half_degree(&self, v: NodeId) -> usize {
-        self.inc[v.index()].len()
+        self.inc.degree(v)
     }
 
     /// The contained edges with a present half-edge at `v`.
     #[inline]
     pub fn incident_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.inc[v.index()]
+        self.inc.edges_of(v)
     }
 
     /// Iterates over the present half-edges at `v`.
     pub fn half_edges_of(&self, v: NodeId) -> impl Iterator<Item = HalfEdge> + '_ {
         let g = self.graph;
-        self.inc[v.index()].iter().map(move |&e| HalfEdge::new(e, g.side_of(e, v)))
+        self.inc.edges_of(v).iter().map(move |&e| HalfEdge::new(e, g.side_of(e, v)))
     }
 
     /// Iterates over every present half-edge of the semi-graph.
@@ -211,16 +210,30 @@ impl<'g> SemiGraph<'g> {
     }
 
     /// The rank-2 neighbors of `v` (the adjacency of the *underlying graph*,
-    /// over which LOCAL communication happens).
+    /// over which LOCAL communication happens), sorted by node index.
     #[inline]
-    pub fn underlying_neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj2[v.index()]
+    pub fn underlying_neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+        self.adj2.nodes_of(v)
+    }
+
+    /// The rank-2 edges connecting `v` to
+    /// [`underlying_neighbor_nodes`](SemiGraph::underlying_neighbor_nodes),
+    /// slot for slot.
+    #[inline]
+    pub fn underlying_neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        self.adj2.edges_of(v)
+    }
+
+    /// Iterates the rank-2 `(neighbor, connecting edge)` pairs of `v`.
+    #[inline]
+    pub fn underlying_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        zip_neighbors(self.adj2.nodes_of(v), self.adj2.edges_of(v))
     }
 
     /// The degree of `v` in the underlying graph.
     #[inline]
     pub fn underlying_degree(&self, v: NodeId) -> usize {
-        self.adj2[v.index()].len()
+        self.adj2.degree(v)
     }
 
     /// The maximum degree of the underlying graph (the `Δ` in the runtime

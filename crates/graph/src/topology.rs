@@ -6,10 +6,67 @@
 //! and all distributed algorithms are generic over this trait, so the same
 //! implementation runs on whole graphs and on the restricted semi-graphs
 //! produced by the decompositions.
+//!
+//! Adjacency is exposed as two parallel contiguous slices —
+//! [`neighbor_nodes`](Topology::neighbor_nodes) and
+//! [`neighbor_edges`](Topology::neighbor_edges) — backed by the flat CSR
+//! arrays. Hot loops that only need the neighbor indices iterate the node
+//! slice alone and touch half the bytes the old `(NodeId, EdgeId)` pair
+//! lists did; [`neighbors`](Topology::neighbors) zips the two slices when
+//! the connecting edge is needed too.
 
 use crate::adjacency::Graph;
-use crate::ids::{EdgeId, NodeId};
+use crate::csr::{zip_neighbors, Neighbors};
+use crate::ids::{EdgeId, NodeId, NodeRange};
 use crate::semigraph::SemiGraph;
+
+/// Iterator over a topology's participating nodes, in increasing index
+/// order.
+///
+/// A whole [`Graph`] iterates the packed range `0..n` without storing
+/// anything; a [`SemiGraph`] iterates its materialized node slice. Both
+/// variants are exact-size, so `topo.nodes().len()` is the participating
+/// node count.
+#[derive(Clone, Debug)]
+pub enum NodeIter<'a> {
+    /// A counter over the packed range `0..n` (whole-graph topologies).
+    Range(NodeRange),
+    /// A walk over a materialized node slice (restricted topologies).
+    Slice(std::iter::Copied<std::slice::Iter<'a, NodeId>>),
+}
+
+impl Iterator for NodeIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            NodeIter::Range(r) => r.next(),
+            NodeIter::Slice(s) => s.next(),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NodeIter::Range(r) => r.size_hint(),
+            NodeIter::Slice(s) => s.size_hint(),
+        }
+    }
+}
+
+impl DoubleEndedIterator for NodeIter<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<NodeId> {
+        match self {
+            NodeIter::Range(r) => r.next_back(),
+            NodeIter::Slice(s) => s.next_back(),
+        }
+    }
+}
+
+impl ExactSizeIterator for NodeIter<'_> {}
+impl std::iter::FusedIterator for NodeIter<'_> {}
 
 /// A communication topology for LOCAL algorithms.
 ///
@@ -27,18 +84,31 @@ pub trait Topology {
     }
 
     /// The participating nodes, in increasing index order.
-    fn nodes(&self) -> &[NodeId];
+    fn nodes(&self) -> NodeIter<'_>;
 
     /// Whether `v` participates in this topology.
     fn contains_node(&self, v: NodeId) -> bool;
 
-    /// The communication neighbors of `v` with their connecting edges
-    /// (rank-2 adjacency), sorted by neighbor index.
-    fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)];
+    /// The communication neighbors of `v` (rank-2 adjacency), sorted by
+    /// node index — a contiguous slice of the flat CSR neighbor array.
+    /// Prefer this over [`neighbors`](Topology::neighbors) when the
+    /// connecting edges are not needed.
+    fn neighbor_nodes(&self, v: NodeId) -> &[NodeId];
+
+    /// The edges connecting `v` to
+    /// [`neighbor_nodes`](Topology::neighbor_nodes), slot for slot:
+    /// `neighbor_edges(v)[p]` joins `v` to `neighbor_nodes(v)[p]`.
+    fn neighbor_edges(&self, v: NodeId) -> &[EdgeId];
+
+    /// Iterates `(neighbor, connecting edge)` pairs of `v` in neighbor
+    /// order, pairing the two CSR slices.
+    fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        zip_neighbors(self.neighbor_nodes(v), self.neighbor_edges(v))
+    }
 
     /// The communication degree of `v`.
     fn degree(&self, v: NodeId) -> usize {
-        self.neighbors(v).len()
+        self.neighbor_nodes(v).len()
     }
 
     /// The maximum communication degree over participating nodes.
@@ -55,16 +125,24 @@ impl Topology for Graph {
         self
     }
 
-    fn nodes(&self) -> &[NodeId] {
-        self.node_ids()
+    fn nodes(&self) -> NodeIter<'_> {
+        NodeIter::Range(self.node_ids())
     }
 
     fn contains_node(&self, v: NodeId) -> bool {
         v.index() < self.node_count()
     }
 
-    fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        Graph::neighbors(self, v)
+    fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbor_nodes(self, v)
+    }
+
+    fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        Graph::neighbor_edges(self, v)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        Graph::degree(self, v)
     }
 
     fn max_degree(&self) -> usize {
@@ -77,16 +155,24 @@ impl Topology for SemiGraph<'_> {
         self.parent()
     }
 
-    fn nodes(&self) -> &[NodeId] {
-        SemiGraph::nodes(self)
+    fn nodes(&self) -> NodeIter<'_> {
+        NodeIter::Slice(SemiGraph::nodes(self).iter().copied())
     }
 
     fn contains_node(&self, v: NodeId) -> bool {
         SemiGraph::contains_node(self, v)
     }
 
-    fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        self.underlying_neighbors(v)
+    fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+        self.underlying_neighbor_nodes(v)
+    }
+
+    fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        self.underlying_neighbor_edges(v)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.underlying_degree(v)
     }
 
     fn max_degree(&self) -> usize {
@@ -101,8 +187,6 @@ mod tests {
     #[test]
     fn graph_is_its_own_topology() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        let t: &dyn Fn() = &|| {};
-        let _ = t; // silence lints about unused closures in doc-like test
         assert_eq!(Topology::max_degree(&g), 2);
         assert_eq!(Topology::nodes(&g).len(), 3);
         assert!(Topology::contains_node(&g, NodeId::new(2)));
@@ -121,8 +205,22 @@ mod tests {
         assert_eq!(s.index_space(), 4);
     }
 
+    #[test]
+    fn neighbor_slices_and_zip_agree() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let c = NodeId::new(0);
+        let nodes = Topology::neighbor_nodes(&g, c);
+        let edges = Topology::neighbor_edges(&g, c);
+        assert_eq!(nodes.len(), edges.len());
+        let zipped: Vec<_> = Topology::neighbors(&g, c).collect();
+        for (p, &(w, e)) in zipped.iter().enumerate() {
+            assert_eq!(w, nodes[p]);
+            assert_eq!(e, edges[p]);
+        }
+    }
+
     fn generic_total_degree<T: Topology>(t: &T) -> usize {
-        t.nodes().iter().map(|&v| t.degree(v)).sum()
+        t.nodes().map(|v| t.degree(v)).sum()
     }
 
     #[test]

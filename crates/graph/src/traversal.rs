@@ -72,7 +72,7 @@ pub fn components<T: Topology>(topo: &T) -> Components {
     let mut component_of = vec![usize::MAX; topo.index_space()];
     let mut members = Vec::new();
     let mut queue = VecDeque::new();
-    for &start in topo.nodes() {
+    for start in topo.nodes() {
         if component_of[start.index()] != usize::MAX {
             continue;
         }
@@ -81,7 +81,7 @@ pub fn components<T: Topology>(topo: &T) -> Components {
         component_of[start.index()] = c;
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
-            for &(w, _) in topo.neighbors(v) {
+            for &w in topo.neighbor_nodes(v) {
                 if component_of[w.index()] == usize::MAX {
                     component_of[w.index()] = c;
                     comp.push(w);
@@ -106,7 +106,7 @@ pub fn bfs_distances<T: Topology>(topo: &T, source: NodeId) -> Vec<Option<u32>> 
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
         let d = dist[v.index()].expect("queued node has a distance");
-        for &(w, _) in topo.neighbors(v) {
+        for &w in topo.neighbor_nodes(v) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
                 queue.push_back(w);
@@ -185,7 +185,7 @@ pub fn sparse_bfs_farthest<T: Topology>(topo: &T, v: NodeId) -> (NodeId, u32) {
             if d > far.1 {
                 far = (u, d);
             }
-            for &(w, _) in topo.neighbors(u) {
+            for &w in topo.neighbor_nodes(u) {
                 if scratch.dist[w.index()] == u32::MAX {
                     scratch.dist[w.index()] = d + 1;
                     scratch.order.push(w);
@@ -231,7 +231,7 @@ pub fn component_diameter_exact<T: Topology>(topo: &T, start: NodeId) -> u32 {
     let mut best = 0;
     for v in topo.nodes() {
         if dist[v.index()].is_some() {
-            best = best.max(eccentricity(topo, *v));
+            best = best.max(eccentricity(topo, v));
         }
     }
     best
@@ -337,7 +337,7 @@ mod tests {
 
     #[test]
     fn sparse_scratch_recovers_after_a_mid_bfs_panic() {
-        use crate::topology::Topology;
+        use crate::topology::{NodeIter, Topology};
         use crate::EdgeId;
 
         /// Delegates to a real path but panics when the BFS expands a
@@ -347,15 +347,18 @@ mod tests {
             fn graph(&self) -> &Graph {
                 self.0
             }
-            fn nodes(&self) -> &[NodeId] {
-                self.0.node_ids()
+            fn nodes(&self) -> NodeIter<'_> {
+                Topology::nodes(self.0)
             }
             fn contains_node(&self, v: NodeId) -> bool {
                 v.index() < self.0.node_count()
             }
-            fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+            fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
                 assert!(v.index() != self.1, "mid-bfs panic for the scratch test");
-                Topology::neighbors(self.0, v)
+                self.0.neighbor_nodes(v)
+            }
+            fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+                self.0.neighbor_edges(v)
             }
             fn max_degree(&self) -> usize {
                 self.0.max_degree()
@@ -389,7 +392,7 @@ mod tests {
     fn sparse_eccentricity_matches_dense() {
         let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
         for v in g.node_ids() {
-            assert_eq!(eccentricity(&g, *v), eccentricity_sparse(&g, *v), "{v:?}");
+            assert_eq!(eccentricity(&g, v), eccentricity_sparse(&g, v), "{v:?}");
         }
     }
 

@@ -1,0 +1,145 @@
+//! CSR adjacency equivalence: the flat slices must reproduce, slot for
+//! slot, the adjacency a naive nested-`Vec` build produces.
+//!
+//! The graph crate stores adjacency as CSR (one `u32` offset table over two
+//! flat parallel arrays) built with a counting sort. The previous layout —
+//! `Vec<Vec<(NodeId, EdgeId)>>`, pushed per edge and sorted per node — is
+//! reconstructed here as an executable reference model, and the two are
+//! compared exactly on random Prüfer trees, random forests, stars, paths,
+//! and semi-graph restrictions. Because every downstream consumer (engines,
+//! decompositions, solvers) iterates adjacency in storage order, slot-level
+//! equality here is what pins their outcomes byte-identical across the
+//! layout change.
+
+use proptest::prelude::*;
+use treelocal_gen::{path, random_forest, random_tree, star};
+use treelocal_graph::{EdgeId, Graph, NodeId, SemiGraph, Side, Topology};
+
+/// The pre-CSR adjacency build: push both directions of every edge, then
+/// sort each per-node list by neighbor index.
+fn nested_adjacency(g: &Graph) -> Vec<Vec<(NodeId, EdgeId)>> {
+    let mut adj = vec![Vec::new(); g.node_count()];
+    for e in g.edge_ids() {
+        let [u, v] = g.endpoints(e);
+        adj[u.index()].push((v, e));
+        adj[v.index()].push((u, e));
+    }
+    for list in &mut adj {
+        list.sort_unstable_by_key(|&(w, _)| w);
+    }
+    adj
+}
+
+/// Slot-for-slot comparison of the CSR slices against the reference lists.
+fn assert_matches_reference(g: &Graph) {
+    let reference = nested_adjacency(g);
+    let mut slots = 0usize;
+    for v in g.node_ids() {
+        let expect = &reference[v.index()];
+        let nodes = g.neighbor_nodes(v);
+        let edges = g.neighbor_edges(v);
+        assert_eq!(nodes.len(), expect.len(), "degree of {v:?}");
+        assert_eq!(edges.len(), expect.len(), "edge slots of {v:?}");
+        assert_eq!(g.degree(v), expect.len());
+        for (p, &(w, e)) in expect.iter().enumerate() {
+            assert_eq!(nodes[p], w, "neighbor slot {p} of {v:?}");
+            assert_eq!(edges[p], e, "edge slot {p} of {v:?}");
+        }
+        let zipped: Vec<(NodeId, EdgeId)> = g.neighbors(v).collect();
+        assert_eq!(&zipped, expect, "zipped pairs of {v:?}");
+        slots += expect.len();
+    }
+    assert_eq!(g.degree_sum(), slots);
+    assert_eq!(g.max_degree(), reference.iter().map(Vec::len).max().unwrap_or(0));
+}
+
+/// Reference rank-2 adjacency and half-edge incidence of a semi-graph,
+/// computed edge by edge from the membership predicates alone.
+fn assert_semigraph_matches_reference(g: &Graph, s: &SemiGraph<'_>) {
+    for &v in s.nodes() {
+        let mut rank2: Vec<(NodeId, EdgeId)> = Vec::new();
+        let mut halves: Vec<EdgeId> = Vec::new();
+        for e in g.edge_ids() {
+            if !s.contains_edge(e) {
+                continue;
+            }
+            let [u, w] = g.endpoints(e);
+            let (other, side) = if u == v {
+                (w, Side::First)
+            } else if w == v {
+                (u, Side::Second)
+            } else {
+                continue;
+            };
+            if s.half_present(e, side) {
+                halves.push(e);
+            }
+            if s.half_present(e, Side::First) && s.half_present(e, Side::Second) {
+                rank2.push((other, e));
+            }
+        }
+        rank2.sort_unstable_by_key(|&(w, _)| w);
+        let nodes = s.underlying_neighbor_nodes(v);
+        let edges = s.underlying_neighbor_edges(v);
+        assert_eq!(nodes.len(), rank2.len(), "rank-2 degree of {v:?}");
+        for (p, &(w, e)) in rank2.iter().enumerate() {
+            assert_eq!(nodes[p], w);
+            assert_eq!(edges[p], e);
+        }
+        assert_eq!(Topology::degree(s, v), rank2.len());
+        // Incidence lists stay in ascending edge order (the feed order of
+        // the stable counting fill).
+        assert_eq!(s.incident_edges(v), &halves[..], "incidences of {v:?}");
+        assert_eq!(s.half_degree(v), halves.len());
+    }
+}
+
+#[test]
+fn structured_shapes_match_reference() {
+    for n in [1usize, 2, 3, 7, 64, 257] {
+        assert_matches_reference(&path(n));
+        assert_matches_reference(&star(n));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prufer_trees_match_reference(n in 2usize..400, seed in any::<u64>()) {
+        assert_matches_reference(&random_tree(n, seed));
+    }
+
+    #[test]
+    fn random_forests_match_reference(
+        n in 1usize..200,
+        frac_pct in 0u32..101,
+        seed in any::<u64>(),
+    ) {
+        assert_matches_reference(&random_forest(n, f64::from(frac_pct) / 100.0, seed));
+    }
+
+    #[test]
+    fn node_restrictions_match_reference(n in 2usize..120, seed in any::<u64>(), mask in any::<u64>()) {
+        let g = random_tree(n, seed);
+        let s = SemiGraph::induced_by_nodes(&g, |v| (mask >> (v.index() % 64)) & 1 == 0);
+        assert_semigraph_matches_reference(&g, &s);
+    }
+
+    #[test]
+    fn edge_restrictions_match_reference(n in 2usize..120, seed in any::<u64>(), mask in any::<u64>()) {
+        let g = random_tree(n, seed);
+        let s = SemiGraph::induced_by_edges(&g, |e| (mask >> (e.index() % 64)) & 1 == 1);
+        assert_semigraph_matches_reference(&g, &s);
+    }
+
+    #[test]
+    fn whole_semigraph_matches_graph_adjacency(n in 2usize..120, seed in any::<u64>()) {
+        let g = random_tree(n, seed);
+        let s = SemiGraph::whole(&g);
+        for v in g.node_ids() {
+            prop_assert_eq!(s.underlying_neighbor_nodes(v), g.neighbor_nodes(v));
+            prop_assert_eq!(s.underlying_neighbor_edges(v), g.neighbor_edges(v));
+        }
+    }
+}

@@ -53,7 +53,7 @@ proptest! {
         prop_assert_eq!(a.edges().len() + b.edges().len(), g.edge_count());
         // All contained edges have rank 2, and per-node half-degrees sum to
         // the full degree.
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             let da = if a.contains_node(v) { a.half_degree(v) } else { 0 };
             let db = if b.contains_node(v) { b.half_degree(v) } else { 0 };
             prop_assert_eq!(da + db, g.degree(v));
@@ -80,7 +80,7 @@ proptest! {
         let s = SemiGraph::whole(&g);
         prop_assert_eq!(s.underlying_max_degree(), g.max_degree());
         prop_assert_eq!(components(&s).count(), components(&g).count());
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             prop_assert_eq!(Topology::degree(&s, v), g.degree(v));
         }
     }

@@ -20,11 +20,10 @@ pub fn node_membership<L: Copy + Eq>(
     member_label: L,
 ) -> Vec<bool> {
     g.node_ids()
-        .iter()
-        .map(|&v| {
-            g.neighbors(v).iter().all(|&(_, e)| {
-                labeling.get(HalfEdge::new(e, g.side_of(e, v))) == Some(member_label)
-            })
+        .map(|v| {
+            g.neighbor_edges(v)
+                .iter()
+                .all(|&e| labeling.get(HalfEdge::new(e, g.side_of(e, v))) == Some(member_label))
         })
         .collect()
 }
@@ -44,8 +43,7 @@ pub fn is_valid_mis(g: &Graph, in_set: &[bool]) -> bool {
     }
     // Maximality: every non-member has a member neighbor.
     g.node_ids()
-        .iter()
-        .all(|&v| in_set[v.index()] || g.neighbors(v).iter().any(|&(w, _)| in_set[w.index()]))
+        .all(|v| in_set[v.index()] || g.neighbor_nodes(v).iter().any(|&w| in_set[w.index()]))
 }
 
 /// Whether `in_matching` is a matching of `g` (no two chosen edges share a
@@ -101,7 +99,7 @@ pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
 /// Whether `colors` is a proper `(deg+1)`-coloring (`c(v) ≤ deg(v) + 1`).
 pub fn is_valid_deg_plus_one_coloring(g: &Graph, colors: &[u32]) -> bool {
     is_proper_coloring(g, colors)
-        && g.node_ids().iter().all(|&v| colors[v.index()] as usize <= g.degree(v) + 1)
+        && g.node_ids().all(|v| colors[v.index()] as usize <= g.degree(v) + 1)
 }
 
 /// Whether `colors` is a proper coloring with every color at most
@@ -115,8 +113,8 @@ pub fn is_proper_edge_coloring(g: &Graph, colors: &[u32]) -> bool {
     if colors.len() != g.edge_count() || colors.iter().any(|&c| c < 1) {
         return false;
     }
-    g.node_ids().iter().all(|&v| {
-        let mut seen: Vec<u32> = g.neighbors(v).iter().map(|&(_, e)| colors[e.index()]).collect();
+    g.node_ids().all(|v| {
+        let mut seen: Vec<u32> = g.neighbor_edges(v).iter().map(|&e| colors[e.index()]).collect();
         seen.sort_unstable();
         seen.windows(2).all(|w| w[0] != w[1])
     })
@@ -142,7 +140,7 @@ pub fn greedy_mis(g: &Graph, order: &[NodeId]) -> Vec<bool> {
     for &v in order {
         if !blocked[v.index()] {
             in_set[v.index()] = true;
-            for &(w, _) in g.neighbors(v) {
+            for &w in g.neighbor_nodes(v) {
                 blocked[w.index()] = true;
             }
         }
@@ -222,7 +220,7 @@ mod tests {
     #[test]
     fn greedy_references_are_valid() {
         let g = path(9);
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         assert!(is_valid_mis(&g, &greedy_mis(&g, &order)));
         let eorder: Vec<_> = g.edge_ids().collect();
         assert!(is_valid_maximal_matching(&g, &greedy_matching(&g, &eorder)));

@@ -103,8 +103,7 @@ impl Problem for DeltaPlusOneColoring {
 fn greedy_color(g: &Graph, labeling: &HalfEdgeLabeling<Color>, v: NodeId) -> Color {
     let mut used: Vec<Color> = g
         .neighbors(v)
-        .iter()
-        .filter_map(|&(w, e)| labeling.get(HalfEdge::new(e, g.side_of(e, w))))
+        .filter_map(|(w, e)| labeling.get(HalfEdge::new(e, g.side_of(e, w))))
         .collect();
     used.sort_unstable();
     used.dedup();
@@ -120,7 +119,7 @@ fn greedy_color(g: &Graph, labeling: &HalfEdgeLabeling<Color>, v: NodeId) -> Col
 }
 
 fn assign_all(g: &Graph, v: NodeId, c: Color) -> Vec<(HalfEdge, Color)> {
-    g.neighbors(v).iter().map(|&(_, e)| (HalfEdge::new(e, g.side_of(e, v)), c)).collect()
+    g.neighbor_edges(v).iter().map(|&e| (HalfEdge::new(e, g.side_of(e, v)), c)).collect()
 }
 
 impl NodeSequential for DegPlusOneColoring {
@@ -156,11 +155,10 @@ impl NodeSequential for DeltaPlusOneColoring {
 /// coloring problem (isolated nodes get color 1).
 pub fn extract_coloring(g: &Graph, labeling: &HalfEdgeLabeling<Color>) -> Vec<Color> {
     g.node_ids()
-        .iter()
-        .map(|&v| {
-            g.neighbors(v)
+        .map(|v| {
+            g.neighbor_edges(v)
                 .first()
-                .and_then(|&(_, e)| labeling.get(HalfEdge::new(e, g.side_of(e, v))))
+                .and_then(|&e| labeling.get(HalfEdge::new(e, g.side_of(e, v))))
                 .unwrap_or(1)
         })
         .collect()
@@ -174,8 +172,8 @@ pub fn extract_coloring(g: &Graph, labeling: &HalfEdgeLabeling<Color>) -> Vec<Co
 pub fn encode_coloring(g: &Graph, colors: &[Color]) -> HalfEdgeLabeling<Color> {
     assert_eq!(colors.len(), g.node_count());
     let mut l = HalfEdgeLabeling::for_graph(g);
-    for &v in g.node_ids() {
-        for &(_, e) in g.neighbors(v) {
+    for v in g.node_ids() {
+        for &e in g.neighbor_edges(v) {
             l.set(HalfEdge::new(e, g.side_of(e, v)), colors[v.index()]);
         }
     }
@@ -209,7 +207,7 @@ mod tests {
         let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
         let p = DeltaPlusOneColoring { delta: 5 };
         let mut l = HalfEdgeLabeling::for_graph(&g);
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         solve_nodes_sequential(&p, &g, &order, &mut l).unwrap();
         verify_graph(&p, &g, &l).unwrap();
         // Star is 2-colorable greedily in any order that starts anywhere.
@@ -254,7 +252,7 @@ mod tests {
         let v0 = NodeId::new(0);
         let v2 = NodeId::new(2);
         for (v, c) in [(v0, 1u32), (v2, 2u32)] {
-            for &(_, e) in g.neighbors(v) {
+            for &e in g.neighbor_edges(v) {
                 l.set(HalfEdge::new(e, g.side_of(e, v)), c);
             }
         }

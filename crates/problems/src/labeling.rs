@@ -88,13 +88,13 @@ impl<L: Copy> HalfEdgeLabeling<L> {
     /// The assigned labels on half-edges incident to `v` in the parent
     /// graph, in neighbor order. Unassigned halves are skipped.
     pub fn labels_at_node(&self, g: &Graph, v: NodeId) -> Vec<L> {
-        g.neighbors(v).iter().filter_map(|&(_, e)| self.get_at(e, g.side_of(e, v))).collect()
+        g.neighbor_edges(v).iter().filter_map(|&e| self.get_at(e, g.side_of(e, v))).collect()
     }
 
     /// The number of *unassigned* half-edges incident to `v` in the parent
     /// graph.
     pub fn unassigned_at_node(&self, g: &Graph, v: NodeId) -> usize {
-        g.neighbors(v).iter().filter(|&&(_, e)| self.get_at(e, g.side_of(e, v)).is_none()).count()
+        g.neighbor_edges(v).iter().filter(|&&e| self.get_at(e, g.side_of(e, v)).is_none()).count()
     }
 
     /// The assigned labels on the semi-graph's half-edges at `v`.
@@ -182,7 +182,7 @@ mod tests {
         let g = path(3);
         let mut l = HalfEdgeLabeling::for_graph(&g);
         let v = NodeId::new(1);
-        for &(_, e) in g.neighbors(v) {
+        for &e in g.neighbor_edges(v) {
             l.set(HalfEdge::new(e, g.side_of(e, v)), e.index() as u32);
         }
         assert_eq!(l.labels_at_node(&g, v), vec![0, 1]);

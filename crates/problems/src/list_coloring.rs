@@ -65,8 +65,7 @@ impl ListColoring {
     /// The classic `(deg+1)`-coloring as a list problem: node `v` gets the
     /// list `{1, ..., deg(v) + 1}`.
     pub fn deg_plus_one(g: &Graph) -> Self {
-        let lists =
-            g.node_ids().iter().map(|&v| (1..=(g.degree(v) as Color + 1)).collect()).collect();
+        let lists = g.node_ids().map(|v| (1..=(g.degree(v) as Color + 1)).collect()).collect();
         ListColoring { lists }
     }
 
@@ -127,14 +126,13 @@ impl NodeSequential for ListColoring {
     ) -> Option<Vec<(HalfEdge, Color)>> {
         let mut used: Vec<Color> = g
             .neighbors(v)
-            .iter()
-            .filter_map(|&(w, e)| labeling.get(HalfEdge::new(e, g.side_of(e, w))))
+            .filter_map(|(w, e)| labeling.get(HalfEdge::new(e, g.side_of(e, w))))
             .collect();
         used.sort_unstable();
         used.dedup();
         // |list| ≥ deg + 1 > |used|: a free list color always exists.
         let c = self.list(v).iter().copied().find(|c| used.binary_search(c).is_err())?;
-        Some(g.neighbors(v).iter().map(|&(_, e)| (HalfEdge::new(e, g.side_of(e, v)), c)).collect())
+        Some(g.neighbor_edges(v).iter().map(|&e| (HalfEdge::new(e, g.side_of(e, v)), c)).collect())
     }
 }
 
@@ -153,8 +151,7 @@ mod tests {
     /// Deterministic "random-ish" lists with deg+1+slack entries.
     fn offset_lists(g: &Graph, slack: usize) -> Vec<Vec<Color>> {
         g.node_ids()
-            .iter()
-            .map(|&v| {
+            .map(|v| {
                 let base = (v.index() as Color % 5) * 3 + 1;
                 (0..(g.degree(v) + 1 + slack) as Color).map(|i| base + 2 * i).collect()
             })
@@ -180,7 +177,7 @@ mod tests {
             verify_graph(&p, &g, &l).unwrap();
             let colors = extract_coloring(&g, &l);
             assert!(classic::is_proper_coloring(&g, &colors));
-            for &v in g.node_ids() {
+            for v in g.node_ids() {
                 assert!(p.allows(v, colors[v.index()]), "node {v}");
             }
         }
@@ -191,7 +188,7 @@ mod tests {
         let g = path(7);
         let p = ListColoring::deg_plus_one(&g);
         let mut l = HalfEdgeLabeling::for_graph(&g);
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         solve_nodes_sequential(&p, &g, &order, &mut l).unwrap();
         verify_graph(&p, &g, &l).unwrap();
         let colors = extract_coloring(&g, &l);

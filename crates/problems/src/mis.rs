@@ -97,7 +97,7 @@ impl NodeSequential for Mis {
         // A neighbor is a known member iff its half of our shared edge is M
         // (members label every incident half-edge M).
         let mut witness: Option<HalfEdge> = None;
-        for &(w, e) in g.neighbors(v) {
+        for (w, e) in g.neighbors(v) {
             let their_half = HalfEdge::new(e, g.side_of(e, w));
             if labeling.get(their_half) == Some(MisLabel::M) {
                 witness = Some(HalfEdge::new(e, g.side_of(e, v)));
@@ -108,12 +108,12 @@ impl NodeSequential for Mis {
         match witness {
             None => {
                 // No member neighbor: join the set.
-                for &(_, e) in g.neighbors(v) {
+                for &e in g.neighbor_edges(v) {
                     out.push((HalfEdge::new(e, g.side_of(e, v)), MisLabel::M));
                 }
             }
             Some(pointer) => {
-                for &(_, e) in g.neighbors(v) {
+                for &e in g.neighbor_edges(v) {
                     let h = HalfEdge::new(e, g.side_of(e, v));
                     let label = if h == pointer { MisLabel::P } else { MisLabel::O };
                     out.push((h, label));
@@ -142,19 +142,18 @@ impl Mis {
     pub fn encode(&self, g: &Graph, in_set: &[bool]) -> HalfEdgeLabeling<MisLabel> {
         assert_eq!(in_set.len(), g.node_count());
         let mut l = HalfEdgeLabeling::for_graph(g);
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             if in_set[v.index()] {
-                for &(_, e) in g.neighbors(v) {
+                for &e in g.neighbor_edges(v) {
                     l.set(HalfEdge::new(e, g.side_of(e, v)), MisLabel::M);
                 }
             } else {
                 let witness_edge = g
                     .neighbors(v)
-                    .iter()
-                    .find(|&&(w, _)| in_set[w.index()])
-                    .map(|&(_, e)| e)
+                    .find(|&(w, _)| in_set[w.index()])
+                    .map(|(_, e)| e)
                     .expect("non-member must have a member neighbor");
-                for &(_, e) in g.neighbors(v) {
+                for &e in g.neighbor_edges(v) {
                     let label = if e == witness_edge { MisLabel::P } else { MisLabel::O };
                     l.set(HalfEdge::new(e, g.side_of(e, v)), label);
                 }
@@ -178,7 +177,7 @@ mod tests {
     fn sequential_solver_on_path_is_valid() {
         let g = path(7);
         let mut l = HalfEdgeLabeling::for_graph(&g);
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         solve_nodes_sequential(&Mis, &g, &order, &mut l).unwrap();
         verify_graph(&Mis, &g, &l).unwrap();
         let set = Mis.extract(&g, &l);

@@ -181,7 +181,7 @@ mod tests {
         let g = path(3);
         let mut partial = HalfEdgeLabeling::for_graph(&g);
         let v1 = NodeId::new(1);
-        for &(_, e) in g.neighbors(v1) {
+        for &e in g.neighbor_edges(v1) {
             partial.set(HalfEdge::new(e, g.side_of(e, v1)), MisLabel::M);
         }
         let sol = brute_force_complete(&Mis, &g, &partial).expect("completable");

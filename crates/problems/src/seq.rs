@@ -132,7 +132,7 @@ pub fn solve_edges_sequential<P: EdgeSequential>(
 /// Deterministic "adversarial" node orders used by tests to exercise the
 /// order-independence required by the `P1`/`P2` definitions.
 pub fn node_orders_for_tests(g: &Graph) -> Vec<Vec<NodeId>> {
-    let fwd: Vec<NodeId> = g.node_ids().to_vec();
+    let fwd: Vec<NodeId> = g.node_ids().collect();
     let mut rev = fwd.clone();
     rev.reverse();
     let mut by_degree = fwd.clone();

@@ -181,7 +181,7 @@ where
     #[cfg(not(feature = "parallel"))]
     {
         let mut core = crate::ExecCore::new(ctx.topo.index_space());
-        for &v in ctx.topo.nodes() {
+        for v in ctx.topo.nodes() {
             core.seed(v, algo.init(ctx, v));
         }
         while !core.is_done() {
@@ -213,7 +213,7 @@ where
     A::State: ParSafe,
 {
     let mut core = crate::ExecCore::new(ctx.topo.index_space());
-    for &v in ctx.topo.nodes() {
+    for v in ctx.topo.nodes() {
         core.seed(v, algo.init(ctx, v));
     }
     while !core.is_done() {
@@ -240,7 +240,7 @@ mod tests {
 
         fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Dist> {
             let my = ctx.topo.local_id(v);
-            let is_min = ctx.topo.nodes().iter().all(|&w| ctx.topo.local_id(w) >= my);
+            let is_min = ctx.topo.nodes().all(|w| ctx.topo.local_id(w) >= my);
             // Knowing the global minimum id is NOT something a LOCAL node can
             // do; this test algorithm only uses it because ids are index+1
             // here, making node 0 the source. Fine for engine testing.
@@ -262,7 +262,7 @@ mod tests {
             if let Dist(Some(d)) = own {
                 return Verdict::Halted(Dist(Some(*d)));
             }
-            let best = ctx.topo.neighbors(v).iter().filter_map(|&(w, _)| prev.get(w).0).min();
+            let best = ctx.topo.neighbor_nodes(v).iter().filter_map(|&w| prev.get(w).0).min();
             match best {
                 Some(d) => Verdict::Active(Dist(Some(d + 1))),
                 None => Verdict::Active(Dist(None)),

@@ -229,7 +229,7 @@ mod tests {
     fn plan_matches_uncached_costs_per_center() {
         let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (5, 6)]).unwrap();
         let plan = GatherPlan::new(&g);
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             assert_eq!(plan.rounds_at(v), gather_rounds_at(&g, v), "{v:?}");
         }
     }

@@ -31,8 +31,8 @@
 //!     }
 //!     fn step(&self, ctx: &Ctx<T>, v: NodeId, _r: u64, own: &u64,
 //!             prev: &Snapshot<'_, u64>) -> Verdict<u64> {
-//!         let m = ctx.topo.neighbors(v).iter()
-//!             .map(|&(w, _)| *prev.get(w))
+//!         let m = ctx.topo.neighbor_nodes(v).iter()
+//!             .map(|&w| *prev.get(w))
 //!             .max()
 //!             .unwrap_or(*own);
 //!         Verdict::Halted(m.max(*own))

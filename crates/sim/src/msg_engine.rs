@@ -69,19 +69,37 @@ pub trait MessageAlgorithm<T: Topology> {
     ) -> Verdict<Self::State>;
 }
 
-/// Per-node routing tables and dense inboxes for one message run.
+/// Flat routing tables and inboxes for one message run, in the same CSR
+/// shape as the graph's adjacency.
 ///
-/// `inboxes[inbox_of[v]]` is `v`'s inbox, one slot per port;
-/// `back_port[v][p]` is the port of the neighbor behind `v`'s port `p`
-/// that leads back to `v`. Split from the run loop so the halted-inbox
-/// invariant is unit-testable against the real routing code.
+/// `offsets[v]..offsets[v + 1]` (over the full node index space; empty for
+/// non-participants) delimits node `v`'s port range in both flat arrays:
+/// `slots` holds the inbox slot per port and `back_port[offsets[v] + p]`
+/// is the port of the neighbor behind `v`'s port `p` that leads back to
+/// `v`. Routing is pure offset arithmetic over contiguous memory. Split
+/// from the run loop so the halted-inbox invariant is unit-testable
+/// against the real routing code.
 struct Router<M> {
-    back_port: Vec<Vec<usize>>,
-    inbox_of: Vec<usize>,
-    inboxes: Vec<Vec<Option<M>>>,
+    offsets: Vec<u32>,
+    back_port: Vec<u32>,
+    slots: Vec<Option<M>>,
 }
 
-/// Builds the reverse port map in **one O(m) pass** over edge sides.
+/// Builds the per-node port offsets table: a prefix sum of participating
+/// degrees over the full index space. `2m` port slots fit `u32` by the
+/// graph crate's index-space cap.
+fn port_offsets<T: Topology>(topo: &T) -> Vec<u32> {
+    let mut offsets = vec![0u32; topo.index_space() + 1];
+    for v in topo.nodes() {
+        offsets[v.index() + 1] = topo.degree(v) as u32;
+    }
+    for i in 0..topo.index_space() {
+        offsets[i + 1] += offsets[i];
+    }
+    offsets
+}
+
+/// Builds the flat reverse port map in **one O(m) pass** over edge sides.
 ///
 /// The port a node occupies in its neighbor's list is recorded per
 /// `(edge, side)` while walking each adjacency list once; a second walk
@@ -89,44 +107,39 @@ struct Router<M> {
 /// O(Σ_v Σ_{w ∈ N(v)} deg(w)) — ~Δ² on a star, which at 100k leaves means
 /// ~10¹⁰ comparisons before round 1 (pinned by the
 /// `high_degree_star_setup_is_linear` regression).
-fn build_back_ports<T: Topology>(topo: &T) -> Vec<Vec<usize>> {
+fn build_back_ports<T: Topology>(topo: &T, offsets: &[u32]) -> Vec<u32> {
     let graph = topo.graph();
-    let mut edge_port: Vec<[usize; 2]> = vec![[usize::MAX; 2]; graph.edge_count()];
-    for &v in topo.nodes() {
-        for (p, &(_, e)) in topo.neighbors(v).iter().enumerate() {
-            edge_port[e.index()][graph.side_of(e, v).index()] = p;
+    let mut edge_port: Vec<[u32; 2]> = vec![[u32::MAX; 2]; graph.edge_count()];
+    for v in topo.nodes() {
+        for (p, &e) in topo.neighbor_edges(v).iter().enumerate() {
+            edge_port[e.index()][graph.side_of(e, v).index()] = p as u32;
         }
     }
-    let mut back: Vec<Vec<usize>> = vec![Vec::new(); topo.index_space()];
-    for &v in topo.nodes() {
-        back[v.index()] = topo
-            .neighbors(v)
-            .iter()
-            .map(|&(w, e)| {
-                let p = edge_port[e.index()][graph.side_of(e, w).index()];
-                debug_assert_ne!(p, usize::MAX, "adjacency is symmetric");
-                p
-            })
-            .collect();
+    let mut back = vec![0u32; offsets[topo.index_space()] as usize];
+    for v in topo.nodes() {
+        let base = offsets[v.index()] as usize;
+        for (p, (w, e)) in topo.neighbors(v).enumerate() {
+            let q = edge_port[e.index()][graph.side_of(e, w).index()];
+            debug_assert_ne!(q, u32::MAX, "adjacency is symmetric");
+            back[base + p] = q;
+        }
     }
     back
 }
 
 impl<M> Router<M> {
     fn new<T: Topology>(topo: &T) -> Self {
-        let mut inbox_of = vec![usize::MAX; topo.index_space()];
-        for (i, &v) in topo.nodes().iter().enumerate() {
-            inbox_of[v.index()] = i;
-        }
-        Router {
-            back_port: build_back_ports(topo),
-            inbox_of,
-            inboxes: topo
-                .nodes()
-                .iter()
-                .map(|&v| (0..topo.degree(v)).map(|_| None).collect())
-                .collect(),
-        }
+        let offsets = port_offsets(topo);
+        let back_port = build_back_ports(topo, &offsets);
+        let mut slots = Vec::new();
+        slots.resize_with(back_port.len(), || None);
+        Router { offsets, back_port, slots }
+    }
+
+    /// The flat slot range of node `v`'s inbox (and of its back-port row).
+    #[inline]
+    fn range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
     }
 
     /// Clears the inboxes of this round's recipients. Only frontier nodes
@@ -134,30 +147,31 @@ impl<M> Router<M> {
     /// inbox is frozen at its halt-round contents.
     fn clear_frontier(&mut self, frontier: &[NodeId]) {
         for &v in frontier {
-            self.inboxes[self.inbox_of[v.index()]].iter_mut().for_each(|m| *m = None);
+            let range = self.range(v);
+            self.slots[range].iter_mut().for_each(|m| *m = None);
         }
     }
 
-    /// Drains one bucket of routed messages into the inbox slots (the
-    /// bucket keeps its capacity for reuse). Each `(recipient, port)` slot
-    /// has a unique sender, so delivery order across buckets cannot
-    /// influence the final inbox contents; merging buckets in frontier
-    /// order makes the write sequence byte-identical to a sequential send
-    /// anyway.
-    fn deliver(&mut self, bucket: &mut Vec<(usize, usize, M)>) {
-        for (slot, port, m) in bucket.drain(..) {
-            self.inboxes[slot][port] = Some(m);
+    /// Drains one bucket of routed messages into the flat inbox slots (the
+    /// bucket keeps its capacity for reuse). Each slot is owned by one
+    /// `(recipient, port)` pair with a unique sender, so delivery order
+    /// across buckets cannot influence the final inbox contents; merging
+    /// buckets in frontier order makes the write sequence byte-identical
+    /// to a sequential send anyway.
+    fn deliver(&mut self, bucket: &mut Vec<(usize, M)>) {
+        for (slot, m) in bucket.drain(..) {
+            self.slots[slot] = Some(m);
         }
     }
 
     /// The current inbox of node `v`.
     fn inbox(&self, v: NodeId) -> &[Option<M>] {
-        &self.inboxes[self.inbox_of[v.index()]]
+        &self.slots[self.range(v)]
     }
 }
 
 /// Collects node `v`'s outgoing messages for this round into `bucket` as
-/// `(recipient inbox slot, recipient port, message)` triples. Liveness and
+/// `(flat recipient slot, message)` pairs. Liveness and
 /// state come from `core`, so the halted-recipient rule below is driven by
 /// the engine's own frontier bookkeeping.
 ///
@@ -172,18 +186,19 @@ fn outgoing_into<T: Topology, A: MessageAlgorithm<T>>(
     v: NodeId,
     core: &ExecCore<A::State>,
     router: &Router<A::Msg>,
-    bucket: &mut Vec<(usize, usize, A::Msg)>,
+    bucket: &mut Vec<(usize, A::Msg)>,
 ) {
     let out = algo.send(ctx, v, round, core.state(v));
     assert_eq!(out.len(), ctx.topo.degree(v), "one message slot per port");
-    let back = &router.back_port[v.index()];
+    let back = &router.back_port[router.range(v)];
+    let nbrs = ctx.topo.neighbor_nodes(v);
     for (p, msg) in out.into_iter().enumerate() {
         if let Some(m) = msg {
-            let (w, _) = ctx.topo.neighbors(v)[p];
+            let w = nbrs[p];
             if !core.is_active(w) {
                 continue;
             }
-            bucket.push((router.inbox_of[w.index()], back[p], m));
+            bucket.push((router.offsets[w.index()] as usize + back[p] as usize, m));
         }
     }
 }
@@ -247,7 +262,7 @@ where
     A::Msg: ParSafe,
 {
     let mut core = ExecCore::new(ctx.topo.index_space());
-    for &v in ctx.topo.nodes() {
+    for v in ctx.topo.nodes() {
         core.seed(v, Verdict::Active(algo.init(ctx, v)));
     }
     let mut router: Router<A::Msg> = Router::new(ctx.topo);
@@ -389,7 +404,7 @@ mod tests {
             prev: &Snapshot<'_, u64>,
         ) -> Verdict<u64> {
             let best =
-                ctx.topo.neighbors(v).iter().map(|&(w, _)| *prev.get(w)).fold(*own, u64::max);
+                ctx.topo.neighbor_nodes(v).iter().map(|&w| *prev.get(w)).fold(*own, u64::max);
             if round == R {
                 Verdict::Halted(best)
             } else {
@@ -410,7 +425,7 @@ mod tests {
             let via_state = run(&ctx, &MaxIdState, 100);
             assert_eq!(via_msgs.rounds, via_state.rounds);
             for v in g.node_ids() {
-                assert_eq!(via_msgs.state(*v), via_state.state(*v), "{v:?}");
+                assert_eq!(via_msgs.state(v), via_state.state(v), "{v:?}");
             }
         }
     }
@@ -471,15 +486,17 @@ mod tests {
     }
 
     fn check_back_ports<T: Topology>(topo: &T) {
-        let back = build_back_ports(topo);
-        for &v in topo.nodes() {
-            for (p, &(w, _)) in topo.neighbors(v).iter().enumerate() {
+        let offsets = port_offsets(topo);
+        let back = build_back_ports(topo, &offsets);
+        for v in topo.nodes() {
+            let base = offsets[v.index()] as usize;
+            for (p, &w) in topo.neighbor_nodes(v).iter().enumerate() {
                 let expect = topo
-                    .neighbors(w)
+                    .neighbor_nodes(w)
                     .iter()
-                    .position(|&(x, _)| x == v)
+                    .position(|&x| x == v)
                     .expect("adjacency is symmetric");
-                assert_eq!(back[v.index()][p], expect, "{v:?} port {p}");
+                assert_eq!(back[base + p] as usize, expect, "{v:?} port {p}");
             }
         }
     }
@@ -539,8 +556,8 @@ mod tests {
         core.seed(NodeId::new(2), Verdict::Active(42));
         let mut router: Router<u64> = Router::new(&g);
         // Freeze node 0's inbox at its pretend halt-round contents.
-        let slot0 = router.inbox_of[0];
-        router.inboxes[slot0][0] = Some(99);
+        let range0 = router.range(NodeId::new(0));
+        router.slots[range0.start] = Some(99);
         for round in 1..=3u64 {
             router.clear_frontier(core.frontier());
             let mut scratch = Vec::new();
@@ -549,8 +566,8 @@ mod tests {
                 // MaxIdMsg sends `Some(state)` on every port, so node 1
                 // addresses node 0 each round; the message must be dropped.
                 outgoing_into(&ctx, &MaxIdMsg, round, v, &core, &router, &mut scratch);
-                for (slot, _, _) in &scratch {
-                    assert_ne!(*slot, slot0, "round {round}: routed into a halted inbox");
+                for (slot, _) in &scratch {
+                    assert!(!range0.contains(slot), "round {round}: routed into a halted inbox");
                 }
                 router.deliver(&mut scratch);
             }

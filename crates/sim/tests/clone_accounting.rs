@@ -52,9 +52,9 @@ impl<T: Topology> SyncAlgorithm<T> for Staggered {
         // Reads neighbor states (as real algorithms do) without cloning.
         let acc = ctx
             .topo
-            .neighbors(v)
+            .neighbor_nodes(v)
             .iter()
-            .map(|&(w, _)| prev.get(w).0)
+            .map(|&w| prev.get(w).0)
             .fold(own.0, u64::wrapping_add);
         if round > ctx.topo.local_id(v) % 13 {
             Verdict::Halted(Counted(acc))
@@ -105,7 +105,7 @@ fn snapshot_engine_runs_without_cloning_states() {
     let delta = CLONES.load(Ordering::Relaxed) - before;
     assert_eq!(delta, 0, "engine must move, not clone");
     assert!(out.rounds >= 13, "staggered halting spans rounds (got {})", out.rounds);
-    for &v in g.node_ids() {
+    for v in g.node_ids() {
         assert!(out.states[v.index()].is_some());
     }
 }

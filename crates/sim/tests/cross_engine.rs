@@ -24,7 +24,7 @@ impl<T: Topology> SyncAlgorithm<T> for FloodState {
 
     fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Dist> {
         let my = ctx.topo.local_id(v);
-        let is_min = ctx.topo.nodes().iter().all(|&w| ctx.topo.local_id(w) >= my);
+        let is_min = ctx.topo.nodes().all(|w| ctx.topo.local_id(w) >= my);
         Verdict::Active(Dist(if is_min { Some(0) } else { None }))
     }
 
@@ -39,7 +39,7 @@ impl<T: Topology> SyncAlgorithm<T> for FloodState {
         if own.0.is_some() {
             return Verdict::Halted(own.clone());
         }
-        let best = ctx.topo.neighbors(v).iter().filter_map(|&(w, _)| prev.get(w).0).min();
+        let best = ctx.topo.neighbor_nodes(v).iter().filter_map(|&w| prev.get(w).0).min();
         Verdict::Active(Dist(best.map(|d| d + 1)))
     }
 }
@@ -52,7 +52,7 @@ impl<T: Topology> MessageAlgorithm<T> for FloodMsg {
 
     fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Dist {
         let my = ctx.topo.local_id(v);
-        let is_min = ctx.topo.nodes().iter().all(|&w| ctx.topo.local_id(w) >= my);
+        let is_min = ctx.topo.nodes().all(|w| ctx.topo.local_id(w) >= my);
         Dist(if is_min { Some(0) } else { None })
     }
 
@@ -96,7 +96,7 @@ fn engines_agree_on_fifty_plus_random_prufer_trees() {
             via_state.rounds, via_msgs.rounds,
             "round counts diverge on seed {seed} (n = {n})"
         );
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             assert_eq!(
                 via_state.state(v),
                 via_msgs.state(v),
@@ -104,7 +104,7 @@ fn engines_agree_on_fifty_plus_random_prufer_trees() {
             );
         }
         // Sanity: every node learned a finite distance.
-        assert!(g.node_ids().iter().all(|&v| via_state.state(v).0.is_some()));
+        assert!(g.node_ids().all(|v| via_state.state(v).0.is_some()));
         checked += 1;
     }
     assert!(checked >= 50, "property must cover at least 50 trees (got {checked})");

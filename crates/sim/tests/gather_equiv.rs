@@ -43,7 +43,7 @@ fn assert_gather_equivalence<T: Topology>(topo: &T) {
     // Per-center: cached cost and farthest pair equal the direct BFS for
     // every participating node.
     let plan = GatherPlan::new(topo);
-    for &v in topo.nodes() {
+    for v in topo.nodes() {
         prop_assert_eq!(plan.rounds_at(v), gather_rounds_at(topo, v), "center {:?}", v);
         prop_assert_eq!(plan.farthest(v), sparse_bfs_farthest(topo, v), "farthest {:?}", v);
     }

@@ -1,12 +1,16 @@
-//! Million-node smoke tier (ROADMAP "Larger instances").
+//! Ten-million-node smoke tier (ROADMAP "Larger instances").
 //!
 //! The paper's `O(log n / log log n)`-type claims only become visible at
 //! scale: the exhaustive and property suites cap at a few hundred nodes,
 //! where constants dominate every asymptotic shape. These tests run the
 //! substrate (Linial) and a full Theorem 12 pipeline (MIS via
-//! rake-and-compress + truly local solve + gather) on **1,000,000-node**
-//! Prüfer and caterpillar trees and assert round counts against the
-//! paper's bounds with the measured-envelope constants of experiment E6
+//! rake-and-compress + truly local solve + gather) on **10,000,000-node**
+//! Prüfer and caterpillar trees — the scale the CSR/SoA layout exists
+//! for: adjacency is three flat arrays (~120 MB at this size) instead of
+//! ten million heap-allocated pair vectors, and per-node wall clock stays
+//! at the level the old tier paid at one tenth the size. Round counts are
+//! asserted against the paper's bounds with the measured-envelope
+//! constants of experiment E6
 //! (mis/LL stays within [9.3, 10.4] at simulable sizes; the assertions
 //! allow ~2x headroom, which is still far below the Ω(diameter) cost any
 //! non-local strategy pays on the caterpillar).
@@ -26,7 +30,7 @@ use treelocal_graph::{Graph, NodeId};
 use treelocal_problems::classic;
 use treelocal_sim::{gather_rounds_at, highest_id_center, log_star_u64, Ctx, GatherPlan};
 
-const N: usize = 1_000_000;
+const N: usize = 10_000_000;
 
 /// The release-only guard: in a debug build these workloads are hours of
 /// wall clock, so the tier reports itself skipped instead of hanging a
@@ -39,12 +43,12 @@ fn skip_in_debug() -> bool {
     false
 }
 
-/// The two million-node instances of this tier: a uniformly random Prüfer
+/// The two ten-million-node instances of this tier: a uniformly random Prüfer
 /// tree (the experiments' bread-and-butter workload) and a caterpillar
 /// whose ~250k-node spine gives it a Θ(n) diameter — the instance where a
 /// gather-style baseline degenerates and locality has to do the work.
-fn million_node_trees() -> Vec<(&'static str, Graph)> {
-    vec![("prufer/1M", random_tree(N, 23)), ("caterpillar/1M", caterpillar(N / 4, 3))]
+fn ten_million_node_trees() -> Vec<(&'static str, Graph)> {
+    vec![("prufer/10M", random_tree(N, 23)), ("caterpillar/10M", caterpillar(N / 4, 3))]
 }
 
 /// `log n / log log n` at `n` (base 2), the Theorem 12 yardstick.
@@ -54,12 +58,12 @@ fn log_over_loglog(n: usize) -> f64 {
 }
 
 #[test]
-#[ignore = "million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
-fn linial_on_million_node_trees_stays_log_star() {
+#[ignore = "ten-million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
+fn linial_on_ten_million_node_trees_stays_log_star() {
     if skip_in_debug() {
         return;
     }
-    for (name, tree) in million_node_trees() {
+    for (name, tree) in ten_million_node_trees() {
         assert_eq!(tree.node_count(), N, "{name}");
         let ctx = Ctx::of(&tree);
         let lin = run_linial(&ctx);
@@ -75,26 +79,26 @@ fn linial_on_million_node_trees_stays_log_star() {
             ctx.id_space,
             ls + 2
         );
-        assert!(lin.rounds >= 1, "{name}: a million nodes cannot color in zero rounds");
+        assert!(lin.rounds >= 1, "{name}: ten million nodes cannot color in zero rounds");
     }
 }
 
 #[test]
-#[ignore = "million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
-fn theorem12_mis_on_million_node_trees_stays_sublogarithmic() {
+#[ignore = "ten-million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
+fn theorem12_mis_on_ten_million_node_trees_stays_sublogarithmic() {
     if skip_in_debug() {
         return;
     }
-    let ll = log_over_loglog(N); // ~4.62 at n = 1e6
-    for (name, tree) in million_node_trees() {
+    let ll = log_over_loglog(N); // ~5.12 at n = 1e7
+    for (name, tree) in ten_million_node_trees() {
         let (out, set) = mis_on_tree(&tree);
         assert!(out.valid, "{name}: pipeline self-check failed");
         assert!(classic::is_valid_mis(&tree, &set), "{name}: output is not a valid MIS");
         let ratio = out.total_rounds() as f64 / ll;
         // E6 measures mis/LL in [9.3, 10.4] for n up to 256k; 2x headroom
-        // keeps the assertion meaningful (log2 n ~ 20 here, so a merely
-        // O(log n) pipeline would push the ratio past 4.3x the envelope,
-        // and the caterpillar's diameter is ~250,000 rounds away).
+        // keeps the assertion meaningful (log2 n ~ 23 here, so a merely
+        // O(log n) pipeline would push the ratio past 4.5x the envelope,
+        // and the caterpillar's diameter is ~2,500,000 rounds away).
         assert!(
             ratio <= 21.0,
             "{name}: {} rounds is {ratio:.2}x (log n / log log n) — Theorem 12's \
@@ -109,19 +113,19 @@ fn theorem12_mis_on_million_node_trees_stays_sublogarithmic() {
 }
 
 /// Gather-heavy scenario: one `GatherPlan` costs **every** node of a
-/// million-node deep caterpillar as a gather center — an all-centers
+/// ten-million-node deep caterpillar as a gather center — an all-centers
 /// eccentricity pass over a Θ(n)-diameter tree, the workload where the
 /// pre-cache loop (one BFS per center, `O(n)` each) would be `O(n²)` and
 /// out of reach. A deterministic sample of centers is spot-checked
 /// against the direct sparse BFS, pinning the cached totals to the
 /// uncached answers at a scale the property suite cannot visit.
 #[test]
-#[ignore = "million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
-fn gather_plan_all_centers_on_million_node_caterpillar_matches_direct_bfs() {
+#[ignore = "ten-million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
+fn gather_plan_all_centers_on_ten_million_node_caterpillar_matches_direct_bfs() {
     if skip_in_debug() {
         return;
     }
-    // Deep caterpillar: a 500k-node spine each carrying one leg, so the
+    // Deep caterpillar: a 5M-node spine each carrying one leg, so the
     // diameter (and hence every gather cost) is Θ(n).
     let tree = caterpillar(N / 2, 1);
     assert_eq!(tree.node_count(), N);
@@ -131,7 +135,7 @@ fn gather_plan_all_centers_on_million_node_caterpillar_matches_direct_bfs() {
     let plan = GatherPlan::new(&tree);
     let mut worst = 0u64;
     let mut total = 0u64;
-    for &v in tree.node_ids() {
+    for v in tree.node_ids() {
         let r = plan.rounds_at(v);
         worst = worst.max(r);
         total += r;
@@ -158,7 +162,7 @@ fn gather_plan_all_centers_on_million_node_caterpillar_matches_direct_bfs() {
 
     // The aggregate entry points agree with the plan on the single
     // component under the paper's highest-id center rule.
-    let members: Vec<NodeId> = tree.node_ids().to_vec();
+    let members: Vec<NodeId> = tree.node_ids().collect();
     let mut pick = highest_id_center(&tree);
     let center = pick(&members);
     assert_eq!(plan.parallel_rounds(vec![members], pick), plan.rounds_at(center));

@@ -130,7 +130,7 @@ impl<T: Topology> SyncAlgorithm<T> for FloodState {
 
     fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Dist> {
         let my = ctx.topo.local_id(v);
-        let is_min = ctx.topo.nodes().iter().all(|&w| ctx.topo.local_id(w) >= my);
+        let is_min = ctx.topo.nodes().all(|w| ctx.topo.local_id(w) >= my);
         Verdict::Active(Dist(if is_min { Some(0) } else { None }))
     }
 
@@ -145,7 +145,7 @@ impl<T: Topology> SyncAlgorithm<T> for FloodState {
         if own.0.is_some() {
             return Verdict::Halted(own.clone());
         }
-        let best = ctx.topo.neighbors(v).iter().filter_map(|&(w, _)| prev.get(w).0).min();
+        let best = ctx.topo.neighbor_nodes(v).iter().filter_map(|&w| prev.get(w).0).min();
         Verdict::Active(Dist(best.map(|d| d + 1)))
     }
 }
@@ -158,7 +158,7 @@ impl<T: Topology> MessageAlgorithm<T> for FloodMsg {
 
     fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Dist {
         let my = ctx.topo.local_id(v);
-        let is_min = ctx.topo.nodes().iter().all(|&w| ctx.topo.local_id(w) >= my);
+        let is_min = ctx.topo.nodes().all(|w| ctx.topo.local_id(w) >= my);
         Dist(if is_min { Some(0) } else { None })
     }
 
@@ -199,7 +199,7 @@ fn cross_engine_matrix_is_one_equivalence_class() {
         let reference = run(&ctx, &FloodState, 100_000);
         let via_msgs = run_messages(&ctx, &FloodMsg, 100_000);
         assert_identical(&reference, &via_msgs, &format!("{label}: snapshot vs messages"));
-        assert!(g.node_ids().iter().all(|&v| reference.state(v).0.is_some()));
+        assert!(g.node_ids().all(|v| reference.state(v).0.is_some()));
         #[cfg(feature = "parallel")]
         for threads in [1usize, 2, 4, treelocal_sim::par::auto_threads()] {
             let snap = treelocal_sim::run_with_threads(&ctx, &FloodState, 100_000, threads);

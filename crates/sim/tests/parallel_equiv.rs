@@ -41,7 +41,7 @@ impl<T: Topology> SyncAlgorithm<T> for StaggeredHash {
         prev: &Snapshot<'_, HashState>,
     ) -> Verdict<HashState> {
         let mut acc = own.acc;
-        for &(w, _) in ctx.topo.neighbors(v) {
+        for &w in ctx.topo.neighbor_nodes(v) {
             let s = prev.get(w);
             acc = acc.wrapping_mul(0x100000001b3).wrapping_add(s.value ^ s.acc);
         }

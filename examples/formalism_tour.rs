@@ -37,7 +37,7 @@ fn main() {
     // Fix node 1 in the set; every completion must exclude 0, 2, 4.
     let mut partial = HalfEdgeLabeling::for_graph(&g);
     let v1 = treelocal::graph::NodeId::new(1);
-    for &(_, e) in g.neighbors(v1) {
+    for &e in g.neighbor_edges(v1) {
         partial.set(treelocal::graph::HalfEdge::new(e, g.side_of(e, v1)), MisLabel::M);
     }
     let sol = brute_force_complete(&Mis, &g, &partial).expect("completable");

@@ -62,7 +62,7 @@ proptest! {
         let oracle = brute_force_complete(&Mis, &g, &HalfEdgeLabeling::for_graph(&g));
         prop_assert!(oracle.is_some(), "MIS always exists");
         let mut greedy = HalfEdgeLabeling::for_graph(&g);
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         solve_nodes_sequential(&Mis, &g, &order, &mut greedy).unwrap();
         verify_graph(&Mis, &g, &greedy).unwrap();
     }
@@ -78,7 +78,7 @@ proptest! {
         // Theorem 12 assumes, tested against ground truth.
         let g = random_tree(n, seed);
         let mut partial = HalfEdgeLabeling::for_graph(&g);
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         let prefix = &order[..fixed.min(order.len())];
         solve_nodes_sequential(&Mis, &g, prefix, &mut partial).unwrap();
         let completed = brute_force_complete(&Mis, &g, &partial);
@@ -92,7 +92,7 @@ proptest! {
     ) {
         let g = random_tree(n, seed);
         // MIS.
-        let order: Vec<NodeId> = g.node_ids().to_vec();
+        let order: Vec<NodeId> = g.node_ids().collect();
         let set = classic::greedy_mis(&g, &order);
         let l = Mis.encode(&g, &set);
         verify_graph(&Mis, &g, &l).unwrap();
@@ -115,13 +115,13 @@ fn mis_oracle_respects_forced_labels_on_small_graphs() {
     for v in 0..6 {
         let v = NodeId::new(v);
         let mut partial = HalfEdgeLabeling::for_graph(&g);
-        for &(_, e) in g.neighbors(v) {
+        for &e in g.neighbor_edges(v) {
             partial.set(HalfEdge::new(e, g.side_of(e, v)), MisLabel::M);
         }
         let sol = brute_force_complete(&Mis, &g, &partial).expect("completable");
         let set = Mis.extract(&g, &sol);
         assert!(set[v.index()]);
-        for &(w, _) in g.neighbors(v) {
+        for &w in g.neighbor_nodes(v) {
             assert!(!set[w.index()]);
         }
     }

@@ -18,8 +18,7 @@ use treelocal::problems::{
 fn random_lists(g: &Graph, slack: usize, seed: u64) -> Vec<Vec<u32>> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x11357);
     g.node_ids()
-        .iter()
-        .map(|&v| {
+        .map(|v| {
             let need = g.degree(v) + 1 + slack;
             let palette = 4 * (need + 2) as u32;
             let mut list = std::collections::BTreeSet::new();
@@ -39,7 +38,7 @@ fn list_coloring_transform_across_tree_suite() {
         assert!(out.valid, "{name}");
         let colors = extract_coloring(&tree, &out.labeling);
         assert!(classic::is_proper_coloring(&tree, &colors), "{name}");
-        for &v in tree.node_ids() {
+        for v in tree.node_ids() {
             assert!(p.allows(v, colors[v.index()]), "{name}: off-list at {v}");
         }
     }

@@ -60,7 +60,7 @@ proptest! {
         let ctx = Ctx::of(&g);
         let lin = run_linial(&ctx);
         let red = sweep_reduce(&ctx, &lin.colors, lin.final_bound);
-        for &v in g.node_ids() {
+        for v in g.node_ids() {
             let c = red.colors[v.index()].unwrap();
             prop_assert!(c as usize <= g.degree(v) + 1);
         }

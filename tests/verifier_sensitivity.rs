@@ -24,7 +24,7 @@ fn mis_verifier_catches_double_members() {
     // hold and the violation is purely on the edge.
     let [u, v] = tree.endpoints(e);
     for w in [u, v] {
-        for &(_, f) in tree.neighbors(w) {
+        for &f in tree.neighbor_edges(w) {
             bad.set(HalfEdge::new(f, tree.side_of(f, w)), MisLabel::M);
         }
     }
@@ -43,11 +43,11 @@ fn mis_verifier_catches_dangling_pointer() {
     let set = Mis.extract(&tree, &out.labeling);
     let mut bad = out.labeling.clone();
     let mut mutated = false;
-    'outer: for &v in tree.node_ids() {
+    'outer: for v in tree.node_ids() {
         if set[v.index()] {
             continue;
         }
-        for &(w, e) in tree.neighbors(v) {
+        for (w, e) in tree.neighbors(v) {
             if !set[w.index()] {
                 bad.set(HalfEdge::new(e, tree.side_of(e, v)), MisLabel::P);
                 mutated = true;
