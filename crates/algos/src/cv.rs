@@ -12,6 +12,7 @@
 //! Used by the Theorem 15 pipeline to split the atypical-edge forests
 //! `F_i` into the star forests `F_{i,j}` (Section 4 of the paper).
 
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{NodeId, RootedForest, Topology};
 use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
@@ -106,7 +107,7 @@ impl<T: Topology> SyncAlgorithm<T> for CvAlgo<'_> {
             // the smallest color in {0,1,2} different from their own.
             let c = match parent {
                 Some(p) => prev.get(p).color,
-                None => (0..3).find(|&c| c != own.color).expect("three candidates"),
+                None => (0..3).find(|&c| c != own.color).or_invariant("three candidates"),
             };
             CvState { color: c }
         } else {
@@ -124,7 +125,8 @@ impl<T: Topology> SyncAlgorithm<T> for CvAlgo<'_> {
                         break; // children are monochromatic after shift-down
                     }
                 }
-                let c = (0..3u64).find(|c| !forbidden.contains(c)).expect("a free color exists");
+                let c =
+                    (0..3u64).find(|c| !forbidden.contains(c)).or_invariant("a free color exists");
                 CvState { color: c }
             } else {
                 own.clone()

@@ -19,6 +19,7 @@ use crate::linial::run_linial;
 use crate::mis_phase::{mis_from_coloring, MisDecision};
 use crate::reduce::{kw_reduce, sweep_reduce};
 use crate::traits::{GlobalCtx, TrulyLocal};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{HalfEdge, NodeId, SemiGraph, Side};
 use treelocal_problems::{
     BMatchLabel, BMatching, EdgeColLabel, EdgeDegreeColoring, HalfEdgeLabeling, MatchLabel,
@@ -149,8 +150,8 @@ impl TrulyLocal<EdgeDegreeColoring> for EdgeColoringAlgo {
         for &e in sub.edges() {
             match sub.rank(e) {
                 2 => {
-                    let ln = l.lnode_of[e.index()].expect("rank-2 edge is a line node");
-                    let b = colors[ln as usize].expect("line node colored");
+                    let ln = l.lnode_of[e.index()].or_invariant("rank-2 edge is a line node");
+                    let b = colors[ln as usize].or_invariant("line node colored");
                     let [u, v] = g.endpoints(e);
                     // Degree parts: the underlying degree of each endpoint
                     // (= the count of its non-D labels in this instance).
@@ -201,8 +202,8 @@ impl TrulyLocal<PaletteEdgeColoring> for PaletteEdgeColoringAlgo {
         for &e in sub.edges() {
             match sub.rank(e) {
                 2 => {
-                    let ln = l.lnode_of[e.index()].expect("rank-2 edge is a line node");
-                    let c = colors[ln as usize].expect("line node colored");
+                    let ln = l.lnode_of[e.index()].or_invariant("rank-2 edge is a line node");
+                    let c = colors[ln as usize].or_invariant("line node colored");
                     assert!(
                         c <= problem.palette,
                         "greedy color {c} exceeds palette {} — instance degree too high",
@@ -263,7 +264,7 @@ impl TrulyLocal<BMatching> for BMatchingAlgo {
             // so their capacity updates never conflict.
             let mut load = vec![0usize; g.node_count()];
             let mut order: Vec<usize> = (0..l.graph.node_count()).collect();
-            order.sort_by_key(|&i| std::cmp::Reverse(lin.colors[i].expect("colored")));
+            order.sort_by_key(|&i| std::cmp::Reverse(lin.colors[i].or_invariant("colored")));
             for &i in &order {
                 let e = l.edge_of[i];
                 let [u, v] = g.endpoints(e);
@@ -286,7 +287,7 @@ impl TrulyLocal<BMatching> for BMatchingAlgo {
         for &e in sub.edges() {
             match sub.rank(e) {
                 2 => {
-                    let ln = l.lnode_of[e.index()].expect("rank-2 edge is a line node");
+                    let ln = l.lnode_of[e.index()].or_invariant("rank-2 edge is a line node");
                     let [u, v] = g.endpoints(e);
                     if chosen[ln as usize] {
                         labeling.set_fresh(HalfEdge::new(e, Side::First), BMatchLabel::M);

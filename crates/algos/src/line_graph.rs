@@ -13,6 +13,7 @@
 //! identifiers via the pairing `min_id · id_space + max_id`, exactly as a
 //! real simulation would.
 
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{EdgeId, Graph, GraphBuilder, SemiGraph};
 
 /// The line graph of a semi-graph's rank-2 edges, with index maps.
@@ -62,8 +63,8 @@ pub fn line_graph(s: &SemiGraph<'_>) -> LineGraph {
         let inc = s.underlying_neighbor_edges(v);
         for i in 0..inc.len() {
             for j in (i + 1)..inc.len() {
-                let a = lnode_of[inc[i].index()].expect("rank-2 edge is a line node");
-                let c = lnode_of[inc[j].index()].expect("rank-2 edge is a line node");
+                let a = lnode_of[inc[i].index()].or_invariant("rank-2 edge is a line node");
+                let c = lnode_of[inc[j].index()].or_invariant("rank-2 edge is a line node");
                 b.add_edge(a as usize, c as usize);
             }
         }
@@ -82,7 +83,7 @@ pub fn line_graph(s: &SemiGraph<'_>) -> LineGraph {
         .collect();
     let mut builder = b;
     builder.local_ids(ids);
-    let graph = builder.finish().expect("line graph of a simple graph is simple");
+    let graph = builder.finish().or_invariant("line graph of a simple graph is simple");
     LineGraph { graph, edge_of, lnode_of, id_space: id_space * id_space }
 }
 

@@ -12,6 +12,7 @@
 //! proper `O(Δ²)`-coloring after `log*`-many rounds; the schedule is a pure
 //! function of `(id_space, Δ)`, so all nodes compute it locally.
 
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{NodeId, Topology};
 use treelocal_sim::{
     next_prime, run, run_messages, Ctx, MessageAlgorithm, ParSafe, RunOutcome, Snapshot,
@@ -170,7 +171,7 @@ fn recolor(stage: Stage, own: u64, neighbor_colors: impl Iterator<Item = u64>) -
         x_found = Some((x, mine));
         break;
     }
-    let (x, px) = x_found.expect("q > d*Delta guarantees an evaluation point");
+    let (x, px) = x_found.or_invariant("q > d*Delta guarantees an evaluation point");
     let color = x * stage.q + px;
     debug_assert!(color < stage.q * stage.q);
     color

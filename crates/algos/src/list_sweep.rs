@@ -3,6 +3,7 @@
 //! input list not already chosen by a neighbor. Because every list has at
 //! least `deg(v) + 1` entries, a free list color always exists.
 
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{NodeId, Topology};
 use treelocal_problems::Color;
 use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
@@ -23,7 +24,7 @@ impl<T: Topology> SyncAlgorithm<T> for ListSweep<'_> {
     type State = LsState;
 
     fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<LsState> {
-        let c = self.initial[v.index()].expect("initial color for every participant");
+        let c = self.initial[v.index()].or_invariant("initial color for every participant");
         debug_assert!(c < self.m);
         Verdict::Active(LsState::Waiting { my_round: self.m - c })
     }
@@ -54,7 +55,7 @@ impl<T: Topology> SyncAlgorithm<T> for ListSweep<'_> {
             .iter()
             .copied()
             .find(|c| used.binary_search(c).is_err())
-            .expect("lists have deg+1 entries: a free color exists");
+            .or_invariant("lists have deg+1 entries: a free color exists");
         Verdict::Halted(LsState::Chosen(c))
     }
 }

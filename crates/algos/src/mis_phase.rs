@@ -6,6 +6,7 @@
 //! are safe. A node that declines records the edge to the member that
 //! blocked it — the maximality witness used for the `P` pointer label.
 
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{EdgeId, NodeId, Topology};
 use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
@@ -36,7 +37,7 @@ impl<T: Topology> SyncAlgorithm<T> for MisSweep<'_> {
     type State = SweepState;
 
     fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<SweepState> {
-        let c = u64::from(self.colors[v.index()].expect("color for every participant"));
+        let c = u64::from(self.colors[v.index()].or_invariant("color for every participant"));
         debug_assert!((1..=self.m).contains(&c), "colors are 1-based and ≤ m");
         // Highest class first: class c decides in round m - c + 1.
         Verdict::Active(SweepState::Waiting { my_round: self.m - c + 1 })

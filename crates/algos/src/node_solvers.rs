@@ -21,6 +21,7 @@ use crate::list_sweep::list_sweep;
 use crate::mis_phase::{mis_from_coloring, MisDecision};
 use crate::reduce::{kw_reduce, sweep_reduce};
 use crate::traits::{GlobalCtx, TrulyLocal};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{HalfEdge, SemiGraph};
 use treelocal_problems::{
     DegPlusOneColoring, DeltaPlusOneColoring, HalfEdgeLabeling, ListColoring, Mis, MisLabel,
@@ -65,7 +66,7 @@ impl TrulyLocal<Mis> for MisAlgo {
         report.push("labeling", 1);
         let g = sub.parent();
         for &v in sub.nodes() {
-            match mis.decisions[v.index()].expect("decision for every participant") {
+            match mis.decisions[v.index()].or_invariant("decision for every participant") {
                 MisDecision::Member => {
                     for h in sub.half_edges_of(v) {
                         labeling.set_fresh(h, MisLabel::M);
@@ -125,7 +126,7 @@ impl TrulyLocal<DeltaPlusOneColoring> for DeltaColoringAlgo {
         report.push("kw-reduce", red.rounds);
         report.push("labeling", 1);
         for &v in sub.nodes() {
-            let c = red.colors[v.index()].expect("color for every participant");
+            let c = red.colors[v.index()].or_invariant("color for every participant");
             debug_assert!(c as usize <= problem.delta + 1);
             for h in sub.half_edges_of(v) {
                 labeling.set_fresh(h, c);
@@ -168,7 +169,7 @@ impl TrulyLocal<DegPlusOneColoring> for DegColoringAlgo {
         report.push("sweep-reduce", red.rounds);
         report.push("labeling", 1);
         for &v in sub.nodes() {
-            let c = red.colors[v.index()].expect("color for every participant");
+            let c = red.colors[v.index()].or_invariant("color for every participant");
             // Greedy color ≤ communication degree + 1 ≤ half-degree + 1.
             debug_assert!(c as usize <= sub.half_degree(v) + 1);
             for h in sub.half_edges_of(v) {
@@ -217,7 +218,7 @@ impl TrulyLocal<ListColoring> for ListColoringAlgo {
         report.push("list-sweep", sweep.rounds);
         report.push("labeling", 1);
         for &v in sub.nodes() {
-            let c = sweep.colors[v.index()].expect("color for every participant");
+            let c = sweep.colors[v.index()].or_invariant("color for every participant");
             debug_assert!(problem.allows(v, c));
             for h in sub.half_edges_of(v) {
                 labeling.set_fresh(h, c);

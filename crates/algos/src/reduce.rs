@@ -11,6 +11,7 @@
 //!   parallel (`Δ+1` rounds), halving the color count per phase; lands at
 //!   a `(Δ+1)`-coloring in `O(Δ · log(m / Δ))` rounds total.
 
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{NodeId, Topology};
 use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
 
@@ -48,7 +49,7 @@ impl<T: Topology> SyncAlgorithm<T> for SweepAlgo<'_> {
     type State = SweepState;
 
     fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<SweepState> {
-        let c = self.initial[v.index()].expect("initial color for every participant");
+        let c = self.initial[v.index()].or_invariant("initial color for every participant");
         debug_assert!(c < self.m);
         // Highest class first: class c re-picks in round m - c.
         Verdict::Active(SweepState { color: self.m + c, my_round: self.m - c })
@@ -109,7 +110,7 @@ pub fn sweep_reduce<T: Topology + ParSafe>(
         colors: out
             .states
             .iter()
-            .map(|s| s.as_ref().map(|st| u32::try_from(st.color + 1).expect("small color")))
+            .map(|s| s.as_ref().map(|st| u32::try_from(st.color + 1).or_invariant("small color")))
             .collect(),
         final_colors: (max_used + 1) as u32,
         rounds: out.rounds,
@@ -139,7 +140,7 @@ impl<T: Topology> SyncAlgorithm<T> for KwPhase<'_> {
     type State = KwState;
 
     fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<KwState> {
-        let c = self.initial[v.index()].expect("initial color");
+        let c = self.initial[v.index()].or_invariant("initial color");
         debug_assert!(c < self.m);
         let rel = c % (2 * self.slots);
         if rel < self.slots {
@@ -231,7 +232,7 @@ pub fn kw_reduce<T: Topology + ParSafe>(
     ReduceOutcome {
         colors: colors
             .iter()
-            .map(|c| c.map(|x| u32::try_from(x + 1).expect("small color")))
+            .map(|c| c.map(|x| u32::try_from(x + 1).or_invariant("small color")))
             .collect(),
         final_colors: (max_used + 1) as u32,
         rounds,

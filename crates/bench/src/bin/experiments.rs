@@ -16,6 +16,8 @@
 //! rejected with exit code 2 — a typo like `--qick` must not silently run
 //! the minutes-long Full suite.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 use treelocal_bench::{

@@ -30,6 +30,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use treelocal_graph::OrInvariant;
 
 /// The serializable result of one experiment job: everything a suite needs
 /// to rebuild its table rows and notes without re-executing the job.
@@ -194,7 +195,7 @@ impl Driver {
 
     /// Number of results already present in the resumed journal.
     pub fn jobs_resumed(&self) -> usize {
-        self.state.as_ref().map_or(0, |s| s.lock().expect("journal lock").completed.len())
+        self.state.as_ref().map_or(0, |s| s.lock().or_invariant("journal lock").completed.len())
     }
 
     /// Runs the named job queue, returning one [`JobOutput`] per job **in
@@ -215,7 +216,7 @@ impl Driver {
         let mut results: Vec<Option<JobOutput>> = vec![None; total];
         let mut pending: Vec<usize> = Vec::new();
         if let Some(state) = &self.state {
-            let st = state.lock().expect("journal lock");
+            let st = state.lock().or_invariant("journal lock");
             for (i, slot) in results.iter_mut().enumerate() {
                 match st.completed.get(&(run.to_string(), i)) {
                     Some(out) => *slot = Some(out.clone()),
@@ -243,7 +244,7 @@ impl Driver {
         for (i, out) in pending.into_iter().zip(fresh) {
             results[i] = Some(out);
         }
-        results.into_iter().map(|o| o.expect("every job completed or resumed")).collect()
+        results.into_iter().map(|o| o.or_invariant("every job completed or resumed")).collect()
     }
 
     /// Maps `f` over auxiliary jobs (e.g. workload generation) on the pool
@@ -261,8 +262,8 @@ impl Driver {
 
     fn checkpoint(&self, run: &str, job: usize, out: &JobOutput) {
         if let Some(state) = &self.state {
-            let mut st = state.lock().expect("journal lock");
-            st.journal.append(run, job, out).expect("checkpoint journal write");
+            let mut st = state.lock().or_invariant("journal lock");
+            st.journal.append(run, job, out).or_invariant("checkpoint journal write");
         }
     }
 

@@ -32,6 +32,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
+use treelocal_graph::OrInvariant;
 
 /// The version stamped into (and required of) every journal meta line.
 const FORMAT_VERSION: u64 = 1;
@@ -189,7 +190,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -247,7 +248,7 @@ impl Parser<'_> {
                     self.skip_ws();
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.expect_byte(b':')?;
                     let val = self.value()?;
                     fields.push((key, val));
                     self.skip_ws();
@@ -272,12 +273,12 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII by construction");
+            .or_invariant("number bytes are ASCII by construction");
         text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             match self.peek() {
@@ -317,7 +318,7 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().expect("peeked a byte");
+                    let c = rest.chars().next().or_invariant("peeked a byte");
                     s.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -89,6 +89,8 @@ pub fn run_experiment_with_driver(id: &str, size: ExperimentSize, driver: &Drive
         "e12" => vec![ablations::e12(size, driver)],
         "e13" => vec![theorems::e13(size, driver)],
         "e14" => vec![ablations::e14(size, driver)],
+        // lint:allow(no-panic-in-lib): documented "# Panics" contract —
+        // callers validate ids against all_experiment_ids first.
         other => panic!("unknown experiment id {other:?}; known: {:?}", all_experiment_ids()),
     }
 }

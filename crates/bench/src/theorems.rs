@@ -24,6 +24,7 @@ use treelocal_core::{
     TreeTransform,
 };
 use treelocal_gen::{grid, random_arboricity_graph, random_tree, triangulated_grid};
+use treelocal_graph::OrInvariant;
 use treelocal_problems::{classic, DegPlusOneColoring, Mis};
 
 fn n_sweep(size: ExperimentSize) -> Vec<usize> {
@@ -115,7 +116,7 @@ pub fn e13(size: ExperimentSize, driver: &Driver) -> Table {
                 (0..=(tree.degree(v) as u32)).map(|i| base + 3 * i).collect()
             })
             .collect();
-        let p = ListColoring::new(&tree, lists).unwrap();
+        let p = ListColoring::new(&tree, lists).or_invariant("deg+1 lists fit the tree");
         let out = TreeTransform::new(&p, &ListColoringAlgo).run(&tree);
         assert!(out.valid);
         let ll = log_over_loglog(n);

@@ -27,6 +27,7 @@ use crate::report::{TransformOutcome, TransformParams, TransformStats};
 use treelocal_algos::{ChargedModel, GlobalCtx, TrulyLocal};
 use treelocal_decomp::{arb_decompose, split_atypical};
 use treelocal_graph::Graph;
+use treelocal_graph::OrInvariant;
 use treelocal_problems::{solve_edges_sequential, verify_graph, EdgeSequential, Problem};
 use treelocal_sim::{log_star_u64, RoundReport};
 
@@ -157,7 +158,7 @@ where
             star_rounds += 3;
             edges.sort_unstable();
             solve_edges_sequential(self.problem, g, &edges, &mut labeling)
-                .expect("P2 guarantees the node-list variant is solvable");
+                .or_invariant("P2 guarantees the node-list variant is solvable");
         }
         executed.push("star-groups(Alg4)", star_rounds);
 

@@ -14,6 +14,7 @@
 
 use crate::report::{TransformOutcome, TransformParams, TransformStats};
 use treelocal_algos::{GlobalCtx, TrulyLocal};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{eccentricity, Graph, NodeId, SemiGraph};
 use treelocal_problems::{
     solve_edges_sequential, solve_nodes_sequential, verify_graph, EdgeSequential, HalfEdgeLabeling,
@@ -52,7 +53,7 @@ pub fn direct_baseline<P: Problem, A: TrulyLocal<P>>(
 /// The gather center used by the trivial baselines: the highest-identifier
 /// node (any fixed local rule would do; the cost is its eccentricity).
 fn gather_center(g: &Graph) -> NodeId {
-    g.node_ids().max_by_key(|&v| g.local_id(v)).expect("non-empty graph")
+    g.node_ids().max_by_key(|&v| g.local_id(v)).or_invariant("non-empty graph")
 }
 
 /// The trivial global-gather algorithm for `P1` problems: `2·ecc` rounds.
@@ -65,7 +66,7 @@ pub fn gather_baseline_node<P: Problem + NodeSequential>(
     let mut labeling = HalfEdgeLabeling::for_graph(g);
     let order: Vec<NodeId> = g.node_ids().collect();
     solve_nodes_sequential(problem, g, &order, &mut labeling)
-        .expect("sequential process completes on valid instances");
+        .or_invariant("sequential process completes on valid instances");
     let valid = verify_graph(problem, g, &labeling).is_ok();
     TransformOutcome {
         labeling,
@@ -87,7 +88,7 @@ pub fn gather_baseline_edge<P: Problem + EdgeSequential>(
     let mut labeling = HalfEdgeLabeling::for_graph(g);
     let order: Vec<_> = g.edge_ids().collect();
     solve_edges_sequential(problem, g, &order, &mut labeling)
-        .expect("sequential process completes on valid instances");
+        .or_invariant("sequential process completes on valid instances");
     let valid = verify_graph(problem, g, &labeling).is_ok();
     TransformOutcome {
         labeling,

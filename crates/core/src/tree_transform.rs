@@ -22,6 +22,7 @@ use crate::g_solver::{k_for, solve_g};
 use crate::report::{TransformOutcome, TransformParams, TransformStats};
 use treelocal_algos::{ChargedModel, GlobalCtx, TrulyLocal};
 use treelocal_decomp::{rake_compress, RakeCompress};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{components, Graph, NodeId};
 use treelocal_problems::{solve_nodes_sequential, verify_graph, NodeSequential, Problem};
 use treelocal_sim::{log_star_u64, GatherPlan, RoundReport};
@@ -143,7 +144,7 @@ where
             let center = members[0];
             max_gather = max_gather.max(gather_plan.rounds_at(center));
             solve_nodes_sequential(self.problem, tree, &members, &mut labeling)
-                .expect("P1 guarantees the edge-list variant is solvable");
+                .or_invariant("P1 guarantees the edge-list variant is solvable");
         }
         executed.push("gather-residual(Alg2)", max_gather);
 

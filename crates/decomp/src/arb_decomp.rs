@@ -15,6 +15,7 @@
 //! typical edges induce a graph of maximum degree ≤ `k` (Lemma 14).
 
 use crate::order::LayerOrder;
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{Graph, NodeId, SemiGraph, Topology};
 use treelocal_sim::{ceil_log, run, Ctx, Snapshot, SyncAlgorithm, Verdict};
 
@@ -223,7 +224,7 @@ impl<T: Topology> SyncAlgorithm<T> for ArbDistributed {
         own: &ArbState,
         prev: &Snapshot<'_, ArbState>,
     ) -> Verdict<ArbState> {
-        let iteration = ((round - 1) / 2 + 1) as u32;
+        let iteration = u32::try_from((round - 1) / 2 + 1).or_invariant("round counts fit u32");
         let sub = (round - 1) % 2;
         let mut next = own.clone();
         if sub == 0 {
@@ -281,8 +282,8 @@ pub fn arb_decompose_distributed(g: &Graph, a: usize, k: usize) -> ArbDecomposit
     let mut atypical = vec![false; g.edge_count()];
     let mut iterations = 0;
     for v in g.node_ids() {
-        let st = out.states[v.index()].as_ref().expect("participated");
-        let it = st.marked_at.expect("all nodes marked (Lemma 13)");
+        let st = out.states[v.index()].as_ref().or_invariant("participated");
+        let it = st.marked_at.or_invariant("all nodes marked (Lemma 13)");
         iteration_of[v.index()] = it;
         iterations = iterations.max(it);
         for &e in &st.my_atypical {

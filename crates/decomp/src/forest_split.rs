@@ -15,7 +15,10 @@
 use crate::arb_decomp::ArbDecomposition;
 use crate::order::LayerOrder;
 use treelocal_algos::three_color_rooted;
-use treelocal_graph::{components, EdgeId, Graph, NodeId, RootedForest, SemiGraph};
+use treelocal_graph::OrInvariant;
+use treelocal_graph::{
+    components, narrow_u32, widen_u32, EdgeId, Graph, NodeId, RootedForest, SemiGraph,
+};
 use treelocal_sim::Ctx;
 
 /// The star-forest split of the atypical edges.
@@ -52,7 +55,7 @@ impl ForestSplit {
 /// star-forest split.
 pub fn split_atypical(g: &Graph, d: &ArbDecomposition) -> ForestSplit {
     let order = d.layer_order();
-    let forests = (2 * d.a) as u32;
+    let forests = narrow_u32(2 * d.a);
     // Step 1: each node colors its higher-going atypical edges with
     // distinct colors (deterministically: by neighbor identifier).
     let mut forest_of: Vec<Option<u32>> = vec![None; g.edge_count()];
@@ -64,13 +67,13 @@ pub fn split_atypical(g: &Graph, d: &ArbDecomposition) -> ForestSplit {
             .collect();
         mine.sort_unstable();
         assert!(
-            mine.len() <= forests as usize,
+            mine.len() <= widen_u32(forests),
             "node {v} has {} > b = {} atypical edges",
             mine.len(),
             forests
         );
         for (i, &(_, e)) in mine.iter().enumerate() {
-            forest_of[e.index()] = Some(i as u32);
+            forest_of[e.index()] = Some(narrow_u32(i));
         }
     }
     // Step 2: 3-color each F_i (in parallel; rounds = max).
@@ -87,7 +90,7 @@ pub fn split_atypical(g: &Graph, d: &ArbDecomposition) -> ForestSplit {
         rounds = rounds.max(cv.rounds);
         for &e in sub.edges() {
             let hi = order.higher_endpoint(g, e);
-            let j = cv.colors[hi.index()].expect("higher endpoint is colored");
+            let j = cv.colors[hi.index()].or_invariant("higher endpoint is colored");
             group_of[e.index()] = Some((i, j));
         }
     }
@@ -143,7 +146,7 @@ pub fn check_star_property(g: &Graph, d: &ArbDecomposition, split: &ForestSplit)
                     let ky = (order.rank(y), g.local_id(y));
                     kx.cmp(&ky)
                 })
-                .expect("non-empty component");
+                .or_invariant("non-empty component");
             let deg_center = sub.underlying_degree(center);
             if deg_center != members.len() - 1 {
                 return false;
@@ -174,7 +177,7 @@ mod tests {
         let split = split_atypical(g, &d);
         assert!(check_split_covers_atypical(&d, &split));
         assert!(check_star_property(g, &d, &split));
-        assert_eq!(split.forests as usize, 2 * a);
+        assert_eq!(widen_u32(split.forests), 2 * a);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! which the test suite asserts.
 
 use crate::order::LayerOrder;
-use treelocal_graph::{Graph, NodeId, SemiGraph, Topology};
+use treelocal_graph::OrInvariant;
+use treelocal_graph::{narrow_u32, widen_u32, Graph, NodeId, SemiGraph, Topology};
 use treelocal_sim::{ceil_log, run, Ctx, Snapshot, SyncAlgorithm, Verdict};
 
 /// Which operation marked a node.
@@ -96,7 +97,7 @@ pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
     let mut iteration_of = vec![0u32; n];
     let mut mark_of = vec![Mark::Rake; n];
     let mut alive: Vec<bool> = vec![true; n];
-    let mut deg: Vec<u32> = (0..n).map(|i| g.degree(NodeId::new(i)) as u32).collect();
+    let mut deg: Vec<u32> = (0..n).map(|i| narrow_u32(g.degree(NodeId::new(i)))).collect();
     // The not-yet-marked nodes, kept in increasing index order so every
     // scan below visits them exactly as a full `node_ids()` sweep skipping
     // dead nodes would — the layering is bit-for-bit that of the naive
@@ -119,13 +120,13 @@ pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
         // Compress step on G[V_{i-1}].
         compressed.clear();
         for &v in &alive_list {
-            if deg[v.index()] as usize > k {
+            if widen_u32(deg[v.index()]) > k {
                 continue;
             }
             let ok = g
                 .neighbor_nodes(v)
                 .iter()
-                .all(|&w| !alive[w.index()] || deg[w.index()] as usize <= k);
+                .all(|&w| !alive[w.index()] || widen_u32(deg[w.index()]) <= k);
             if ok {
                 compressed.push(v);
             }
@@ -163,7 +164,7 @@ pub fn rake_compress(g: &Graph, k: usize) -> RakeCompress {
         });
         for &v in &alive_list {
             deg[v.index()] =
-                g.neighbor_nodes(v).iter().filter(|&&w| alive[w.index()]).count() as u32;
+                narrow_u32(g.neighbor_nodes(v).iter().filter(|&&w| alive[w.index()]).count());
         }
     }
     RakeCompress { iteration_of, mark_of, iterations, k, rounds: 3 * u64::from(iterations) }
@@ -221,6 +222,8 @@ pub fn raked_component_max_diameter(g: &Graph, rc: &RakeCompress) -> u32 {
 /// The Lemma 11 bound `4(log_k n + 1) + 2`.
 pub fn lemma11_bound(n: usize, k: usize) -> u32 {
     let lg = if n <= 1 { 0.0 } else { (n as f64).ln() / (k as f64).ln() };
+    // lint:allow(no-bare-index-cast): float-to-int conversion of a
+    // small round bound, not an index-space crossing.
     (4.0 * (lg + 1.0) + 2.0).ceil() as u32
 }
 
@@ -268,7 +271,7 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
         own: &RcState,
         prev: &Snapshot<'_, RcState>,
     ) -> Verdict<RcState> {
-        let iteration = ((round - 1) / 3 + 1) as u32;
+        let iteration = u32::try_from((round - 1) / 3 + 1).or_invariant("round counts fit u32");
         let sub = (round - 1) % 3;
         let mut next = own.clone();
         match sub {
@@ -343,8 +346,8 @@ pub fn rake_compress_distributed(g: &Graph, k: usize) -> RakeCompress {
     let mut mark_of = vec![Mark::Rake; n];
     let mut iterations = 0u32;
     for v in g.node_ids() {
-        let st = out.states[v.index()].as_ref().expect("every node participated");
-        let (it, mark) = st.marked_at.expect("every node marked (Lemma 9)");
+        let st = out.states[v.index()].as_ref().or_invariant("every node participated");
+        let (it, mark) = st.marked_at.or_invariant("every node marked (Lemma 9)");
         iteration_of[v.index()] = it;
         mark_of[v.index()] = mark;
         iterations = iterations.max(it);

@@ -7,6 +7,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{Graph, GraphBuilder};
 
 use crate::prufer::decode_prufer;
@@ -41,7 +42,7 @@ pub fn random_arboricity_graph(n: usize, a: usize, seed: u64) -> Graph {
         }
     }
     let edges: Vec<(usize, usize)> = canon.into_iter().collect();
-    Graph::from_edges(n, &edges).expect("union of trees is simple")
+    Graph::from_edges(n, &edges).or_invariant("union of trees is simple")
 }
 
 /// A random *forest* on `n` nodes with approximately `edge_fraction` of the
@@ -50,7 +51,7 @@ pub fn random_forest(n: usize, edge_fraction: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&edge_fraction), "fraction in [0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xf0e5_0123);
     if n < 2 {
-        return Graph::from_edges(n, &[]).expect("empty");
+        return Graph::from_edges(n, &[]).or_invariant("empty");
     }
     let tree_edges = if n == 2 {
         vec![(0, 1)]
@@ -60,7 +61,7 @@ pub fn random_forest(n: usize, edge_fraction: f64, seed: u64) -> Graph {
     };
     let kept: Vec<(usize, usize)> =
         tree_edges.into_iter().filter(|_| rng.gen_bool(edge_fraction)).collect();
-    Graph::from_edges(n, &kept).expect("subset of tree edges is a forest")
+    Graph::from_edges(n, &kept).or_invariant("subset of tree edges is a forest")
 }
 
 /// An `r × c` grid graph (planar; arboricity 2 for `r, c ≥ 2`).
@@ -78,7 +79,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
             }
         }
     }
-    b.finish().expect("grid is simple")
+    b.finish().or_invariant("grid is simple")
 }
 
 /// An `r × c` grid with one diagonal per cell (planar triangulation-like;
@@ -100,7 +101,7 @@ pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
             }
         }
     }
-    b.finish().expect("triangulated grid is simple")
+    b.finish().or_invariant("triangulated grid is simple")
 }
 
 /// The arboricity bound each generator guarantees by construction.

@@ -9,6 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{Graph, GraphBuilder};
 
 /// How LOCAL identifiers are assigned to nodes.
@@ -84,7 +85,7 @@ pub fn relabel(g: &Graph, strategy: IdStrategy) -> Graph {
         b.add_edge(u.index(), v.index());
     }
     b.local_ids(assign_ids(g.node_count(), strategy));
-    b.finish().expect("relabeling a valid graph stays valid")
+    b.finish().or_invariant("relabeling a valid graph stays valid")
 }
 
 #[cfg(test)]

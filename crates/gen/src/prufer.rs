@@ -7,6 +7,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use treelocal_graph::Graph;
+use treelocal_graph::OrInvariant;
 
 /// Decodes a Prüfer sequence into the edge list of the corresponding tree.
 ///
@@ -59,15 +60,15 @@ pub fn decode_prufer(n: usize, seq: &[usize]) -> Vec<(usize, usize)> {
 pub fn random_tree(n: usize, seed: u64) -> Graph {
     assert!(n >= 1, "tree needs at least one node");
     if n == 1 {
-        return Graph::from_edges(1, &[]).expect("single node");
+        return Graph::from_edges(1, &[]).or_invariant("single node");
     }
     if n == 2 {
-        return Graph::from_edges(2, &[(0, 1)]).expect("edge");
+        return Graph::from_edges(2, &[(0, 1)]).or_invariant("edge");
     }
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7275_6665);
     let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
     let edges = decode_prufer(n, &seq);
-    Graph::from_edges(n, &edges).expect("Prüfer decoding yields a tree")
+    Graph::from_edges(n, &edges).or_invariant("Prüfer decoding yields a tree")
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@
 //! hold; they are the canonical "hard" workloads for the experiments.
 
 use treelocal_graph::Graph;
+use treelocal_graph::OrInvariant;
 
 fn build(n: usize, edges: Vec<(usize, usize)>) -> Graph {
-    Graph::from_edges(n, &edges).expect("generator produced a valid simple graph")
+    Graph::from_edges(n, &edges).or_invariant("generator produced a valid simple graph")
 }
 
 /// A path on `n` nodes (`n ≥ 1`).
@@ -112,7 +113,7 @@ pub fn balanced_regular_tree(delta: usize, n: usize) -> Graph {
     queue.push_back((0usize, delta));
     let mut next = 1usize;
     while next < n {
-        let (p, cap) = queue.pop_front().expect("capacity left while nodes remain");
+        let (p, cap) = queue.pop_front().or_invariant("capacity left while nodes remain");
         for _ in 0..cap {
             if next >= n {
                 break;
@@ -143,7 +144,7 @@ pub fn balanced_regular_tree_of_depth(delta: usize, depth: u32) -> Graph {
         layer *= (delta - 1) as u128;
         n += layer;
     }
-    let n = usize::try_from(n).expect("tree too large");
+    let n = usize::try_from(n).or_invariant("tree too large");
     balanced_regular_tree(delta, n)
 }
 

@@ -15,7 +15,7 @@
 //! [`GraphError::TooLarge`], never a silent truncation.
 
 use crate::csr::{check_index_space, zip_neighbors, CsrPairs, Neighbors};
-use crate::ids::{EdgeId, NodeId, NodeRange, Side};
+use crate::ids::{widen_u32, widen_u64, EdgeId, NodeId, NodeRange, Side};
 use crate::GraphError;
 
 /// An immutable simple undirected graph.
@@ -127,7 +127,7 @@ impl GraphBuilder {
                 }
                 ids
             }
-            None => (1..=n as u64).collect(),
+            None => (1..=widen_u64(n)).collect(),
         };
 
         let mut endpoints = Vec::with_capacity(self.edges.len());
@@ -144,13 +144,13 @@ impl GraphBuilder {
         let mut canon: Vec<(u32, u32)> = endpoints
             .iter()
             .map(|&[a, b]| {
-                let (x, y) = (a.index() as u32, b.index() as u32);
+                let (x, y) = (a.raw(), b.raw());
                 (x.min(y), x.max(y))
             })
             .collect();
         canon.sort_unstable();
         if let Some(w) = canon.windows(2).find(|w| w[0] == w[1]) {
-            return Err(GraphError::ParallelEdge { u: w[0].0 as usize, v: w[0].1 as usize });
+            return Err(GraphError::ParallelEdge { u: widen_u32(w[0].0), v: widen_u32(w[0].1) });
         }
 
         let adj = CsrPairs::from_undirected_edges(
@@ -231,6 +231,9 @@ impl Graph {
         } else if b == v {
             Side::Second
         } else {
+            // lint:allow(no-panic-in-lib): documented "# Panics" contract —
+            // asking for the side of a non-endpoint is a caller bug with no
+            // meaningful Side to return.
             panic!("{v:?} is not an endpoint of {e:?}")
         }
     }
@@ -248,6 +251,9 @@ impl Graph {
         } else if b == v {
             a
         } else {
+            // lint:allow(no-panic-in-lib): documented "# Panics" contract —
+            // asking for the other endpoint from a non-endpoint is a caller
+            // bug with no meaningful NodeId to return.
             panic!("{v:?} is not an endpoint of {e:?}")
         }
     }
@@ -417,13 +423,13 @@ mod tests {
     fn rejects_oversized_node_count() {
         // One past the u32 index space. The check fires before the O(n)
         // identifier table is allocated, so this is cheap to test.
-        let n = u32::MAX as usize + 1;
+        let n = widen_u32(u32::MAX) + 1;
         let err = GraphBuilder::new(n).finish().unwrap_err();
         assert!(matches!(err, GraphError::TooLarge { nodes, edges: 0 } if nodes == n));
         assert!(err.to_string().contains("u32 index space"));
         // At the boundary the count check passes (edge validation then
         // rejects the out-of-range endpoints, proving we got past it).
-        let mut b = GraphBuilder::new(u32::MAX as usize);
+        let mut b = GraphBuilder::new(widen_u32(u32::MAX));
         b.local_ids(vec![]); // wrong length: fails fast after the size check
         assert!(matches!(b.finish(), Err(GraphError::IdCountMismatch { .. })));
     }

@@ -15,6 +15,7 @@
 use crate::adjacency::Graph;
 use crate::forest::is_forest;
 use crate::ids::{EdgeId, NodeId};
+use crate::invariant::OrInvariant;
 
 /// Result of min-degree peeling: the degeneracy and the elimination order.
 #[derive(Clone, Debug)]
@@ -61,7 +62,7 @@ pub fn degeneracy(g: &Graph) -> Peeling {
             while cursor <= max_deg && buckets[cursor].is_empty() {
                 cursor += 1;
             }
-            let v = buckets[cursor].pop().expect("non-empty bucket");
+            let v = buckets[cursor].pop().or_invariant("non-empty bucket");
             if !removed[v.index()] && deg[v.index()] == cursor {
                 break v;
             }
@@ -150,7 +151,8 @@ pub fn is_forest_partition(g: &Graph, p: &ForestPartition) -> bool {
                 (u.index(), v.index())
             })
             .collect();
-        let sub = Graph::from_edges(g.node_count(), &edges).expect("subgraph of simple graph");
+        let sub =
+            Graph::from_edges(g.node_count(), &edges).or_invariant("subgraph of simple graph");
         if !is_forest(&sub) {
             return false;
         }

@@ -15,15 +15,15 @@
 //! build into a typed [`GraphError::TooLarge`] instead of a silent
 //! truncation.
 
-use crate::ids::{EdgeId, NodeId};
+use crate::ids::{widen_u32, EdgeId, NodeId};
 use crate::GraphError;
 
 /// Maximum node count of the u32 index space.
-pub(crate) const MAX_NODES: usize = u32::MAX as usize;
+pub(crate) const MAX_NODES: usize = widen_u32(u32::MAX);
 
 /// Maximum edge count of the u32 index space: the CSR offsets address
 /// half-edges, so `2m` must fit in `u32`.
-pub(crate) const MAX_EDGES: usize = (u32::MAX / 2) as usize;
+pub(crate) const MAX_EDGES: usize = widen_u32(u32::MAX / 2);
 
 /// Validates that an instance with `nodes` nodes and `edges` edges fits the
 /// u32 index space ([`MAX_NODES`] / [`MAX_EDGES`]).
@@ -81,17 +81,18 @@ impl CsrPairs {
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let total = offsets[n] as usize;
+        let total = widen_u32(offsets[n]);
         let mut pairs: Vec<(NodeId, EdgeId)> = vec![(NodeId::new(0), EdgeId::new(0)); total];
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         for (u, v, e) in edge_iter {
-            pairs[cursor[u.index()] as usize] = (v, e);
+            pairs[widen_u32(cursor[u.index()])] = (v, e);
             cursor[u.index()] += 1;
-            pairs[cursor[v.index()] as usize] = (u, e);
+            pairs[widen_u32(cursor[v.index()])] = (u, e);
             cursor[v.index()] += 1;
         }
         for i in 0..n {
-            pairs[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable_by_key(|&(w, _)| w);
+            pairs[widen_u32(offsets[i])..widen_u32(offsets[i + 1])]
+                .sort_unstable_by_key(|&(w, _)| w);
         }
         let mut nodes = Vec::with_capacity(total);
         let mut edges = Vec::with_capacity(total);
@@ -105,7 +106,7 @@ impl CsrPairs {
     /// The adjacency slot range of node `v`.
     #[inline]
     fn range(&self, v: NodeId) -> std::ops::Range<usize> {
-        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+        widen_u32(self.offsets[v.index()])..widen_u32(self.offsets[v.index() + 1])
     }
 
     /// Node `v`'s neighbors, sorted by node index.
@@ -124,12 +125,12 @@ impl CsrPairs {
     /// Degree of `v` (an offset delta — O(1), no list access).
     #[inline]
     pub(crate) fn degree(&self, v: NodeId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        widen_u32(self.offsets[v.index() + 1] - self.offsets[v.index()])
     }
 
     /// The maximum degree over all nodes.
     pub(crate) fn max_degree(&self) -> usize {
-        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
+        self.offsets.windows(2).map(|w| widen_u32(w[1] - w[0])).max().unwrap_or(0)
     }
 
     /// Total number of adjacency slots (the degree sum, `2m`).
@@ -163,11 +164,11 @@ impl CsrEdges {
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let total = offsets[n] as usize;
+        let total = widen_u32(offsets[n]);
         let mut edges: Vec<EdgeId> = vec![EdgeId::new(0); total];
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         for (v, e) in inc_iter {
-            edges[cursor[v.index()] as usize] = e;
+            edges[widen_u32(cursor[v.index()])] = e;
             cursor[v.index()] += 1;
         }
         CsrEdges { offsets, edges }
@@ -176,13 +177,13 @@ impl CsrEdges {
     /// The incident items of node `v`.
     #[inline]
     pub(crate) fn edges_of(&self, v: NodeId) -> &[EdgeId] {
-        &self.edges[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+        &self.edges[widen_u32(self.offsets[v.index()])..widen_u32(self.offsets[v.index() + 1])]
     }
 
     /// Number of incident items of `v`.
     #[inline]
     pub(crate) fn degree(&self, v: NodeId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        widen_u32(self.offsets[v.index() + 1] - self.offsets[v.index()])
     }
 }
 
@@ -212,7 +213,7 @@ mod tests {
     fn edge_cap_is_half_edge_exact() {
         // 2 * MAX_EDGES = u32::MAX - 1 slots fits; one more edge would
         // push the offsets table past u32::MAX.
-        assert_eq!(2 * MAX_EDGES, u32::MAX as usize - 1);
+        assert_eq!(2 * MAX_EDGES, widen_u32(u32::MAX) - 1);
     }
 
     #[test]

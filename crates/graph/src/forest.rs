@@ -2,6 +2,7 @@
 
 use crate::adjacency::Graph;
 use crate::ids::NodeId;
+use crate::invariant::OrInvariant;
 use crate::topology::Topology;
 use crate::traversal::components;
 
@@ -137,8 +138,10 @@ pub fn root_forest<T: Topology>(topo: &T) -> RootedForest {
     let cc = components(topo);
     for c in 0..cc.count() {
         let comp = cc.members(c);
-        let root =
-            *comp.iter().min_by_key(|&&v| topo.local_id(v)).expect("components are non-empty");
+        let root = *comp
+            .iter()
+            .min_by_key(|&&v| topo.local_id(v))
+            .or_invariant("components are non-empty");
         let mut stack = vec![root];
         seen[root.index()] = true;
         member[root.index()] = true;

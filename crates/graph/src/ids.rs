@@ -11,6 +11,56 @@
 
 use std::fmt;
 
+// The checked-conversion helpers below assume pointers are at least as wide
+// as the u32 index space (and no wider than u64); every supported target
+// satisfies both, and a port to one that does not must revisit the CSR
+// index-space story rather than silently truncate.
+const _: () = assert!(usize::BITS >= 32, "treelocal requires 32-bit-or-wider pointers");
+const _: () = assert!(usize::BITS <= 64, "widen_u64 assumes pointers are at most 64 bits");
+
+/// Widens a `u32` index-space value (a CSR offset, a packed id, a port
+/// count) to a `usize` suitable for slice indexing.
+///
+/// This — not a bare `as usize` — is how the workspace crosses the u32 CSR
+/// boundary upward; the `no-bare-index-cast` lint rule forbids the cast
+/// form in `graph`/`sim`/`decomp`. The conversion is lossless (guarded by
+/// a compile-time pointer-width assertion), so the helper is `const` and
+/// free.
+#[inline]
+#[must_use]
+pub const fn widen_u32(x: u32) -> usize {
+    // lint:allow(no-bare-index-cast): the designated checked-conversion
+    // boundary itself — lossless by the pointer-width const assertion above.
+    x as usize
+}
+
+/// Widens a `usize` count (a frontier length, a node count) to a `u64`
+/// counter value. Lossless on every supported target (pointers are at most
+/// 64 bits, asserted above), so the helper is `const` and free.
+#[inline]
+#[must_use]
+pub const fn widen_u64(x: usize) -> u64 {
+    // lint:allow(no-bare-index-cast): the designated checked-conversion
+    // boundary itself — lossless by the pointer-width const assertion above.
+    x as u64
+}
+
+/// Narrows a `usize` index to the u32 index space, asserting it fits.
+///
+/// Call sites rely on an instance-level bound (`check_index_space` rejects
+/// `n > u32::MAX` before any CSR is built), so a failure here is a bug in
+/// that boundary, not a runtime condition — hence a message-bearing assert
+/// rather than a `Result`.
+#[inline]
+#[must_use]
+#[track_caller]
+pub fn narrow_u32(x: usize) -> u32 {
+    assert!(x <= widen_u32(u32::MAX), "index {x} exceeds the u32 index space");
+    // lint:allow(no-bare-index-cast): bounded by the assert on the
+    // previous line; this is the designated narrowing helper.
+    x as u32
+}
+
 /// Index of a node in a [`Graph`](crate::Graph).
 ///
 /// # Examples
@@ -62,29 +112,55 @@ pub struct HalfEdge {
 
 impl NodeId {
     /// Creates a node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the u32 index space (see
+    /// [`GraphError::TooLarge`](crate::GraphError::TooLarge) for the
+    /// instance-level boundary that keeps this unreachable in practice).
     #[inline]
     pub fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+        NodeId(narrow_u32(index))
     }
 
     /// Returns the underlying index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        widen_u32(self.0)
+    }
+
+    /// The raw `u32` the id packs — for building flat u32 tables (CSR
+    /// offsets, routing arrays) without a cast at the call site.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
     }
 }
 
 impl EdgeId {
     /// Creates an edge index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the u32 index space (see
+    /// [`GraphError::TooLarge`](crate::GraphError::TooLarge) for the
+    /// instance-level boundary that keeps this unreachable in practice).
     #[inline]
     pub fn new(index: usize) -> Self {
-        EdgeId(u32::try_from(index).expect("edge index exceeds u32"))
+        EdgeId(narrow_u32(index))
     }
 
     /// Returns the underlying index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        widen_u32(self.0)
+    }
+
+    /// The raw `u32` the id packs — for building flat u32 tables without a
+    /// cast at the call site.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -117,6 +193,9 @@ impl Side {
         match index {
             0 => Side::First,
             1 => Side::Second,
+            // lint:allow(no-panic-in-lib): documented "# Panics" contract —
+            // a side index other than 0/1 is a caller bug, not a runtime
+            // condition, and there is no meaningful Side to return.
             _ => panic!("side index must be 0 or 1, got {index}"),
         }
     }
@@ -150,7 +229,7 @@ impl NodeRange {
     /// The range `0..n` of a graph with `n` nodes.
     #[inline]
     pub(crate) fn upto(n: usize) -> Self {
-        NodeRange { range: 0..u32::try_from(n).expect("node count exceeds u32") }
+        NodeRange { range: 0..narrow_u32(n) }
     }
 }
 
@@ -277,5 +356,29 @@ mod tests {
     fn ids_are_ordered() {
         assert!(NodeId::new(1) < NodeId::new(2));
         assert!(EdgeId::new(0) < EdgeId::new(9));
+    }
+
+    #[test]
+    fn widen_and_narrow_round_trip_the_u32_index_space() {
+        assert_eq!(widen_u32(0), 0usize);
+        assert_eq!(widen_u32(u32::MAX), 4_294_967_295usize);
+        assert_eq!(widen_u64(7usize), 7u64);
+        assert_eq!(narrow_u32(0), 0u32);
+        assert_eq!(narrow_u32(widen_u32(u32::MAX)), u32::MAX);
+        for x in [0u32, 1, 2, 1 << 20, u32::MAX] {
+            assert_eq!(narrow_u32(widen_u32(x)), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 index space")]
+    fn narrow_rejects_values_past_u32() {
+        let _ = narrow_u32(widen_u32(u32::MAX) + 1);
+    }
+
+    #[test]
+    fn raw_exposes_the_packed_value() {
+        assert_eq!(NodeId::new(12).raw(), 12u32);
+        assert_eq!(EdgeId::new(3).raw(), 3u32);
     }
 }

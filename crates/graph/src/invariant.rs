@@ -1,0 +1,105 @@
+//! The workspace's sanctioned invariant-assert form.
+//!
+//! Library code in this workspace must not panic incidentally — the
+//! `no-panic-in-lib` rule of `treelocal-lint` forbids `unwrap()`,
+//! `expect(` and `panic!` outside tests. What library code *may* do is
+//! assert a named invariant: either with the `assert!` family (always
+//! message-bearing) or, for `Option`/`Result` slots whose population is
+//! guaranteed by construction, with [`OrInvariant::or_invariant`]:
+//!
+//! ```
+//! use treelocal_graph::OrInvariant;
+//! let slot: Option<u32> = Some(7);
+//! let v = slot.or_invariant("every frontier node has a state");
+//! assert_eq!(v, 7);
+//! ```
+//!
+//! The difference from `expect` is auditability, not semantics: every
+//! panic reachable from library code funnels through the single
+//! `lint:allow`-annotated site in this module, `grep or_invariant` *is*
+//! the registry of construction invariants, and the message always names
+//! the invariant that failed (`invariant violated: <why>`), with the
+//! caller's location attached via `#[track_caller]`.
+
+use std::fmt;
+
+/// Extension trait providing [`or_invariant`](OrInvariant::or_invariant)
+/// on `Option` and `Result`.
+pub trait OrInvariant {
+    /// The success value.
+    type Out;
+
+    /// Unwraps a value whose presence is a construction invariant,
+    /// panicking with `invariant violated: <why>` (plus the error for
+    /// `Result`) if the invariant does not hold.
+    fn or_invariant(self, why: &str) -> Self::Out;
+}
+
+impl<T> OrInvariant for Option<T> {
+    type Out = T;
+
+    #[inline]
+    #[track_caller]
+    fn or_invariant(self, why: &str) -> T {
+        match self {
+            Some(x) => x,
+            None => invariant_violated(why, None),
+        }
+    }
+}
+
+impl<T, E: fmt::Debug> OrInvariant for Result<T, E> {
+    type Out = T;
+
+    #[inline]
+    #[track_caller]
+    fn or_invariant(self, why: &str) -> T {
+        match self {
+            Ok(x) => x,
+            Err(e) => invariant_violated(why, Some(format!("{e:?}"))),
+        }
+    }
+}
+
+/// The one place library code is allowed to panic: a named invariant did
+/// not hold. Kept out of line so the happy path of
+/// [`OrInvariant::or_invariant`] stays a branch and a move.
+#[cold]
+#[inline(never)]
+#[track_caller]
+fn invariant_violated(why: &str, detail: Option<String>) -> ! {
+    match detail {
+        // lint:allow(no-panic-in-lib): the single audited panic site behind
+        // or_invariant — everything reaching it is a named invariant.
+        Some(d) => panic!("invariant violated: {why}: {d}"),
+        // lint:allow(no-panic-in-lib): the single audited panic site behind
+        // or_invariant — everything reaching it is a named invariant.
+        None => panic!("invariant violated: {why}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn present_values_pass_through() {
+        assert_eq!(Some(3u32).or_invariant("present"), 3);
+        let ok: Result<&str, u8> = Ok("x");
+        assert_eq!(ok.or_invariant("ok"), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated: the slot is populated")]
+    fn missing_option_names_the_invariant() {
+        let none: Option<u32> = None;
+        let _ = none.or_invariant("the slot is populated");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated: conversion fits: 7")]
+    fn failed_result_carries_the_error() {
+        let err: Result<u32, u8> = Err(7);
+        let _ = err.or_invariant("conversion fits");
+    }
+}

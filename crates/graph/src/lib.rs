@@ -37,6 +37,7 @@ mod csr;
 mod eccentricity;
 mod forest;
 mod ids;
+mod invariant;
 mod semigraph;
 mod topology;
 mod traversal;
@@ -51,7 +52,8 @@ pub use eccentricity::{
     all_eccentricities, component_eccentricities, Eccentricities, ECC_UNCOMPUTED,
 };
 pub use forest::{is_forest, is_tree, root_forest, RootedForest};
-pub use ids::{EdgeId, HalfEdge, NodeId, NodeRange, Side};
+pub use ids::{narrow_u32, widen_u32, widen_u64, EdgeId, HalfEdge, NodeId, NodeRange, Side};
+pub use invariant::OrInvariant;
 pub use semigraph::SemiGraph;
 pub use topology::{NodeIter, Topology};
 pub use traversal::{

@@ -5,6 +5,7 @@
 //! connected in the underlying graph, as in the paper).
 
 use crate::ids::NodeId;
+use crate::invariant::OrInvariant;
 use crate::topology::Topology;
 use std::collections::VecDeque;
 
@@ -105,7 +106,7 @@ pub fn bfs_distances<T: Topology>(topo: &T, source: NodeId) -> Vec<Option<u32>> 
     dist[source.index()] = Some(0);
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()].expect("queued node has a distance");
+        let d = dist[v.index()].or_invariant("queued node has a distance");
         for &w in topo.neighbor_nodes(v) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
@@ -154,7 +155,7 @@ thread_local! {
 ///
 /// The farthest-node tie-break is the **first node the BFS reaches at the
 /// maximum distance**, where neighbors are visited in adjacency-list
-/// order — deterministic, and identical to the previous `HashMap`-keyed
+/// order — deterministic, and identical to the previous hash-map-keyed
 /// implementation (the map only ever gated visitation; the queue order
 /// decided ties). The all-node eccentricity pass
 /// ([`all_eccentricities`](crate::all_eccentricities)) pins its own

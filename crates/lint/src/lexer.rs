@@ -1,0 +1,441 @@
+//! A small hand-rolled Rust lexer: just enough structure for pattern
+//! rules, with full comment/string/char awareness.
+//!
+//! The rules in [`crate::rules`] match on token shapes (`HashMap`, `as
+//! usize`, `unwrap` followed by `(`, …), so the one job of this lexer is
+//! to never produce a token from inside a comment, a string literal, a
+//! raw string, a byte string or a character literal — the places where
+//! those spellings are data, not code. It also extracts the
+//! `lint:allow(rule-id): reason` escape-hatch comments, because those live
+//! *in* comments and the token stream alone cannot see them.
+//!
+//! No `syn`, by design: the workspace vendors its dependencies and a
+//! token-level scan is exactly as deep as the rule set needs.
+
+/// One lexical token, tagged with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// The token shapes the rule set distinguishes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `fn`, …).
+    Ident(String),
+    /// A single punctuation character (`(`, `{`, `!`, `:`, `#`, …).
+    Punct(char),
+    /// Any string, raw string, byte string or character literal. The
+    /// content is deliberately dropped: rules must never match inside it.
+    Literal,
+    /// A numeric literal (content irrelevant to every rule).
+    Num,
+}
+
+/// A parsed `lint:allow(...)` escape-hatch comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule id inside the parentheses (possibly unknown — validated by
+    /// the checker, not here).
+    pub rule: String,
+    /// Whether a non-empty reason followed (`lint:allow(id): reason`).
+    pub has_reason: bool,
+    /// Whether the comment contained `lint:allow` but did not parse as
+    /// `lint:allow(<id>)` at all.
+    pub malformed: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literal contents stripped.
+    pub tokens: Vec<Tok>,
+    /// Every `lint:allow` comment found (in plain `//` comments only —
+    /// doc comments are documentation and may *mention* the syntax).
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes `src` into tokens plus `lint:allow` comments.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unterminated literals simply run to end of file), because a linter
+/// must not panic on the code it scans.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                // Whitespace carries no tokens, so adjacency patterns
+                // (`as` `u32`, `std` `:` `:` `thread`) see through it.
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                // Safe slice: we started at a char boundary ('/') and
+                // stopped at '\n' or EOF, both boundaries.
+                let text = &src[start..i];
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if !is_doc {
+                    if let Some(allow) = parse_allow(text, line) {
+                        out.allows.push(allow);
+                    }
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, line tracking included.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(Tok { line: tok_line, kind: TokKind::Literal });
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte(b, i, &mut line);
+                out.tokens.push(Tok { line: tok_line, kind: TokKind::Literal });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` followed by
+                // an identifier NOT closed by another `'` (`'a`, `'static`);
+                // everything else (`'x'`, `'\n'`, `'\u{1F600}'`) is a char.
+                if let Some(end) = char_literal_end(b, i) {
+                    out.tokens.push(Tok { line, kind: TokKind::Literal });
+                    for &byte in &b[i..end] {
+                        if byte == b'\n' {
+                            line += 1;
+                        }
+                    }
+                    i = end;
+                } else {
+                    // Lifetime: consume the quote; the identifier lexes next.
+                    out.tokens.push(Tok { line, kind: TokKind::Punct('\'') });
+                    i += 1;
+                }
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok { line, kind: TokKind::Ident(src[start..i].to_string()) });
+            }
+            _ if c.is_ascii_digit() => {
+                // Good enough for every rule: digits plus alphanumeric
+                // suffixes (`0xff`, `1_000u64`). Dots are left to punct so
+                // ranges (`1..n`) lex sanely; `1.5` becomes Num Punct Num.
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok { line, kind: TokKind::Num });
+            }
+            _ if c.is_ascii() => {
+                out.tokens.push(Tok { line, kind: TokKind::Punct(c as char) });
+                i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 outside literals/comments (e.g. a Greek
+                // identifier). Treat the whole char as opaque punct.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                out.tokens.push(Tok { line, kind: TokKind::Punct('?') });
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `b[i..]` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br"`, `br#"`), or byte char (`b'`) literal — as opposed to an
+/// identifier that merely starts with `r`/`b`.
+fn is_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"b\"") || rest.starts_with(b"b'") {
+        return true;
+    }
+    if rest.starts_with(b"br\"") || rest.starts_with(b"br'") {
+        return true;
+    }
+    // r#"..."# / br#"..."# / r#ident (raw identifier — NOT a literal).
+    let (hash_start, quote_needed) = if rest.starts_with(b"br") { (2, true) } else { (1, false) };
+    let _ = quote_needed;
+    if rest.len() > hash_start && rest[hash_start] == b'#' {
+        let mut j = hash_start;
+        while j < rest.len() && rest[j] == b'#' {
+            j += 1;
+        }
+        return j < rest.len() && rest[j] == b'"';
+    }
+    false
+}
+
+/// Skips a raw/byte literal starting at `i` (which points at `r`/`b`),
+/// returning the index one past its end and updating `line`.
+fn skip_raw_or_byte(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // b'x' byte char: like a char literal.
+        j += 1;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return j + 1,
+                b'\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return j;
+    }
+    j += 1;
+    if hashes == 0 {
+        // Raw (or byte) string without hashes: ends at the next quote;
+        // backslashes are NOT escapes in raw strings, but ARE in b"...".
+        let raw = b[i] == b'r' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'r');
+        while j < b.len() {
+            match b[j] {
+                b'\\' if !raw => j += 2,
+                b'"' => return j + 1,
+                b'\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    // Hashed raw string: ends at `"` followed by `hashes` hashes.
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips an ordinary `"` string body starting just past the opening quote,
+/// returning the index one past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // An escape consumes the next byte too — which may be a
+                // line-continuation newline, so keep the line count honest.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If `b[i]` (a `'`) opens a character literal, returns the index one past
+/// its closing quote; returns `None` for lifetimes.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: scan to the closing quote.
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j < b.len()).then_some(j + 1);
+    }
+    // `'X'` where X is one char (possibly multi-byte): closing quote right
+    // after. `'a` with no close is a lifetime.
+    let mut k = j + 1;
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1; // skip UTF-8 continuation bytes of X
+    }
+    (k < b.len() && b[k] == b'\'').then_some(k + 1)
+}
+
+/// Parses a `lint:allow` comment. Returns `None` when the comment does not
+/// mention `lint:allow` at all.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let at = comment.find("lint:allow")?;
+    let rest = &comment[at + "lint:allow".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(Allow { line, rule: String::new(), has_reason: false, malformed: true });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Allow { line, rule: String::new(), has_reason: false, malformed: true });
+    };
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let has_reason = match after.strip_prefix(':') {
+        Some(reason) => !reason.trim().is_empty(),
+        None => false,
+    };
+    let malformed = rule.is_empty();
+    Some(Allow { line, rule, has_reason, malformed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashSet in /* a nested */ block comment */
+            let s = "HashMap::new()";
+            let r = r#"HashSet "quoted" inside"#;
+            let c = 'H';
+            let b = b"HashMap";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashSet".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { unwrap_me(x) }");
+        assert!(ids.contains(&"unwrap_me".to_string()));
+        assert!(ids.contains(&"a".to_string())); // the lifetime ident
+    }
+
+    #[test]
+    fn char_literals_close_properly() {
+        let ids = idents(r"let x = ['(', '\n', '\'']; after(x)");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_literals() {
+        let src = "let s = \"a\nb\nc\";\nmarker();";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("marker".into()))
+            .expect("marker token");
+        assert_eq!(marker.line, 4);
+    }
+
+    #[test]
+    fn line_continuation_escapes_still_count_lines() {
+        let src = "let s = \"first \\\n second\";\nmarker();";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("marker".into()))
+            .expect("marker token");
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn allow_comments_parse_with_and_without_reason() {
+        let lexed = lex("// lint:allow(no-panic-in-lib): boundary helper\nx();\n// lint:allow(no-wall-clock)\ny();");
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "no-panic-in-lib");
+        assert!(lexed.allows[0].has_reason);
+        assert!(!lexed.allows[0].malformed);
+        assert_eq!(lexed.allows[1].rule, "no-wall-clock");
+        assert!(!lexed.allows[1].has_reason);
+    }
+
+    #[test]
+    fn allow_with_empty_reason_or_no_parens_is_flagged() {
+        let lexed = lex("// lint:allow(no-panic-in-lib):   \n// lint:allow no parens");
+        assert!(!lexed.allows[0].has_reason);
+        assert!(lexed.allows[1].malformed);
+    }
+
+    #[test]
+    fn doc_comments_do_not_register_allows() {
+        let lexed = lex("/// lint:allow(no-panic-in-lib): docs may show the syntax\n//! lint:allow(no-wall-clock): module docs too\nfn f() {}");
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let ids = idents("let r#type = 1; use_it(r#type);");
+        assert!(ids.contains(&"use_it".to_string()));
+    }
+}

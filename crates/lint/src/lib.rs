@@ -1,0 +1,38 @@
+//! `treelocal-lint` — the workspace's determinism and index-space static
+//! analysis.
+//!
+//! A registry-free, dependency-free pass over the workspace's Rust sources
+//! that enforces the conventions clippy cannot express precisely enough
+//! (see the rule table in [`rules::RULES`] and the "Static analysis"
+//! section of the README):
+//!
+//! * `no-unordered-iteration` — no `HashMap`/`HashSet` in deterministic
+//!   crates,
+//! * `no-bare-index-cast` — no bare `as u32`/`as usize`/`as u64` in the
+//!   CSR crates; use the checked helpers in `treelocal_graph`,
+//! * `no-panic-in-lib` — no `unwrap()`/`expect()`/`panic!` in library
+//!   code,
+//! * `no-wall-clock` — no `Instant`/`SystemTime` outside `crates/bench`,
+//! * `no-raw-spawn` — no `std::thread` outside the pool facade,
+//! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! The tool lexes rather than parses: a hand-rolled, comment- and
+//! string-literal-aware scanner ([`lexer`]) produces a token stream the
+//! rules pattern-match on. That keeps the pass free of `syn`-sized
+//! dependencies while staying immune to the classic grep failure modes
+//! (matches inside comments, strings, doc examples).
+//!
+//! Sites that are sound for reasons the lexical rules cannot see carry an
+//! inline escape hatch — `// lint:allow(rule-id): reason` — whose reason
+//! is mandatory: an allow without one is itself a diagnostic
+//! (`unjustified-allow`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{check_source, Diagnostic, FileCtx, FileKind, Rule, RULES};
+pub use scan::{classify, find_workspace_root, scan_workspace, ScanReport};

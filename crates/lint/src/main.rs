@@ -1,0 +1,90 @@
+//! CLI for `treelocal-lint`.
+//!
+//! ```text
+//! treelocal-lint [--root DIR] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics were emitted, `2` usage or I/O
+//! error. Diagnostics go to stdout as `path:line: rule-id: message`, one
+//! per line, sorted; the summary goes to stderr.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use treelocal_lint::{find_workspace_root, scan_workspace, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: treelocal-lint [--root DIR] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--list-rules" => list_rules = true,
+            _ => return usage(),
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{}\n  scope: {}\n  why:   {}", rule.id, rule.scope, rule.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("treelocal-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "treelocal-lint: no workspace root found above {} (pass --root DIR)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match scan_workspace(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.diagnostics.is_empty() {
+                eprintln!("treelocal-lint: clean ({} files checked)", report.files_checked);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "treelocal-lint: {} diagnostic(s) across {} files checked",
+                    report.diagnostics.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("treelocal-lint: scan failed under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Workspace discovery: which files to check and in what role.
+//!
+//! The walk is fully deterministic (directory entries are sorted before
+//! descent) so diagnostic output is byte-stable across runs and machines.
+//! Skipped subtrees: `vendor/` (third-party API subsets with their own
+//! conventions), `target/`, `.git/`, and `crates/lint/tests/fixtures/`
+//! (files that exist *to* violate the rules).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_source, Diagnostic, FileCtx, FileKind};
+
+/// Classifies a workspace-relative `/`-separated path. Returns `None` for
+/// files the lint does not check.
+pub fn classify(rel: &str) -> Option<FileCtx> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let first = *parts.first()?;
+    if first == "vendor" || first == "target" || rel.starts_with("crates/lint/tests/fixtures/") {
+        return None;
+    }
+    // The member crate the file belongs to, and the path inside it.
+    let (crate_name, inner) = if first == "crates" {
+        (*parts.get(1)?, &parts[2..])
+    } else {
+        // The facade package lives at the workspace root.
+        ("treelocal", &parts[..])
+    };
+    let role = *inner.first()?;
+    let kind = match role {
+        "tests" | "benches" | "examples" => FileKind::TestDir,
+        "src" if inner.get(1) == Some(&"bin") => FileKind::Bin,
+        "src" if inner.get(1) == Some(&"main.rs") => FileKind::Bin,
+        "src" => FileKind::Lib,
+        _ => return None,
+    };
+    // Crate roots: `src/lib.rs`, `src/main.rs`, and each `src/bin/*.rs` —
+    // every one is the root of a compilation unit and must carry
+    // `#![forbid(unsafe_code)]`.
+    let is_crate_root = match kind {
+        FileKind::Lib => inner == ["src", "lib.rs"],
+        FileKind::Bin => inner == ["src", "main.rs"] || inner.len() == 3,
+        FileKind::TestDir => false,
+    };
+    Some(FileCtx { path: rel.to_string(), crate_name: crate_name.to_string(), kind, is_crate_root })
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted, as paths relative
+/// to `root`.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" || name == "vendor" {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The result of scanning a workspace.
+pub struct ScanReport {
+    /// All diagnostics, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were actually checked (after classification).
+    pub files_checked: usize,
+}
+
+/// Scans every checkable `.rs` file under the workspace `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, &mut files)?;
+        }
+    }
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut files_checked = 0usize;
+    for rel in files {
+        // Normalize to `/` so scope policy and output are OS-independent.
+        let rel_str: String =
+            rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/");
+        let Some(ctx) = classify(&rel_str) else { continue };
+        let src = fs::read_to_string(root.join(&rel))?;
+        diagnostics.extend(check_source(&src, &ctx));
+        files_checked += 1;
+    }
+    diagnostics.sort();
+    Ok(ScanReport { diagnostics, files_checked })
+}
+
+/// Walks upward from `start` to the workspace root (the directory whose
+/// `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_shapes() {
+        let lib = classify("crates/graph/src/adjacency.rs").expect("lib file");
+        assert_eq!(lib.crate_name, "graph");
+        assert_eq!(lib.kind, FileKind::Lib);
+        assert!(!lib.is_crate_root);
+
+        let root = classify("crates/sim/src/lib.rs").expect("crate root");
+        assert!(root.is_crate_root);
+
+        let facade = classify("src/lib.rs").expect("facade root");
+        assert_eq!(facade.crate_name, "treelocal");
+        assert!(facade.is_crate_root);
+
+        let itest = classify("crates/sim/tests/parallel_equiv.rs").expect("test");
+        assert_eq!(itest.kind, FileKind::TestDir);
+
+        let bench = classify("crates/bench/benches/gather.rs").expect("bench");
+        assert_eq!(bench.kind, FileKind::TestDir);
+
+        let example = classify("examples/quickstart.rs").expect("example");
+        assert_eq!(example.kind, FileKind::TestDir);
+        assert_eq!(example.crate_name, "treelocal");
+
+        let bin = classify("crates/bench/src/bin/experiments.rs").expect("bin");
+        assert_eq!(bin.kind, FileKind::Bin);
+        assert!(bin.is_crate_root);
+
+        let main = classify("crates/lint/src/main.rs").expect("bin main");
+        assert_eq!(main.kind, FileKind::Bin);
+        assert!(main.is_crate_root);
+    }
+
+    #[test]
+    fn skipped_subtrees_are_not_classified() {
+        assert!(classify("vendor/rayon/src/lib.rs").is_none());
+        assert!(classify("target/debug/build/foo.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/panics.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn fixture_integration_tests_outside_fixtures_are_checked() {
+        let t = classify("crates/lint/tests/fixtures.rs").expect("integration test");
+        assert_eq!(t.kind, FileKind::TestDir);
+        assert_eq!(t.crate_name, "lint");
+    }
+}

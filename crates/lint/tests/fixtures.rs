@@ -1,0 +1,150 @@
+//! Fixture suite: every rule is pinned to exact (rule-id, line) expectations
+//! on purpose-built files under `tests/fixtures/` (a directory the workspace
+//! scan skips, since the files exist *to* violate the rules).
+//!
+//! Expectations ride inline in the fixtures: `//~ rule-id` expects that
+//! diagnostic on its own line, `//~^ rule-id` on the line above. A fixture
+//! with no markers asserts the file is fully clean.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use treelocal_lint::{check_source, FileCtx, FileKind};
+
+/// Reads a fixture and the context it should be checked under.
+fn fixture(
+    name: &str,
+    path: &str,
+    crate_name: &str,
+    kind: FileKind,
+    is_root: bool,
+) -> (String, FileCtx) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src =
+        std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    let ctx = FileCtx {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        kind,
+        is_crate_root: is_root,
+    };
+    (src, ctx)
+}
+
+/// Parses `//~ rule` / `//~^ rule` markers into a sorted (rule, line) list.
+fn expected_markers(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, line_text) in src.lines().enumerate() {
+        let line = u32::try_from(i).unwrap() + 1;
+        for chunk in line_text.split("//~").skip(1) {
+            let (anchor, rest) = match chunk.strip_prefix('^') {
+                Some(rest) => (line - 1, rest),
+                None => (line, chunk),
+            };
+            let rule = rest
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("bare //~ marker without a rule id on line {line}"));
+            out.push((rule.to_string(), anchor));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Checks a fixture against its inline markers, exactly.
+fn assert_fixture(name: &str, path: &str, crate_name: &str, kind: FileKind, is_root: bool) {
+    let (src, ctx) = fixture(name, path, crate_name, kind, is_root);
+    let expected = expected_markers(&src);
+    let mut got: Vec<(String, u32)> =
+        check_source(&src, &ctx).into_iter().map(|d| (d.rule.to_string(), d.line)).collect();
+    got.sort();
+    assert_eq!(got, expected, "fixture {name}: diagnostics (left) vs markers (right)");
+}
+
+#[test]
+fn unordered_iteration_in_a_deterministic_crate() {
+    assert_fixture(
+        "unordered_iteration.rs",
+        "crates/sim/src/fixture.rs",
+        "sim",
+        FileKind::Lib,
+        false,
+    );
+}
+
+#[test]
+fn bare_index_casts_in_a_csr_crate() {
+    assert_fixture("index_cast.rs", "crates/graph/src/fixture.rs", "graph", FileKind::Lib, false);
+}
+
+#[test]
+fn panic_family_in_library_code() {
+    assert_fixture("panics.rs", "crates/core/src/fixture.rs", "core", FileKind::Lib, false);
+}
+
+#[test]
+fn panics_are_fine_in_binaries_and_test_dirs() {
+    // The same panicking fixture produces only its allow-related and
+    // cfg-independent diagnostics when classified as a binary: rule 3 is
+    // scoped to library code.
+    let (src, _) = fixture("panics.rs", "x", "core", FileKind::Lib, false);
+    let bin_ctx = FileCtx {
+        path: "crates/core/src/bin/tool.rs".to_string(),
+        crate_name: "core".to_string(),
+        kind: FileKind::Bin,
+        is_crate_root: false,
+    };
+    assert!(check_source(&src, &bin_ctx).is_empty());
+    let test_ctx = FileCtx {
+        path: "crates/core/tests/t.rs".to_string(),
+        crate_name: "core".to_string(),
+        kind: FileKind::TestDir,
+        is_crate_root: false,
+    };
+    assert!(check_source(&src, &test_ctx).is_empty());
+}
+
+#[test]
+fn wall_clock_outside_bench() {
+    assert_fixture("wall_clock.rs", "crates/algos/src/fixture.rs", "algos", FileKind::Lib, false);
+}
+
+#[test]
+fn wall_clock_is_fine_inside_bench() {
+    let (src, _) = fixture("wall_clock.rs", "x", "algos", FileKind::Lib, false);
+    let bench_ctx = FileCtx {
+        path: "crates/bench/src/fixture.rs".to_string(),
+        crate_name: "bench".to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+    };
+    assert!(check_source(&src, &bench_ctx).is_empty());
+}
+
+#[test]
+fn raw_spawns_outside_the_facade() {
+    assert_fixture("raw_spawn.rs", "crates/core/src/fixture.rs", "core", FileKind::Lib, false);
+}
+
+#[test]
+fn missing_forbid_on_a_crate_root() {
+    assert_fixture(
+        "missing_forbid.rs",
+        "crates/problems/src/lib.rs",
+        "problems",
+        FileKind::Lib,
+        true,
+    );
+}
+
+#[test]
+fn unjustified_allows_are_diagnostics_and_never_suppress() {
+    assert_fixture("bad_allow.rs", "crates/core/src/fixture.rs", "core", FileKind::Lib, false);
+}
+
+#[test]
+fn the_clean_fixture_is_clean_under_the_strictest_context() {
+    assert_fixture("clean.rs", "crates/sim/src/lib.rs", "sim", FileKind::Lib, true);
+}

@@ -1,0 +1,29 @@
+//! Fixture: the escape hatch policing itself (checked as
+//! `crates/core/src/fixture.rs`). Unjustified allows are diagnostics and
+//! do NOT suppress.
+
+fn no_reason(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib) //~ unjustified-allow
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn empty_reason(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib):
+    //~^ unjustified-allow
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no-such-rule): confident but wrong //~ unjustified-allow
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn wrong_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no-wall-clock): right form, wrong rule
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn malformed(x: Option<u32>) -> u32 {
+    // lint:allow no-panic-in-lib: missing parens //~ unjustified-allow
+    x.unwrap() //~ no-panic-in-lib
+}

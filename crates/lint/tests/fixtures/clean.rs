@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+//! Fixture: a file every rule is happy with, even under the strictest
+//! context (a deterministic CSR crate root, checked as
+//! `crates/sim/src/lib.rs`). No tilde markers — the harness asserts zero
+//! diagnostics.
+
+use std::collections::BTreeMap;
+
+/// Ordered maps, checked conversions, invariant asserts: the house style.
+pub fn house_style(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for (i, &x) in xs.iter().enumerate() {
+        assert!(usize::try_from(x).is_ok(), "u32 widens losslessly");
+        out.insert(x, i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_the_full_std_surface() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

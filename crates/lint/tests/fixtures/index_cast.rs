@@ -1,0 +1,27 @@
+//! Fixture: bare index casts in a CSR crate (checked as
+//! `crates/graph/src/fixture.rs`).
+
+fn casts(x: u32, y: usize) -> u64 {
+    let a = x as usize; //~ no-bare-index-cast
+    let b = y as u32; //~ no-bare-index-cast
+    let c = y as u64; //~ no-bare-index-cast
+    u64::from(b) + c + (a as u64) //~ no-bare-index-cast
+}
+
+fn fine(x: u32) -> f64 {
+    // Non-index casts are not the rule's business.
+    x as f64
+}
+
+fn allowed(x: f64) -> u64 {
+    // lint:allow(no-bare-index-cast): float conversion, not an index crossing.
+    x.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is NOT exempt: the acceptance bar is grep-level zero.
+    fn t(y: usize) -> u32 {
+        y as u32 //~ no-bare-index-cast
+    }
+}

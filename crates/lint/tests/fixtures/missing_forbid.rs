@@ -1,0 +1,6 @@
+//! Fixture: crate root without #![forbid(unsafe_code)] — anchors line 1. //~ forbid-unsafe
+//! (Checked as `crates/problems/src/lib.rs`.)
+
+pub fn harmless() -> u32 {
+    7
+}

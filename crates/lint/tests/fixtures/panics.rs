@@ -1,0 +1,43 @@
+//! Fixture: panic-family calls in library code (checked as
+//! `crates/core/src/fixture.rs`).
+
+fn lib_code(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); //~ no-panic-in-lib
+    let b = x.expect("msg"); //~ no-panic-in-lib
+    if a + b > 100 {
+        panic!("boom"); //~ no-panic-in-lib
+    }
+    a + b
+}
+
+fn fine(x: Option<u32>) -> u32 {
+    // The non-panicking unwrap_* family is not flagged...
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let c = x.unwrap_or_default();
+    // ...and neither are named invariant asserts.
+    assert!(a + b + c < 1000, "bounded by construction");
+    a + b + c
+}
+
+fn allowed(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib): fixture for the justified escape hatch.
+    x.expect("covered by the allow above")
+}
+
+#[cfg(not(test))]
+fn not_test_gated(x: Option<u32>) -> u32 {
+    // cfg(not(test)) is library code, not test code.
+    x.unwrap() //~ no-panic-in-lib
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        assert_eq!(r.expect("fine in tests"), 4);
+    }
+}

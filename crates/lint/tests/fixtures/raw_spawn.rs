@@ -1,0 +1,17 @@
+//! Fixture: raw std::thread outside the pool facade (checked as
+//! `crates/core/src/fixture.rs`).
+
+fn spawns() {
+    let h = std::thread::spawn(|| 1 + 1); //~ no-raw-spawn
+    let _ = h.join();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_must_use_the_facade() {
+        // The spawn rule covers test code too: a stray thread in a test
+        // can mask determinism bugs the pool's ordering would surface.
+        std::thread::yield_now(); //~ no-raw-spawn
+    }
+}

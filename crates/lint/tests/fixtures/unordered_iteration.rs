@@ -1,0 +1,24 @@
+//! Fixture: HashMap/HashSet in a deterministic crate (checked as
+//! `crates/sim/src/fixture.rs`). Tilde markers carry the expected
+//! diagnostics; the fixture harness asserts the exact (rule, line) set.
+
+use std::collections::HashMap; //~ no-unordered-iteration
+use std::collections::HashSet; //~ no-unordered-iteration
+
+fn build() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); //~ no-unordered-iteration //~ no-unordered-iteration
+    let s: HashSet<u32> = HashSet::new(); //~ no-unordered-iteration //~ no-unordered-iteration
+    m.len() + s.len()
+}
+
+// A comment mentioning HashMap is fine, as is the string below.
+fn stringy() -> &'static str {
+    "HashMap iteration order"
+}
+
+#[cfg(test)]
+mod tests {
+    // The rule applies to test code too: hash-order expectations are
+    // exactly as flaky as hash-order outputs.
+    use std::collections::HashMap; //~ no-unordered-iteration
+}

@@ -1,0 +1,21 @@
+//! Fixture: wall-clock types outside the bench crate (checked as
+//! `crates/algos/src/fixture.rs`).
+
+use std::time::Instant; //~ no-wall-clock
+use std::time::SystemTime; //~ no-wall-clock
+
+fn timed() -> bool {
+    let t = Instant::now(); //~ no-wall-clock
+    let s = SystemTime::now(); //~ no-wall-clock
+    t.elapsed().as_nanos() > 0 && s.elapsed().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_measure() {
+        // Test code is exempt (setup-cost regressions need a clock).
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

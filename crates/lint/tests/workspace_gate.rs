@@ -1,0 +1,129 @@
+//! The meta-test: the lint must pass on the live workspace — the same
+//! assertion the CI `lint` job makes, kept in `cargo test` so a violation
+//! fails fast locally too — plus end-to-end checks of the CLI binary.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use treelocal_lint::scan_workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root").to_path_buf()
+}
+
+#[test]
+fn the_live_workspace_is_clean() {
+    let report = scan_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        report.files_checked > 60,
+        "suspiciously few files checked ({}) — did the walk lose a crate?",
+        report.files_checked
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(ToString::to_string).collect();
+    assert!(rendered.is_empty(), "the workspace must lint clean:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn fixtures_are_not_part_of_the_workspace_scan() {
+    let report = scan_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        report.diagnostics.iter().all(|d| !d.path.contains("fixtures")),
+        "fixture files must be excluded from the workspace scan"
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_the_live_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_treelocal-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "lint binary reported diagnostics:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"));
+}
+
+#[test]
+fn cli_exits_nonzero_with_exact_diagnostics_on_a_dirty_tree() {
+    // A miniature workspace whose one source file violates two rules.
+    let dir = tempdir("treelocal-lint-dirty");
+    write(&dir, "Cargo.toml", "[workspace]\nmembers = []\n");
+    write(
+        &dir,
+        "crates/sim/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\nfn f(x: usize) -> u32 { x as u32 }\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_treelocal-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "diagnostics must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            "crates/sim/src/lib.rs:2: no-unordered-iteration: `HashMap` iteration order is \
+             nondeterministic; use index-keyed Vec scratch (see sparse_bfs_farthest) or \
+             BTreeMap/BTreeSet",
+            "crates/sim/src/lib.rs:3: no-bare-index-cast: bare `as u32` on the index path; use \
+             treelocal_graph::{widen_u32, widen_u64, narrow_u32} or try_from + or_invariant",
+        ],
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_exits_two_without_a_workspace_root() {
+    let dir = tempdir("treelocal-lint-rootless");
+    let out = Command::new(env!("CARGO_BIN_EXE_treelocal-lint"))
+        .arg("--root")
+        .arg(dir.join("does-not-exist"))
+        .output()
+        .expect("binary runs");
+    // The scan itself finds nothing to walk — that is a clean empty run;
+    // usage errors come from bad flags.
+    let usage = Command::new(env!("CARGO_BIN_EXE_treelocal-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2), "bad flags must exit 2");
+    assert!(out.status.code() == Some(0) || out.status.code() == Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_lists_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_treelocal-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in treelocal_lint::RULES {
+        assert!(text.contains(rule.id), "--list-rules must mention {}", rule.id);
+    }
+}
+
+fn tempdir(prefix: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("{prefix}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create parent dirs");
+    }
+    std::fs::write(path, content).expect("write file");
+}

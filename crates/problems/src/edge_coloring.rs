@@ -155,6 +155,8 @@ impl EdgeDegreeColoring {
         g.edge_ids()
             .map(|e| match labeling.get_at(e, Side::First) {
                 Some(EdgeColLabel::C(_, b)) => b,
+                // lint:allow(no-panic-in-lib): documented "# Panics" contract
+                // — extract is only meaningful on a complete C-labeled output.
                 other => panic!("edge {e:?} has no color: {other:?}"),
             })
             .collect()

@@ -26,6 +26,7 @@ use crate::classic;
 use crate::labeling::HalfEdgeLabeling;
 use crate::problem::Problem;
 use crate::seq::NodeSequential;
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{Graph, HalfEdge, NodeId};
 
 /// Labels of the MIS formalization.
@@ -152,7 +153,7 @@ impl Mis {
                     .neighbors(v)
                     .find(|&(w, _)| in_set[w.index()])
                     .map(|(_, e)| e)
-                    .expect("non-member must have a member neighbor");
+                    .or_invariant("non-member must have a member neighbor");
                 for &e in g.neighbor_edges(v) {
                     let label = if e == witness_edge { MisLabel::P } else { MisLabel::O };
                     l.set(HalfEdge::new(e, g.side_of(e, v)), label);

@@ -14,6 +14,7 @@ use crate::labeling::HalfEdgeLabeling;
 use crate::matching::{MatchLabel, MaximalMatching};
 use crate::mis::{Mis, MisLabel};
 use crate::problem::{verify_graph, Problem};
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{Graph, HalfEdge, NodeId, Side};
 
 /// A problem with a finite, per-half-edge candidate label set on whole
@@ -142,7 +143,7 @@ fn dfs<P: Enumerable>(
         let edge_done = work.get_at(h.edge, h.side.other()).is_some();
         let edge_ok = !edge_done || {
             let [a, b] = work.edge_labels(h.edge);
-            p.edge_ok(&[a.expect("assigned"), b.expect("assigned")])
+            p.edge_ok(&[a.or_invariant("assigned"), b.or_invariant("assigned")])
         };
         // Prune: if the node is now fully labeled, check it.
         let node_ok = !edge_ok || remaining[v.index()] > 0 || node_complete_ok(p, g, work, v);

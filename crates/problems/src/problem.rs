@@ -16,6 +16,7 @@
 use crate::labeling::HalfEdgeLabeling;
 use std::fmt::Debug;
 use std::hash::Hash;
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{EdgeId, Graph, NodeId, SemiGraph};
 
 /// A node-edge-checkable problem: membership predicates for the collections
@@ -120,7 +121,7 @@ pub fn verify_semigraph<P: Problem>(
         let labels: Vec<P::Label> = [treelocal_graph::Side::First, treelocal_graph::Side::Second]
             .into_iter()
             .filter(|&side| s.half_present(e, side))
-            .map(|side| labeling.get_at(e, side).expect("checked complete"))
+            .map(|side| labeling.get_at(e, side).or_invariant("checked complete"))
             .collect();
         if !p.edge_ok(&labels) {
             return Err(Violation::EdgeConstraint { edge: e, labels });

@@ -9,6 +9,7 @@
 //! algorithm.
 
 use std::fmt::Debug;
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{NodeId, Topology};
 
 /// Everything a node is allowed to know globally (Definition 5): the number
@@ -74,7 +75,7 @@ impl<S> Snapshot<'_, S> {
     /// Panics if `v` does not participate in the execution. Algorithms only
     /// read states of their topology neighbors, which always participate.
     pub fn get(&self, v: NodeId) -> &S {
-        self.states[v.index()].as_ref().expect("neighbor participates in the execution")
+        self.states[v.index()].as_ref().or_invariant("neighbor participates in the execution")
     }
 
     /// The previous-round state of `v`, or `None` when `v` is not running.
@@ -125,7 +126,7 @@ impl<S> RunOutcome<S> {
     ///
     /// Panics if `v` did not participate.
     pub fn state(&self, v: NodeId) -> &S {
-        self.states[v.index()].as_ref().expect("node participated in the run")
+        self.states[v.index()].as_ref().or_invariant("node participated in the run")
     }
 }
 
@@ -226,7 +227,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use treelocal_graph::Graph;
+    use treelocal_graph::{widen_u64, Graph};
 
     /// Every node computes its eccentricity-capped hop distance from the
     /// minimum-id node by flooding.
@@ -276,7 +277,7 @@ mod tests {
         let ctx = Ctx::of(&g);
         let out = run(&ctx, &Flood, 100);
         for i in 0..5 {
-            assert_eq!(out.state(NodeId::new(i)).0, Some(i as u64));
+            assert_eq!(out.state(NodeId::new(i)).0, Some(widen_u64(i)));
         }
         // The farthest node learns its distance in round 4 and halts in
         // round 5.

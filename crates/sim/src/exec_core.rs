@@ -24,7 +24,8 @@
 //! pins this with a `Clone`-instrumented state type.
 
 use crate::engine::{RunOutcome, Snapshot, Verdict};
-use treelocal_graph::NodeId;
+use treelocal_graph::OrInvariant;
+use treelocal_graph::{widen_u64, NodeId};
 
 /// Double-buffered frontier executor for synchronous LOCAL rounds.
 ///
@@ -117,7 +118,7 @@ impl<S> ExecCore<S> {
     ///
     /// Panics if `v` was never seeded.
     pub fn state(&self, v: NodeId) -> &S {
-        self.states[v.index()].as_ref().expect("node participates in the execution")
+        self.states[v.index()].as_ref().or_invariant("node participates in the execution")
     }
 
     /// Starts a communication round, returning its 1-based number.
@@ -133,7 +134,7 @@ impl<S> ExecCore<S> {
             "algorithm did not halt within {max_rounds} rounds (still {} active)",
             self.frontier.len()
         );
-        crate::counters::record_round(self.frontier.len() as u64);
+        crate::counters::record_round(widen_u64(self.frontier.len()));
         self.rounds += 1;
         self.rounds
     }
@@ -148,7 +149,7 @@ impl<S> ExecCore<S> {
         let snap = Snapshot::over(&self.states);
         for idx in 0..self.frontier.len() {
             let v = self.frontier[idx];
-            let own = self.states[v.index()].as_ref().expect("frontier node has a state");
+            let own = self.states[v.index()].as_ref().or_invariant("frontier node has a state");
             self.scratch[v.index()] = Some(step(v, own, &snap));
         }
         self.commit();
@@ -184,19 +185,28 @@ impl<S> ExecCore<S> {
     /// buffer. Identical retain semantics to [`ExecCore::commit`].
     #[cfg(feature = "parallel")]
     fn commit_in_frontier_order(&mut self, verdicts: Vec<Verdict<S>>) {
-        debug_assert_eq!(verdicts.len(), self.frontier.len());
+        // Checked in every profile: a mismatched batch would silently pair
+        // verdicts with the wrong nodes, breaking byte-identical parallel
+        // equivalence in exactly the builds that run large instances.
+        assert_eq!(
+            verdicts.len(),
+            self.frontier.len(),
+            "one verdict per frontier node, in frontier order (commit-order invariant)"
+        );
         let states = &mut self.states;
         let active = &mut self.active;
         let mut verdicts = verdicts.into_iter();
-        self.frontier.retain(|&v| match verdicts.next().expect("one verdict per frontier node") {
-            Verdict::Active(s) => {
-                states[v.index()] = Some(s);
-                true
-            }
-            Verdict::Halted(s) => {
-                states[v.index()] = Some(s);
-                active[v.index()] = false;
-                false
+        self.frontier.retain(|&v| {
+            match verdicts.next().or_invariant("one verdict per frontier node") {
+                Verdict::Active(s) => {
+                    states[v.index()] = Some(s);
+                    true
+                }
+                Verdict::Halted(s) => {
+                    states[v.index()] = Some(s);
+                    active[v.index()] = false;
+                    false
+                }
             }
         });
     }
@@ -211,7 +221,7 @@ impl<S> ExecCore<S> {
     {
         for idx in 0..self.frontier.len() {
             let v = self.frontier[idx];
-            let state = self.states[v.index()].take().expect("frontier node has a state");
+            let state = self.states[v.index()].take().or_invariant("frontier node has a state");
             self.scratch[v.index()] = Some(step(v, state));
         }
         self.commit();
@@ -239,7 +249,8 @@ impl<S> ExecCore<S> {
         let mut taken = Vec::with_capacity(self.frontier.len());
         for idx in 0..self.frontier.len() {
             let v = self.frontier[idx];
-            taken.push((v, self.states[v.index()].take().expect("frontier node has a state")));
+            taken
+                .push((v, self.states[v.index()].take().or_invariant("frontier node has a state")));
         }
         let verdicts = crate::par::par_map_vec(taken, threads, |_, (v, state)| step(v, state));
         self.commit_in_frontier_order(verdicts);
@@ -253,7 +264,7 @@ impl<S> ExecCore<S> {
         let active = &mut self.active;
         self.frontier.retain(|&v| {
             let i = v.index();
-            match scratch[i].take().expect("frontier node was stepped this round") {
+            match scratch[i].take().or_invariant("frontier node was stepped this round") {
                 Verdict::Active(s) => {
                     states[i] = Some(s);
                     true
@@ -281,6 +292,7 @@ impl<S> ExecCore<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use treelocal_graph::narrow_u32;
 
     #[test]
     fn seeded_halted_nodes_never_enter_the_frontier() {
@@ -299,7 +311,7 @@ mod tests {
     fn is_active_tracks_frontier_membership_exactly() {
         let mut core: ExecCore<u32> = ExecCore::new(4);
         for i in 0..3 {
-            core.seed(NodeId::new(i), Verdict::Active(i as u32));
+            core.seed(NodeId::new(i), Verdict::Active(narrow_u32(i)));
         }
         // Slot 3 was never seeded: not active.
         assert!(!core.is_active(NodeId::new(3)));
@@ -321,7 +333,7 @@ mod tests {
     fn frontier_shrinks_in_order_and_halted_states_stay_readable() {
         let mut core: ExecCore<u32> = ExecCore::new(4);
         for i in 0..4 {
-            core.seed(NodeId::new(i), Verdict::Active(i as u32));
+            core.seed(NodeId::new(i), Verdict::Active(narrow_u32(i)));
         }
         // Round 1: odd nodes halt, doubling their state.
         core.begin_round(10);
@@ -400,5 +412,27 @@ mod tests {
         let out = core.finish();
         assert_eq!(out.rounds, 0);
         assert_eq!(*out.state(NodeId::new(0)), 5);
+    }
+
+    /// The commit-order invariant holds in *every* build profile: this
+    /// suite also runs under `--release` in CI, where a `debug_assert`
+    /// would compile away.
+    #[cfg(feature = "parallel")]
+    #[test]
+    #[should_panic(expected = "commit-order invariant")]
+    fn short_verdict_batches_are_rejected_in_every_profile() {
+        let mut core: ExecCore<u32> = ExecCore::new(2);
+        core.seed(NodeId::new(0), Verdict::Active(1));
+        core.seed(NodeId::new(1), Verdict::Active(2));
+        core.commit_in_frontier_order(vec![Verdict::Active(9)]);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    #[should_panic(expected = "commit-order invariant")]
+    fn oversized_verdict_batches_are_rejected_in_every_profile() {
+        let mut core: ExecCore<u32> = ExecCore::new(1);
+        core.seed(NodeId::new(0), Verdict::Active(1));
+        core.commit_in_frontier_order(vec![Verdict::Active(9), Verdict::Active(8)]);
     }
 }

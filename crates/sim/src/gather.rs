@@ -20,6 +20,7 @@
 //! both enforce.
 
 use std::cell::RefCell;
+use treelocal_graph::OrInvariant;
 use treelocal_graph::{component_eccentricities, eccentricity_sparse, NodeId, Topology};
 
 /// Rounds for one component gathered at `center`: `2 · ecc(center)`.
@@ -194,7 +195,7 @@ pub fn sequential_gather_rounds<T: Topology>(
 /// paper's "highest node" tie-break within a layer.
 pub fn highest_id_center<T: Topology>(topo: &T) -> impl FnMut(&[NodeId]) -> NodeId + '_ {
     move |comp: &[NodeId]| {
-        *comp.iter().max_by_key(|&&v| topo.local_id(v)).expect("components are non-empty")
+        *comp.iter().max_by_key(|&&v| topo.local_id(v)).or_invariant("components are non-empty")
     }
 }
 

@@ -40,6 +40,8 @@ pub fn ceil_log(base: f64, x: f64) -> u64 {
     }
     // Compute via natural logs and patch floating-point boundary cases.
     let raw = x.ln() / base.ln();
+    // lint:allow(no-bare-index-cast): float-to-int conversion, not an
+    // index-space crossing; the loops below repair any rounding error.
     let mut k = raw.ceil() as u64;
     // Guard against rounding: ensure base^(k-1) < x <= base^k.
     while k > 0 && base.powf((k - 1) as f64) >= x {

@@ -34,7 +34,7 @@
 use crate::engine::{Ctx, ParSafe, RunOutcome, Verdict};
 use crate::ExecCore;
 use std::fmt::Debug;
-use treelocal_graph::{NodeId, Topology};
+use treelocal_graph::{narrow_u32, widen_u32, widen_u64, NodeId, Topology};
 
 /// A deterministic LOCAL algorithm in explicit message-passing form.
 pub trait MessageAlgorithm<T: Topology> {
@@ -91,7 +91,7 @@ struct Router<M> {
 fn port_offsets<T: Topology>(topo: &T) -> Vec<u32> {
     let mut offsets = vec![0u32; topo.index_space() + 1];
     for v in topo.nodes() {
-        offsets[v.index() + 1] = topo.degree(v) as u32;
+        offsets[v.index() + 1] = narrow_u32(topo.degree(v));
     }
     for i in 0..topo.index_space() {
         offsets[i + 1] += offsets[i];
@@ -112,15 +112,23 @@ fn build_back_ports<T: Topology>(topo: &T, offsets: &[u32]) -> Vec<u32> {
     let mut edge_port: Vec<[u32; 2]> = vec![[u32::MAX; 2]; graph.edge_count()];
     for v in topo.nodes() {
         for (p, &e) in topo.neighbor_edges(v).iter().enumerate() {
-            edge_port[e.index()][graph.side_of(e, v).index()] = p as u32;
+            edge_port[e.index()][graph.side_of(e, v).index()] = narrow_u32(p);
         }
     }
-    let mut back = vec![0u32; offsets[topo.index_space()] as usize];
+    let mut back = vec![0u32; widen_u32(offsets[topo.index_space()])];
     for v in topo.nodes() {
-        let base = offsets[v.index()] as usize;
+        let base = widen_u32(offsets[v.index()]);
         for (p, (w, e)) in topo.neighbors(v).enumerate() {
             let q = edge_port[e.index()][graph.side_of(e, w).index()];
-            debug_assert_ne!(q, u32::MAX, "adjacency is symmetric");
+            // Checked in every profile: an unfilled reverse port means the
+            // topology's adjacency is not symmetric, and routing through it
+            // would deliver messages to arbitrary ports.
+            assert_ne!(
+                q,
+                u32::MAX,
+                "reverse port of {v:?} towards {w:?} was never filled \
+                 (adjacency must be symmetric: commit-order invariant of the router)"
+            );
             back[base + p] = q;
         }
     }
@@ -139,7 +147,7 @@ impl<M> Router<M> {
     /// The flat slot range of node `v`'s inbox (and of its back-port row).
     #[inline]
     fn range(&self, v: NodeId) -> std::ops::Range<usize> {
-        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+        widen_u32(self.offsets[v.index()])..widen_u32(self.offsets[v.index() + 1])
     }
 
     /// Clears the inboxes of this round's recipients. Only frontier nodes
@@ -198,7 +206,7 @@ fn outgoing_into<T: Topology, A: MessageAlgorithm<T>>(
             if !core.is_active(w) {
                 continue;
             }
-            bucket.push((router.offsets[w.index()] as usize + back[p] as usize, m));
+            bucket.push((widen_u32(router.offsets[w.index()]) + widen_u32(back[p]), m));
         }
     }
 }
@@ -272,7 +280,7 @@ where
         // node); account it so driver ETAs stay honest on message-heavy
         // suites. Counted per phase, never per worker, so totals are
         // pool-size-invariant.
-        crate::counters::record_send_round(core.frontier().len() as u64);
+        crate::counters::record_send_round(widen_u64(core.frontier().len()));
         router.clear_frontier(core.frontier());
         send_phase(ctx, algo, round, &core, &mut router, threads);
         let recv = |v: NodeId, state: A::State| algo.receive(ctx, v, round, state, router.inbox(v));
@@ -349,7 +357,7 @@ where
 mod tests {
     use super::*;
     use crate::engine::{run, Snapshot, SyncAlgorithm};
-    use treelocal_graph::Graph;
+    use treelocal_graph::{Graph, OrInvariant};
 
     /// Reference task: every node computes the maximum identifier within
     /// distance R, implemented under BOTH engines.
@@ -477,7 +485,10 @@ mod tests {
         // (the port of w that leads back to v) on every shape, including
         // semi-graph restrictions.
         for seed in 0..6u64 {
-            let g = treelocal_gen::random_tree(60 + 10 * seed as usize, seed);
+            let g = treelocal_gen::random_tree(
+                60 + 10 * usize::try_from(seed).or_invariant("small seed"),
+                seed,
+            );
             let s = treelocal_graph::SemiGraph::induced_by_nodes(&g, |v| v.index() % 4 != 1);
             check_back_ports(&g);
             check_back_ports(&s);
@@ -489,19 +500,22 @@ mod tests {
         let offsets = port_offsets(topo);
         let back = build_back_ports(topo, &offsets);
         for v in topo.nodes() {
-            let base = offsets[v.index()] as usize;
+            let base = widen_u32(offsets[v.index()]);
             for (p, &w) in topo.neighbor_nodes(v).iter().enumerate() {
                 let expect = topo
                     .neighbor_nodes(w)
                     .iter()
                     .position(|&x| x == v)
                     .expect("adjacency is symmetric");
-                assert_eq!(back[base + p] as usize, expect, "{v:?} port {p}");
+                assert_eq!(widen_u32(back[base + p]), expect, "{v:?} port {p}");
             }
         }
     }
 
     #[test]
+    // Wall-clock budget check on an asymptotic regression: the one test
+    // that legitimately reads Instant outside bench.
+    #[allow(clippy::disallowed_methods)]
     fn high_degree_star_setup_is_linear() {
         // Regression for the quadratic back-port construction: the old
         // per-port `position()` scan did ~Δ²/2 ≈ 5·10⁹ comparisons on this
@@ -592,5 +606,63 @@ mod tests {
         for &v in s.nodes() {
             assert!(out.states[v.index()].is_some());
         }
+    }
+
+    /// A topology whose adjacency is deliberately one-sided: node 0 lists
+    /// node 1 as a neighbor, node 1 lists nobody. Exercises the router's
+    /// symmetry invariant, which holds in *every* build profile (this
+    /// suite also runs under `--release` in CI).
+    struct Asymmetric {
+        g: Graph,
+        nodes: Vec<NodeId>,
+        empty_nodes: Vec<NodeId>,
+        empty_edges: Vec<treelocal_graph::EdgeId>,
+    }
+
+    impl Topology for Asymmetric {
+        fn graph(&self) -> &Graph {
+            &self.g
+        }
+
+        fn nodes(&self) -> treelocal_graph::NodeIter<'_> {
+            treelocal_graph::NodeIter::Slice(self.nodes.iter().copied())
+        }
+
+        fn contains_node(&self, v: NodeId) -> bool {
+            self.nodes.contains(&v)
+        }
+
+        fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+            if v.index() == 0 {
+                self.g.neighbor_nodes(v)
+            } else {
+                &self.empty_nodes
+            }
+        }
+
+        fn neighbor_edges(&self, v: NodeId) -> &[treelocal_graph::EdgeId] {
+            if v.index() == 0 {
+                self.g.neighbor_edges(v)
+            } else {
+                &self.empty_edges
+            }
+        }
+
+        fn max_degree(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency must be symmetric")]
+    fn asymmetric_adjacency_is_rejected_in_every_profile() {
+        let g = Graph::from_edges(2, &[(0, 1)]).or_invariant("valid two-node path");
+        let topo = Asymmetric {
+            g,
+            nodes: vec![NodeId::new(0), NodeId::new(1)],
+            empty_nodes: Vec::new(),
+            empty_edges: Vec::new(),
+        };
+        let _ = Router::<u8>::new(&topo);
     }
 }

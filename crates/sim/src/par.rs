@@ -20,6 +20,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+use treelocal_graph::OrInvariant;
 
 /// Chunks claimed per worker on average; >1 gives dynamic load balancing
 /// without shrinking chunks so far that claiming dominates.
@@ -215,9 +216,9 @@ where
     drive_chunks(chunks.len(), workers, n, |c| {
         let (base, chunk) = chunks[c]
             .lock()
-            .expect("chunk mutex is never poisoned (taken at most once)")
+            .or_invariant("chunk mutex is never poisoned (taken at most once)")
             .take()
-            .expect("each chunk index is claimed exactly once");
+            .or_invariant("each chunk index is claimed exactly once");
         chunk.into_iter().enumerate().map(|(j, t)| f(base + j, t)).collect()
     })
 }
@@ -225,13 +226,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use treelocal_graph::{widen_u32, widen_u64};
 
     #[test]
     fn matches_sequential_map_for_every_pool_size() {
         let items: Vec<u64> = (0..1000).collect();
-        let expect: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        let expect: Vec<u64> =
+            items.iter().enumerate().map(|(i, x)| x * 3 + widen_u64(i)).collect();
         for threads in [1usize, 2, 3, 8, 64] {
-            let got = par_map(&items, threads, |i, x| x * 3 + i as u64);
+            let got = par_map(&items, threads, |i, x| x * 3 + widen_u64(i));
             assert_eq!(got, expect, "threads = {threads}");
         }
     }
@@ -283,7 +286,7 @@ mod tests {
         // exactly once (double use would not compile; a skipped item would
         // shrink the output).
         let items: Vec<Box<u32>> = (0..500).map(Box::new).collect();
-        let got = par_map_vec(items, 4, |i, b| *b as usize + i);
+        let got = par_map_vec(items, 4, |i, b| widen_u32(*b) + i);
         assert_eq!(got, (0..500).map(|i| 2 * i).collect::<Vec<_>>());
     }
 

@@ -82,7 +82,7 @@ fn engines_agree_on_fifty_plus_random_prufer_trees() {
     for seed in 0..60u64 {
         // 2..=120 nodes, cycling through the identifier strategies so the
         // source node's position varies relative to index order.
-        let n = 2 + (seed as usize * 7) % 119;
+        let n = 2 + (usize::try_from(seed).unwrap() * 7) % 119;
         let strategy = match seed % 3 {
             0 => IdStrategy::Sequential,
             1 => IdStrategy::Permuted { seed },

@@ -106,7 +106,7 @@ fn theorem12_mis_on_ten_million_node_trees_stays_sublogarithmic() {
             out.total_rounds()
         );
         assert!(
-            out.total_rounds() < (N as f64).log2() as u64 * 4,
+            out.total_rounds() < u64::from(N.ilog2()) * 4,
             "{name}: rounds should stay well below 4 log2 n",
         );
     }

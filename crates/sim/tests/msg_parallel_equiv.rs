@@ -85,7 +85,7 @@ mod pool_sizes {
     #[test]
     fn every_pool_size_matches_the_sequential_message_run() {
         for seed in 0..6u64 {
-            let n = 1500 + 500 * seed as usize; // all above the parallel threshold
+            let n = 1500 + 500 * usize::try_from(seed).unwrap(); // above the parallel threshold
             let tree = relabel(&random_tree(n, seed), IdStrategy::Permuted { seed });
             let ctx = Ctx::of(&tree);
             let sequential = run_messages_with_threads(&ctx, &MsgHash, 100, 1);

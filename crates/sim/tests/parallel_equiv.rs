@@ -63,7 +63,7 @@ fn assert_identical(a: &RunOutcome<HashState>, b: &RunOutcome<HashState>, label:
 #[test]
 fn every_pool_size_matches_the_sequential_run() {
     for seed in 0..6u64 {
-        let n = 1500 + 500 * seed as usize; // all above the parallel threshold
+        let n = 1500 + 500 * usize::try_from(seed).unwrap(); // above the parallel threshold
         let tree = treelocal_gen::relabel(
             &treelocal_gen::random_tree(n, seed),
             treelocal_gen::IdStrategy::Permuted { seed },

@@ -64,6 +64,8 @@ fn two_component_graph() -> Graph {
     Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap()
 }
 
+// lint:allow(no-raw-spawn): names std::thread::Result only to type
+// catch_unwind's payload; no thread is spawned here.
 fn assert_rejects_foreign_center(result: std::thread::Result<u64>) {
     let payload = result.expect_err("a foreign gather center must be rejected in every profile");
     let msg = panic_message(payload.as_ref());
