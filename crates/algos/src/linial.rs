@@ -15,8 +15,8 @@
 use treelocal_graph::OrInvariant;
 use treelocal_graph::{NodeId, Topology};
 use treelocal_sim::{
-    next_prime, run, run_messages, Ctx, MessageAlgorithm, ParSafe, RunOutcome, Snapshot,
-    SyncAlgorithm, Verdict,
+    next_prime, run, run_messages_soa, run_soa, Ctx, MessageAlgorithm, ParSafe, RunOutcome,
+    Snapshot, SoaAlgorithm, SoaSnapshot, StateCodec, SyncAlgorithm, Verdict,
 };
 
 /// One stage of the reduction: colors `< c_in` become colors `< q²` using
@@ -106,26 +106,65 @@ fn pow_at_least(base: u64, exp: u32, target: u64) -> bool {
 }
 
 /// Per-node state: the current color.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ColorState {
     /// Proper color, bounded by the current stage's input bound.
     pub color: u64,
+}
+
+/// A color is one `u64` lane, so ten million nodes occupy one flat 80 MB
+/// column instead of a `Vec` of `Option`-boxed structs.
+impl StateCodec for ColorState {
+    const U32_LANES: usize = 0;
+    const U64_LANES: usize = 1;
+
+    fn encode(&self, _lanes32: &mut [u32], lanes64: &mut [u64]) {
+        lanes64[0] = self.color;
+    }
+
+    fn decode(_lanes32: &[u32], lanes64: &[u64]) -> Self {
+        ColorState { color: lanes64[0] }
+    }
 }
 
 struct LinialAlgo {
     schedule: Vec<Stage>,
 }
 
-impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
-    type State = ColorState;
-
-    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<ColorState> {
+/// The round logic shared by both state layouts (boxed snapshot and SoA
+/// columns): one stage of [`recolor`] per round, halting at the schedule's
+/// last stage.
+impl LinialAlgo {
+    fn init_verdict<T: Topology>(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<ColorState> {
         let color = ctx.topo.local_id(v);
         if self.schedule.is_empty() {
             Verdict::Halted(ColorState { color })
         } else {
             Verdict::Active(ColorState { color })
         }
+    }
+
+    fn step_verdict(
+        &self,
+        round: u64,
+        own_color: u64,
+        neighbor_colors: impl Iterator<Item = u64>,
+    ) -> Verdict<ColorState> {
+        let stage = self.schedule[(round - 1) as usize];
+        let state = ColorState { color: recolor(stage, own_color, neighbor_colors) };
+        if round as usize == self.schedule.len() {
+            Verdict::Halted(state)
+        } else {
+            Verdict::Active(state)
+        }
+    }
+}
+
+impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
+    type State = ColorState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<ColorState> {
+        self.init_verdict(ctx, v)
     }
 
     fn step(
@@ -136,14 +175,28 @@ impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
         own: &ColorState,
         prev: &Snapshot<'_, ColorState>,
     ) -> Verdict<ColorState> {
-        let stage = self.schedule[(round - 1) as usize];
         let neighbor_colors = ctx.topo.neighbor_nodes(v).iter().map(|&w| prev.get(w).color);
-        let state = ColorState { color: recolor(stage, own.color, neighbor_colors) };
-        if round as usize == self.schedule.len() {
-            Verdict::Halted(state)
-        } else {
-            Verdict::Active(state)
-        }
+        self.step_verdict(round, own.color, neighbor_colors)
+    }
+}
+
+impl<T: Topology> SoaAlgorithm<T> for LinialAlgo {
+    type State = ColorState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<ColorState> {
+        self.init_verdict(ctx, v)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: ColorState,
+        prev: &SoaSnapshot<'_, ColorState>,
+    ) -> Verdict<ColorState> {
+        let neighbor_colors = ctx.topo.neighbor_nodes(v).iter().map(|&w| prev.get(w).color);
+        self.step_verdict(round, own.color, neighbor_colors)
     }
 }
 
@@ -156,25 +209,52 @@ impl<T: Topology> SyncAlgorithm<T> for LinialAlgo {
 /// ports), which is what makes the two engines produce identical colorings
 /// round for round.
 fn recolor(stage: Stage, own: u64, neighbor_colors: impl Iterator<Item = u64>) -> u64 {
-    let my_poly = digits(own, stage.q, stage.d);
-    let neighbor_polys: Vec<Vec<u64>> =
-        neighbor_colors.map(|c| digits(c, stage.q, stage.d)).collect();
-    // Find an evaluation point disagreeing with every neighbor.
-    let mut x_found = None;
-    'outer: for x in 0..stage.q {
-        let mine = eval_poly(&my_poly, x, stage.q);
-        for theirs in &neighbor_polys {
-            if eval_poly(theirs, x, stage.q) == mine {
-                continue 'outer;
-            }
+    // `best_stage` caps d at 48, so a stack row holds any polynomial and
+    // the flat neighbor scratch (one `width`-sized row per neighbor) is
+    // reused across every node and round on this thread: the hot loop
+    // allocates nothing after the first node warms the scratch up to the
+    // maximum degree seen.
+    let width = stage.d as usize + 1;
+    let mut my_poly = [0u64; MAX_STAGE_DEGREE + 1];
+    digits_into(own, stage.q, &mut my_poly[..width]);
+    NEIGHBOR_POLY_SCRATCH.with(|cell| {
+        let polys = &mut *cell.borrow_mut();
+        polys.clear();
+        for c in neighbor_colors {
+            let row = polys.len();
+            polys.resize(row + width, 0);
+            digits_into(c, stage.q, &mut polys[row..row + width]);
         }
-        x_found = Some((x, mine));
-        break;
-    }
-    let (x, px) = x_found.or_invariant("q > d*Delta guarantees an evaluation point");
-    let color = x * stage.q + px;
-    debug_assert!(color < stage.q * stage.q);
-    color
+        // Find an evaluation point disagreeing with every neighbor.
+        let mut x_found = None;
+        'outer: for x in 0..stage.q {
+            let mine = eval_poly(&my_poly[..width], x, stage.q);
+            for theirs in polys.chunks_exact(width) {
+                if eval_poly(theirs, x, stage.q) == mine {
+                    continue 'outer;
+                }
+            }
+            x_found = Some((x, mine));
+            break;
+        }
+        let (x, px) = x_found.or_invariant("q > d*Delta guarantees an evaluation point");
+        let color = x * stage.q + px;
+        debug_assert!(color < stage.q * stage.q);
+        color
+    })
+}
+
+/// Upper bound on the stage degree `d` (enforced by [`best_stage`]'s search
+/// range), sizing the stack-allocated polynomial row in [`recolor`].
+const MAX_STAGE_DEGREE: usize = 48;
+
+thread_local! {
+    /// Flat neighbor-polynomial scratch for [`recolor`]: row `i` of width
+    /// `d + 1` holds neighbor `i`'s digits. Purely per-call scratch — it is
+    /// cleared on entry, so reuse across nodes/rounds/engines cannot leak
+    /// state or perturb results.
+    static NEIGHBOR_POLY_SCRATCH: std::cell::RefCell<Vec<u64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// The reduction in explicit Definition 5 message-passing form: each round
@@ -217,23 +297,36 @@ impl<T: Topology> MessageAlgorithm<T> for LinialMsgAlgo {
     }
 }
 
-fn digits(mut c: u64, q: u64, d: u32) -> Vec<u64> {
-    let mut out = Vec::with_capacity(d as usize + 1);
-    for _ in 0..=d {
-        out.push(c % q);
+/// Writes the `out.len()` base-`q` digits of `c` into `out` (little-endian
+/// coefficient order, matching [`eval_poly`]).
+fn digits_into(mut c: u64, q: u64, out: &mut [u64]) {
+    for slot in out.iter_mut() {
+        *slot = c % q;
         c /= q;
     }
     debug_assert_eq!(c, 0, "color must fit in d+1 digits base q");
-    out
 }
 
 fn eval_poly(coeffs: &[u64], x: u64, q: u64) -> u64 {
-    // Horner, all values < q ≤ ~2^32 in practice; use u128 to be safe.
-    let mut acc: u128 = 0;
-    for &c in coeffs.iter().rev() {
-        acc = (acc * x as u128 + c as u128) % q as u128;
+    // Horner. For q < 2^32 (every schedule in practice — `best_stage`
+    // minimizes q) the accumulator stays below (q-1)·q < 2^64, so plain
+    // u64 arithmetic is exact and the hot loop avoids u128 division; the
+    // u128 form remains for astronomically large fields.
+    if q <= u64::from(u32::MAX) {
+        let mut acc: u64 = 0;
+        for &c in coeffs.iter().rev() {
+            acc = (acc * x + c) % q;
+        }
+        acc
+    } else {
+        let mut acc: u128 = 0;
+        for &c in coeffs.iter().rev() {
+            acc = (acc * u128::from(x) + u128::from(c)) % u128::from(q);
+        }
+        // lint:allow(no-bare-index-cast): value < q fits u64 by
+        // construction (reduction mod q), not an index-space crossing.
+        acc as u64
     }
-    acc as u64
 }
 
 /// The result of the reduction: a proper coloring with `colors[v] <
@@ -250,7 +343,30 @@ pub struct LinialOutcome {
 
 /// Runs the reduction on a topology, producing a proper `O(Δ²)`-coloring in
 /// `log*`-many rounds.
+///
+/// Colors run through the codec-backed SoA engine ([`run_soa`]): states
+/// live in one flat `u64` column, which is what keeps the 10M-node tier's
+/// peak RSS flat. [`run_linial_boxed`] is the same algorithm on the boxed
+/// engine, kept as the equivalence/bench control.
 pub fn run_linial<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
+    let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
+    let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
+    let algo = LinialAlgo { schedule };
+    let out = run_soa(ctx, &algo, 200);
+    LinialOutcome {
+        colors: (0..out.index_space())
+            .map(|i| out.try_state(NodeId::new(i)).map(|s| s.color))
+            .collect(),
+        final_bound,
+        rounds: out.rounds,
+    }
+}
+
+/// [`run_linial`] on the boxed-struct engine ([`run`]): identical colors
+/// and round count by the codec equivalence suite. Exists as the measured
+/// control for the `soa` bench and the 10M smoke tier's RSS comparison —
+/// pipelines should call [`run_linial`].
+pub fn run_linial_boxed<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
     let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
     let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
     let algo = LinialAlgo { schedule };
@@ -280,9 +396,11 @@ pub fn run_linial_messages<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOut
         return LinialOutcome { colors, final_bound, rounds: 0 };
     }
     let algo = LinialMsgAlgo { schedule };
-    let out: RunOutcome<ColorState> = run_messages(ctx, &algo, 200);
+    let out = run_messages_soa(ctx, &algo, 200);
     LinialOutcome {
-        colors: out.states.iter().map(|s| s.as_ref().map(|c| c.color)).collect(),
+        colors: (0..out.index_space())
+            .map(|i| out.try_state(NodeId::new(i)).map(|s| s.color))
+            .collect(),
         final_bound,
         rounds: out.rounds,
     }
@@ -421,6 +539,59 @@ mod tests {
         let msgs = run_linial_messages(&ctx);
         assert_eq!(snap.colors, msgs.colors);
         assert_eq!(snap.rounds, msgs.rounds);
+    }
+
+    #[test]
+    fn soa_form_matches_the_boxed_form() {
+        for (label, g) in [
+            ("path", path(60)),
+            ("star", Graph::from_edges(12, &(1..12).map(|i| (0, i)).collect::<Vec<_>>()).unwrap()),
+            ("tree", treelocal_gen::random_tree(200, 5)),
+        ] {
+            let ctx = Ctx::of(&g);
+            let soa = run_linial(&ctx);
+            let boxed = run_linial_boxed(&ctx);
+            assert_eq!(soa.rounds, boxed.rounds, "{label}: round counts diverge");
+            assert_eq!(soa.final_bound, boxed.final_bound, "{label}");
+            assert_eq!(soa.colors, boxed.colors, "{label}: colors diverge");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn soa_pool_sizes_match_the_boxed_sequential_run() {
+        use treelocal_sim::{par, run_soa_with_threads, run_with_threads};
+        // Above the engine's parallel threshold so worker pools genuinely
+        // chunk the frontier.
+        let g = treelocal_gen::relabel(
+            &treelocal_gen::random_tree(3000, 9),
+            treelocal_gen::IdStrategy::Permuted { seed: 9 },
+        );
+        let ctx = Ctx::of(&g);
+        let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
+        let algo = LinialAlgo { schedule };
+        let reference = run_with_threads(&ctx, &algo, 200, 1);
+        for threads in [1usize, 2, 4, par::auto_threads()] {
+            let soa = run_soa_with_threads(&ctx, &algo, 200, threads);
+            assert_eq!(reference.rounds, soa.rounds, "{threads} threads: rounds diverge");
+            assert_eq!(
+                reference.states,
+                soa.to_run_outcome().states,
+                "{threads} threads: colors diverge"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The codec law for colors: `decode(encode(s)) == s` across the
+        /// full lane range.
+        #[test]
+        fn color_state_round_trips_through_its_lanes(color in proptest::prelude::any::<u64>()) {
+            let s = ColorState { color };
+            let mut lanes64 = [0u64; ColorState::U64_LANES];
+            s.encode(&mut [], &mut lanes64);
+            proptest::prop_assert_eq!(ColorState::decode(&[], &lanes64), s);
+        }
     }
 
     #[test]

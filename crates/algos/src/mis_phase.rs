@@ -7,8 +7,10 @@
 //! blocked it — the maximality witness used for the `P` pointer label.
 
 use treelocal_graph::OrInvariant;
-use treelocal_graph::{EdgeId, NodeId, Topology};
-use treelocal_sim::{run, Ctx, ParSafe, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_graph::{narrow_u32, widen_u32, EdgeId, NodeId, Topology};
+use treelocal_sim::{
+    run_soa, Ctx, ParSafe, Snapshot, SoaAlgorithm, SoaSnapshot, StateCodec, SyncAlgorithm, Verdict,
+};
 
 /// Per-node MIS decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,10 +24,54 @@ pub enum MisDecision {
     },
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum SweepState {
     Waiting { my_round: u64 },
     Decided(MisDecision),
+}
+
+/// Lane tags for [`SweepState`]'s codec (lane 0 of the u32 row).
+const TAG_WAITING: u32 = 0;
+const TAG_MEMBER: u32 = 1;
+const TAG_NON_MEMBER: u32 = 2;
+
+/// `[tag, witness]` u32 lanes plus a `my_round` u64 lane. The witness lane
+/// is only meaningful under [`TAG_NON_MEMBER`], `my_round` only under
+/// [`TAG_WAITING`]; both encode as zero otherwise so equal states have
+/// equal lane bytes.
+impl StateCodec for SweepState {
+    const U32_LANES: usize = 2;
+    const U64_LANES: usize = 1;
+
+    fn encode(&self, lanes32: &mut [u32], lanes64: &mut [u64]) {
+        match self {
+            SweepState::Waiting { my_round } => {
+                lanes32[0] = TAG_WAITING;
+                lanes32[1] = 0;
+                lanes64[0] = *my_round;
+            }
+            SweepState::Decided(MisDecision::Member) => {
+                lanes32[0] = TAG_MEMBER;
+                lanes32[1] = 0;
+                lanes64[0] = 0;
+            }
+            SweepState::Decided(MisDecision::NonMember { witness }) => {
+                lanes32[0] = TAG_NON_MEMBER;
+                lanes32[1] = narrow_u32(witness.index());
+                lanes64[0] = 0;
+            }
+        }
+    }
+
+    fn decode(lanes32: &[u32], lanes64: &[u64]) -> Self {
+        match lanes32[0] {
+            TAG_WAITING => SweepState::Waiting { my_round: lanes64[0] },
+            TAG_MEMBER => SweepState::Decided(MisDecision::Member),
+            _ => SweepState::Decided(MisDecision::NonMember {
+                witness: EdgeId::new(widen_u32(lanes32[1])),
+            }),
+        }
+    }
 }
 
 struct MisSweep<'c> {
@@ -33,14 +79,44 @@ struct MisSweep<'c> {
     m: u64,
 }
 
-impl<T: Topology> SyncAlgorithm<T> for MisSweep<'_> {
-    type State = SweepState;
-
-    fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<SweepState> {
+/// The sweep logic shared by both state layouts.
+impl MisSweep<'_> {
+    fn init_verdict(&self, v: NodeId) -> Verdict<SweepState> {
         let c = u64::from(self.colors[v.index()].or_invariant("color for every participant"));
         debug_assert!((1..=self.m).contains(&c), "colors are 1-based and ≤ m");
         // Highest class first: class c decides in round m - c + 1.
         Verdict::Active(SweepState::Waiting { my_round: self.m - c + 1 })
+    }
+
+    fn step_verdict<T: Topology>(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: SweepState,
+        member_at: impl Fn(NodeId) -> bool,
+    ) -> Verdict<SweepState> {
+        let SweepState::Waiting { my_round } = own else {
+            unreachable!("decided nodes have halted")
+        };
+        if round < my_round {
+            return Verdict::Active(own);
+        }
+        debug_assert_eq!(round, my_round);
+        let blocker = ctx.topo.neighbors(v).find(|&(w, _)| member_at(w));
+        let decision = match blocker {
+            Some((_, e)) => MisDecision::NonMember { witness: e },
+            None => MisDecision::Member,
+        };
+        Verdict::Halted(SweepState::Decided(decision))
+    }
+}
+
+impl<T: Topology> SyncAlgorithm<T> for MisSweep<'_> {
+    type State = SweepState;
+
+    fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<SweepState> {
+        self.init_verdict(v)
     }
 
     fn step(
@@ -51,22 +127,30 @@ impl<T: Topology> SyncAlgorithm<T> for MisSweep<'_> {
         own: &SweepState,
         prev: &Snapshot<'_, SweepState>,
     ) -> Verdict<SweepState> {
-        let SweepState::Waiting { my_round } = own else {
-            unreachable!("decided nodes have halted")
-        };
-        if round < *my_round {
-            return Verdict::Active(own.clone());
-        }
-        debug_assert_eq!(round, *my_round);
-        let blocker = ctx
-            .topo
-            .neighbors(v)
-            .find(|&(w, _)| matches!(prev.get(w), SweepState::Decided(MisDecision::Member)));
-        let decision = match blocker {
-            Some((_, e)) => MisDecision::NonMember { witness: e },
-            None => MisDecision::Member,
-        };
-        Verdict::Halted(SweepState::Decided(decision))
+        self.step_verdict(ctx, v, round, own.clone(), |w| {
+            matches!(prev.get(w), SweepState::Decided(MisDecision::Member))
+        })
+    }
+}
+
+impl<T: Topology> SoaAlgorithm<T> for MisSweep<'_> {
+    type State = SweepState;
+
+    fn init(&self, _ctx: &Ctx<T>, v: NodeId) -> Verdict<SweepState> {
+        self.init_verdict(v)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: SweepState,
+        prev: &SoaSnapshot<'_, SweepState>,
+    ) -> Verdict<SweepState> {
+        self.step_verdict(ctx, v, round, own, |w| {
+            matches!(prev.get(w), SweepState::Decided(MisDecision::Member))
+        })
     }
 }
 
@@ -80,20 +164,22 @@ pub struct MisOutcome {
 }
 
 /// Runs the class sweep from a proper 1-based `m`-coloring.
+///
+/// Sweep states run through the codec-backed SoA engine ([`run_soa`]); the
+/// boxed path survives as [`SyncAlgorithm`] on the same sweep for the
+/// in-module equivalence suite.
 pub fn mis_from_coloring<T: Topology + ParSafe>(
     ctx: &Ctx<'_, T>,
     colors: &[Option<u32>],
     m: u64,
 ) -> MisOutcome {
     let algo = MisSweep { colors, m };
-    let out = run(ctx, &algo, m + 2);
+    let out = run_soa(ctx, &algo, m + 2);
     MisOutcome {
-        decisions: out
-            .states
-            .iter()
-            .map(|s| {
-                s.as_ref().map(|st| match st {
-                    SweepState::Decided(d) => *d,
+        decisions: (0..out.index_space())
+            .map(|i| {
+                out.try_state(NodeId::new(i)).map(|st| match st {
+                    SweepState::Decided(d) => d,
                     SweepState::Waiting { .. } => unreachable!("run drains all nodes"),
                 })
             })
@@ -124,6 +210,7 @@ mod tests {
     use crate::reduce::kw_reduce;
     use treelocal_gen::random_tree;
     use treelocal_graph::Graph;
+    use treelocal_sim::run;
 
     fn full_pipeline(g: &Graph) -> (MisOutcome, u64) {
         let ctx = Ctx::of(g);
@@ -163,6 +250,71 @@ mod tests {
         let mis = mis_from_coloring(&ctx, &red.colors, u64::from(red.final_colors));
         assert!(mis.rounds <= u64::from(red.final_colors) + 1);
         assert!(is_valid_mis_on(&g, &mis.decisions));
+    }
+
+    #[test]
+    fn soa_sweep_matches_the_boxed_sweep() {
+        for seed in 0..4 {
+            let g = random_tree(200, seed);
+            let ctx = Ctx::of(&g);
+            let lin = run_linial(&ctx);
+            let red = kw_reduce(&ctx, &lin.colors, lin.final_bound);
+            let m = u64::from(red.final_colors);
+            let algo = MisSweep { colors: &red.colors, m };
+            let boxed = run(&ctx, &algo, m + 2);
+            let soa = run_soa(&ctx, &algo, m + 2);
+            assert_eq!(boxed.rounds, soa.rounds, "seed {seed}: rounds diverge");
+            assert_eq!(
+                boxed.states,
+                soa.to_run_outcome().states,
+                "seed {seed}: sweep states diverge"
+            );
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn soa_sweep_pool_sizes_match_the_boxed_sequential_run() {
+        use treelocal_sim::{par, run_soa_with_threads, run_with_threads};
+        let g = random_tree(3000, 11);
+        let ctx = Ctx::of(&g);
+        let lin = run_linial(&ctx);
+        let red = kw_reduce(&ctx, &lin.colors, lin.final_bound);
+        let m = u64::from(red.final_colors);
+        let algo = MisSweep { colors: &red.colors, m };
+        let reference = run_with_threads(&ctx, &algo, m + 2, 1);
+        for threads in [1usize, 2, 4, par::auto_threads()] {
+            let soa = run_soa_with_threads(&ctx, &algo, m + 2, threads);
+            assert_eq!(reference.rounds, soa.rounds, "{threads} threads: rounds diverge");
+            assert_eq!(
+                reference.states,
+                soa.to_run_outcome().states,
+                "{threads} threads: sweep states diverge"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The codec law for sweep states, across every tag and the full
+        /// lane value ranges.
+        #[test]
+        fn sweep_state_round_trips_through_its_lanes(
+            tag in 0u32..3,
+            witness in proptest::prelude::any::<u32>(),
+            my_round in proptest::prelude::any::<u64>(),
+        ) {
+            let s = match tag {
+                TAG_WAITING => SweepState::Waiting { my_round },
+                TAG_MEMBER => SweepState::Decided(MisDecision::Member),
+                _ => SweepState::Decided(MisDecision::NonMember {
+                    witness: EdgeId::new(widen_u32(witness)),
+                }),
+            };
+            let mut lanes32 = [0u32; SweepState::U32_LANES];
+            let mut lanes64 = [0u64; SweepState::U64_LANES];
+            s.encode(&mut lanes32, &mut lanes64);
+            proptest::prop_assert_eq!(SweepState::decode(&lanes32, &lanes64), s);
+        }
     }
 
     #[test]

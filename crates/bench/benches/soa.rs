@@ -1,0 +1,54 @@
+//! Criterion benchmarks pinning the flat SoA state-codec speedup (the
+//! engine-scale refactor's second half: PR 6 flattened adjacency, this PR
+//! flattens per-node state).
+//!
+//! Two kinds of measurement:
+//!
+//! * `linial` reruns the exact workloads of `csr.rs` — same names, same
+//!   trees — so its rows compare directly against `BENCH_csr.json`
+//!   (recorded when `run_linial` still stepped boxed `Option<State>`
+//!   buffers). The acceptance bar is ≥ 1.3× on the 100k row.
+//! * `linial_state` is the in-process control: the identical Linial
+//!   schedule through the codec-backed SoA engine (`run_linial`) versus
+//!   the boxed-struct engine (`run_linial_boxed`), isolating the state
+//!   layout from everything else that moved between recordings.
+//!
+//! `BENCH_soa.json` records a run of this file (see its note for the
+//! profile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelocal_algos::{run_linial, run_linial_boxed};
+use treelocal_gen::{random_tree, relabel, IdStrategy};
+use treelocal_sim::Ctx;
+
+fn bench_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = relabel(&random_tree(n, 1), IdStrategy::Sparse { seed: 1 });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let ctx = Ctx::of(g);
+            b.iter(|| run_linial(&ctx).rounds)
+        });
+    }
+    group.finish();
+}
+
+fn bench_linial_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial_state");
+    let n = 100_000usize;
+    let g = relabel(&random_tree(n, 1), IdStrategy::Sparse { seed: 1 });
+    let ctx = Ctx::of(&g);
+    // Identical colors and rounds on both layouts or the comparison is
+    // meaningless.
+    let soa = run_linial(&ctx);
+    let boxed = run_linial_boxed(&ctx);
+    assert_eq!(soa.rounds, boxed.rounds);
+    assert_eq!(soa.colors, boxed.colors);
+    group.bench_function(BenchmarkId::new("soa", n), |b| b.iter(|| run_linial(&ctx).rounds));
+    group
+        .bench_function(BenchmarkId::new("boxed", n), |b| b.iter(|| run_linial_boxed(&ctx).rounds));
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial, bench_linial_state);
+criterion_main!(benches);

@@ -184,7 +184,13 @@ mod tests {
     fn resume_without_journal_exits_2() {
         let (message, code) = parse(&argv(&["--resume", "e2"])).unwrap_err();
         assert_eq!(code, 2);
-        assert!(message.contains("--resume needs --journal"), "{message}");
+        assert!(message.contains("--resume needs --journal PATH"), "{message}");
+        // The error must carry the full usage block, not just the one-liner.
+        assert!(message.contains(USAGE), "{message}");
+        // Flag order must not matter: `--resume` before other flags.
+        let (message, code) = parse(&argv(&["--quick", "--resume"])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--resume needs --journal PATH"), "{message}");
     }
 
     #[test]

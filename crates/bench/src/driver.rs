@@ -281,26 +281,65 @@ impl Driver {
         }
         let elapsed = started.elapsed().as_secs_f64();
         let (rounds, steps, sends) = treelocal_sim::counters::snapshot();
-        let eta = if done < total && fresh_done > 0 {
-            let remaining = (total - done) as f64 * elapsed / fresh_done as f64;
+        eprintln!(
+            "{}",
+            progress_line(
+                run,
+                done,
+                total,
+                fresh_done,
+                elapsed,
+                rounds.saturating_sub(counters0.0),
+                steps.saturating_sub(counters0.1),
+                sends.saturating_sub(counters0.2),
+            )
+        );
+    }
+}
+
+/// Formats one stderr progress line. Pure, so the edge cases are pinned by
+/// unit tests: the very first job (nothing fresh done yet), a zero-elapsed
+/// clock, and a resumed run whose jobs were all replayed from the journal
+/// must all render without an ETA rather than showing `NaN`/`inf` seconds
+/// or panicking on division by zero.
+#[allow(clippy::too_many_arguments)]
+fn progress_line(
+    run: &str,
+    done: usize,
+    total: usize,
+    fresh_done: usize,
+    elapsed: f64,
+    rounds: u64,
+    steps: u64,
+    sends: u64,
+) -> String {
+    // A monotonic clock cannot hand back a non-finite or negative reading,
+    // but the line must stay printable even if the caller's arithmetic ever
+    // does: clamp instead of formatting garbage.
+    let elapsed = if elapsed.is_finite() { elapsed.max(0.0) } else { 0.0 };
+    let eta = if done < total && fresh_done > 0 {
+        let remaining = total.saturating_sub(done) as f64 * elapsed / fresh_done as f64;
+        if remaining.is_finite() {
             format!(", ~{remaining:.1}s left")
         } else {
             String::new()
-        };
-        // Send-phase steps are message-engine work the receive counter does
-        // not see; report them whenever the run did any, so progress on
-        // message-heavy suites reflects the full simulation effort.
-        let send_part = match sends.saturating_sub(counters0.2) {
-            0 => String::new(),
-            d => format!(", +{d} send-steps"),
-        };
-        eprintln!(
-            "[{run}] {done}/{total} jobs | +{} rounds, +{} node-steps{send_part} | \
-             {elapsed:.1}s elapsed{eta}",
-            rounds.saturating_sub(counters0.0),
-            steps.saturating_sub(counters0.1),
-        );
-    }
+        }
+    } else {
+        // First job, or a resume that replayed every job from the journal:
+        // no fresh timing signal exists, so print no estimate at all.
+        String::new()
+    };
+    // Send-phase steps are message-engine work the receive counter does
+    // not see; report them whenever the run did any, so progress on
+    // message-heavy suites reflects the full simulation effort.
+    let send_part = match sends {
+        0 => String::new(),
+        d => format!(", +{d} send-steps"),
+    };
+    format!(
+        "[{run}] {done}/{total} jobs | +{rounds} rounds, +{steps} node-steps{send_part} | \
+         {elapsed:.1}s elapsed{eta}"
+    )
 }
 
 #[cfg(test)]
@@ -407,5 +446,55 @@ mod tests {
         driver.run_jobs("beta", &jobs, |&x| JobOutput::from_row(vec![x.to_string()]));
         assert_eq!(driver.jobs_executed(), 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn progress_line_first_job_has_no_eta() {
+        // Nothing fresh has finished yet: estimating from zero completed
+        // jobs would divide by zero.
+        let line = progress_line("demo", 0, 8, 0, 0.0, 0, 0, 0);
+        assert_eq!(line, "[demo] 0/8 jobs | +0 rounds, +0 node-steps | 0.0s elapsed");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn progress_line_zero_elapsed_renders_a_zero_eta() {
+        // One job done in (rounded) zero seconds: the estimate is a finite
+        // zero, not NaN.
+        let line = progress_line("demo", 1, 8, 1, 0.0, 3, 40, 0);
+        assert_eq!(line, "[demo] 1/8 jobs | +3 rounds, +40 node-steps | 0.0s elapsed, ~0.0s left");
+    }
+
+    #[test]
+    fn progress_line_resumed_all_done_has_no_eta() {
+        // A resume that replayed every job from the journal reports the
+        // final count with no fresh completions and no estimate.
+        let line = progress_line("demo", 8, 8, 0, 0.2, 0, 0, 0);
+        assert_eq!(line, "[demo] 8/8 jobs | +0 rounds, +0 node-steps | 0.2s elapsed");
+    }
+
+    #[test]
+    fn progress_line_resumed_tail_estimates_from_fresh_jobs_only() {
+        // 6 of 8 replayed, 1 fresh job took 2s: the 1 remaining job is
+        // estimated from the fresh rate (2s), not the replayed total.
+        let line = progress_line("demo", 7, 8, 1, 2.0, 5, 100, 0);
+        assert!(line.ends_with("~2.0s left"), "{line}");
+    }
+
+    #[test]
+    fn progress_line_clamps_non_finite_and_negative_clocks() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
+            let line = progress_line("demo", 1, 2, 1, bad, 0, 0, 0);
+            assert!(line.contains("0.0s elapsed"), "{line}");
+            assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        }
+    }
+
+    #[test]
+    fn progress_line_send_steps_appear_only_when_nonzero() {
+        let with = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 7);
+        assert!(with.contains("+7 send-steps"), "{with}");
+        let without = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 0);
+        assert!(!without.contains("send-steps"), "{without}");
     }
 }

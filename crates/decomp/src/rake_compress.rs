@@ -19,7 +19,9 @@
 use crate::order::LayerOrder;
 use treelocal_graph::OrInvariant;
 use treelocal_graph::{narrow_u32, widen_u32, Graph, NodeId, SemiGraph, Topology};
-use treelocal_sim::{ceil_log, run, Ctx, Snapshot, SyncAlgorithm, Verdict};
+use treelocal_sim::{
+    ceil_log, run_soa, Ctx, Snapshot, SoaAlgorithm, SoaSnapshot, StateCodec, SyncAlgorithm, Verdict,
+};
 
 /// Which operation marked a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -236,7 +238,7 @@ pub fn check_lemma11(g: &Graph, rc: &RakeCompress) -> bool {
 // Distributed implementation
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct RcState {
     alive: bool,
     /// Alive-degree, published in sub-round 1 of each iteration.
@@ -247,14 +249,63 @@ struct RcState {
     marked_at: Option<(u32, Mark)>,
 }
 
+/// Flag bits of lane 0 in [`RcState`]'s codec.
+const RC_ALIVE: u32 = 1;
+const RC_JUST_COMPRESSED: u32 = 1 << 1;
+const RC_MARKED: u32 = 1 << 2;
+const RC_MARK_IS_RAKE: u32 = 1 << 3;
+
+/// `[flags, marked_iteration, deg]` u32 lanes, no u64 lanes. The iteration
+/// lane is only meaningful under [`RC_MARKED`] and encodes as zero
+/// otherwise, so equal states have equal lane bytes; `deg` crosses the
+/// usize boundary through the checked id-width helpers.
+impl StateCodec for RcState {
+    const U32_LANES: usize = 3;
+    const U64_LANES: usize = 0;
+
+    fn encode(&self, lanes32: &mut [u32], _lanes64: &mut [u64]) {
+        let mut flags = 0u32;
+        if self.alive {
+            flags |= RC_ALIVE;
+        }
+        if self.just_compressed {
+            flags |= RC_JUST_COMPRESSED;
+        }
+        let mut iteration = 0u32;
+        if let Some((it, mark)) = self.marked_at {
+            flags |= RC_MARKED;
+            if mark == Mark::Rake {
+                flags |= RC_MARK_IS_RAKE;
+            }
+            iteration = it;
+        }
+        lanes32[0] = flags;
+        lanes32[1] = iteration;
+        lanes32[2] = narrow_u32(self.deg);
+    }
+
+    fn decode(lanes32: &[u32], _lanes64: &[u64]) -> Self {
+        let flags = lanes32[0];
+        let marked_at = (flags & RC_MARKED != 0).then(|| {
+            let mark = if flags & RC_MARK_IS_RAKE != 0 { Mark::Rake } else { Mark::Compress };
+            (lanes32[1], mark)
+        });
+        RcState {
+            alive: flags & RC_ALIVE != 0,
+            deg: widen_u32(lanes32[2]),
+            just_compressed: flags & RC_JUST_COMPRESSED != 0,
+            marked_at,
+        }
+    }
+}
+
 struct RcDistributed {
     k: usize,
 }
 
-impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
-    type State = RcState;
-
-    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<RcState> {
+/// The 3-sub-round iteration logic shared by both state layouts.
+impl RcDistributed {
+    fn init_verdict<T: Topology>(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<RcState> {
         Verdict::Active(RcState {
             alive: true,
             deg: ctx.topo.degree(v),
@@ -263,33 +314,31 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
         })
     }
 
-    fn step(
+    fn step_verdict<T: Topology>(
         &self,
         ctx: &Ctx<T>,
         v: NodeId,
         round: u64,
-        own: &RcState,
-        prev: &Snapshot<'_, RcState>,
+        own: RcState,
+        read: impl Fn(NodeId) -> RcState,
     ) -> Verdict<RcState> {
         let iteration = u32::try_from((round - 1) / 3 + 1).or_invariant("round counts fit u32");
         let sub = (round - 1) % 3;
-        let mut next = own.clone();
+        let mut next = own;
         match sub {
             0 => {
                 // Publish the current alive-degree.
-                next.deg =
-                    ctx.topo.neighbor_nodes(v).iter().filter(|&&w| prev.get(w).alive).count();
+                next.deg = ctx.topo.neighbor_nodes(v).iter().filter(|&&w| read(w).alive).count();
                 Verdict::Active(next)
             }
             1 => {
                 // Compress decision.
-                debug_assert!(own.alive);
-                let me_ok = own.deg <= self.k;
-                let nbrs_ok = ctx
-                    .topo
-                    .neighbor_nodes(v)
-                    .iter()
-                    .all(|&w| !prev.get(w).alive || prev.get(w).deg <= self.k);
+                debug_assert!(next.alive);
+                let me_ok = next.deg <= self.k;
+                let nbrs_ok = ctx.topo.neighbor_nodes(v).iter().all(|&w| {
+                    let s = read(w);
+                    !s.alive || s.deg <= self.k
+                });
                 if me_ok && nbrs_ok {
                     next.just_compressed = true;
                     next.marked_at = Some((iteration, Mark::Compress));
@@ -298,7 +347,7 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
             }
             _ => {
                 // Rake decision, then the iteration ends.
-                if own.just_compressed {
+                if next.just_compressed {
                     next.alive = false;
                     next.just_compressed = false;
                     return Verdict::Halted(next);
@@ -308,7 +357,7 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
                     .neighbor_nodes(v)
                     .iter()
                     .filter(|&&w| {
-                        let s = prev.get(w);
+                        let s = read(w);
                         s.alive && !s.just_compressed
                     })
                     .count();
@@ -321,6 +370,44 @@ impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
                 }
             }
         }
+    }
+}
+
+impl<T: Topology> SyncAlgorithm<T> for RcDistributed {
+    type State = RcState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<RcState> {
+        self.init_verdict(ctx, v)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &RcState,
+        prev: &Snapshot<'_, RcState>,
+    ) -> Verdict<RcState> {
+        self.step_verdict(ctx, v, round, own.clone(), |w| prev.get(w).clone())
+    }
+}
+
+impl<T: Topology> SoaAlgorithm<T> for RcDistributed {
+    type State = RcState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<RcState> {
+        self.init_verdict(ctx, v)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: RcState,
+        prev: &SoaSnapshot<'_, RcState>,
+    ) -> Verdict<RcState> {
+        self.step_verdict(ctx, v, round, own, |w| prev.get(w))
     }
 }
 
@@ -341,12 +428,15 @@ pub fn rake_compress_distributed(g: &Graph, k: usize) -> RakeCompress {
     let ctx = Ctx::of(g);
     let algo = RcDistributed { k };
     let cap = (lemma9_bound(n, k) * 4 + 16) * 3;
-    let out = run(&ctx, &algo, cap);
+    // Codec-backed SoA stepping: iteration state lives in three flat u32
+    // columns; the boxed path stays implemented on the same sweep for the
+    // in-module equivalence suite.
+    let out = run_soa(&ctx, &algo, cap);
     let mut iteration_of = vec![0u32; n];
     let mut mark_of = vec![Mark::Rake; n];
     let mut iterations = 0u32;
     for v in g.node_ids() {
-        let st = out.states[v.index()].as_ref().or_invariant("every node participated");
+        let st = out.try_state(v).or_invariant("every node participated");
         let (it, mark) = st.marked_at.or_invariant("every node marked (Lemma 9)");
         iteration_of[v.index()] = it;
         mark_of[v.index()] = mark;
@@ -359,6 +449,7 @@ pub fn rake_compress_distributed(g: &Graph, k: usize) -> RakeCompress {
 mod tests {
     use super::*;
     use treelocal_gen::{balanced_regular_tree, path, random_tree, star};
+    use treelocal_sim::run;
 
     fn check_all_lemmas(g: &Graph, k: usize) {
         let rc = rake_compress(g, k);
@@ -431,6 +522,70 @@ mod tests {
                 assert_eq!(a.mark_of, b.mark_of, "seed {seed} k {k}");
                 assert!(b.rounds <= 3 * u64::from(b.iterations));
             }
+        }
+    }
+
+    #[test]
+    fn rc_state_round_trips_through_its_lanes() {
+        // Exhaustive over the reachable shape space: every flag/mark
+        // combination crossed with boundary lane values.
+        for alive in [false, true] {
+            for just_compressed in [false, true] {
+                for deg in [0usize, 1, 7, 1 << 20, widen_u32(u32::MAX)] {
+                    for marked_at in [
+                        None,
+                        Some((1u32, Mark::Compress)),
+                        Some((1u32, Mark::Rake)),
+                        Some((u32::MAX, Mark::Compress)),
+                        Some((u32::MAX, Mark::Rake)),
+                    ] {
+                        let s = RcState { alive, deg, just_compressed, marked_at };
+                        let mut lanes32 = [0u32; RcState::U32_LANES];
+                        s.encode(&mut lanes32, &mut []);
+                        assert_eq!(RcState::decode(&lanes32, &[]), s, "lanes {lanes32:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_distributed_sweep_matches_the_boxed_sweep() {
+        for seed in 0..4 {
+            let g = random_tree(150, seed);
+            for k in [2usize, 5] {
+                let ctx = Ctx::of(&g);
+                let algo = RcDistributed { k };
+                let cap = (lemma9_bound(g.node_count(), k) * 4 + 16) * 3;
+                let boxed = run(&ctx, &algo, cap);
+                let soa = run_soa(&ctx, &algo, cap);
+                assert_eq!(boxed.rounds, soa.rounds, "seed {seed} k {k}: rounds diverge");
+                assert_eq!(
+                    boxed.states,
+                    soa.to_run_outcome().states,
+                    "seed {seed} k {k}: states diverge"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn soa_pool_sizes_match_the_boxed_sequential_run() {
+        use treelocal_sim::{par, run_soa_with_threads, run_with_threads};
+        let g = random_tree(3000, 13);
+        let ctx = Ctx::of(&g);
+        let algo = RcDistributed { k: 3 };
+        let cap = (lemma9_bound(g.node_count(), 3) * 4 + 16) * 3;
+        let reference = run_with_threads(&ctx, &algo, cap, 1);
+        for threads in [1usize, 2, 4, par::auto_threads()] {
+            let soa = run_soa_with_threads(&ctx, &algo, cap, threads);
+            assert_eq!(reference.rounds, soa.rounds, "{threads} threads: rounds diverge");
+            assert_eq!(
+                reference.states,
+                soa.to_run_outcome().states,
+                "{threads} threads: states diverge"
+            );
         }
     }
 

@@ -148,3 +148,17 @@ fn unjustified_allows_are_diagnostics_and_never_suppress() {
 fn the_clean_fixture_is_clean_under_the_strictest_context() {
     assert_fixture("clean.rs", "crates/sim/src/lib.rs", "sim", FileKind::Lib, true);
 }
+
+#[test]
+fn allow_text_inside_strings_and_block_comments_does_not_suppress() {
+    // The lexer honors the allow directive only in genuine line comments:
+    // the same characters inside a raw string, a plain string, or a block
+    // comment are data, and the adjacent unwraps must keep diagnosing.
+    assert_fixture(
+        "allow_in_raw_string.rs",
+        "crates/core/src/fixture.rs",
+        "core",
+        FileKind::Lib,
+        false,
+    );
+}

@@ -1,0 +1,26 @@
+//! Fixture: `lint:allow` **text** inside string literals and block
+//! comments is data, not a directive (checked as
+//! `crates/core/src/fixture.rs`). Only a real line comment can carry the
+//! escape hatch; every unwrap below still diagnoses.
+
+fn allow_inside_a_raw_string(x: Option<u32>) -> u32 {
+    let _doc = r#" // lint:allow(no-panic-in-lib): string data, not a directive "#;
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn allow_inside_a_multiline_raw_string(x: Option<u32>) -> u32 {
+    let _doc = r"
+    // lint:allow(no-panic-in-lib): still string data on its own line
+    ";
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn allow_inside_a_plain_string(x: Option<u32>) -> u32 {
+    let _doc = "// lint:allow(no-panic-in-lib): quoted, not commented";
+    x.unwrap() //~ no-panic-in-lib
+}
+
+fn allow_inside_a_block_comment(x: Option<u32>) -> u32 {
+    /* // lint:allow(no-panic-in-lib): commented-out directive */
+    x.unwrap() //~ no-panic-in-lib
+}

@@ -224,6 +224,100 @@ where
     core.finish()
 }
 
+/// A deterministic synchronous LOCAL algorithm stepping over
+/// codec-encoded state ([`crate::StateCodec`]).
+///
+/// The semantics are exactly [`SyncAlgorithm`]'s — `init` before any
+/// communication, each `step` one synchronous round reading the previous
+/// round through a snapshot — with two signature changes forced by the
+/// flat-column layout: `own` arrives **by value** (decoded from the
+/// node's lanes, not borrowed from a state buffer) and neighbor reads via
+/// [`SoaSnapshot::get`](crate::SoaSnapshot::get) decode by value too.
+/// Problems implement both traits over the same state type and the
+/// equivalence suites assert the two paths agree byte for byte.
+pub trait SoaAlgorithm<T: Topology> {
+    /// Per-node state with a fixed-width lane encoding.
+    type State: crate::StateCodec;
+
+    /// The state of `v` before any communication happened.
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<Self::State>;
+
+    /// One synchronous round at node `v`.
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: Self::State,
+        prev: &crate::SoaSnapshot<'_, Self::State>,
+    ) -> Verdict<Self::State>;
+}
+
+/// Runs a codec-backed algorithm on `ctx.topo` until every node halts —
+/// [`run`] over [`crate::ExecCoreSoa`] instead of the boxed core.
+///
+/// Outcomes, round counts and work counters are identical to running the
+/// same logic through [`run`]; only the state layout (and therefore cache
+/// behavior and peak memory) differs. With the `parallel` feature large
+/// frontiers step on the vendored rayon pool, byte-identically for every
+/// pool size — pinned by `tests/soa_equiv.rs`.
+///
+/// # Panics
+///
+/// As [`run`]: panics if the algorithm has not halted after `max_rounds`.
+pub fn run_soa<T, A>(ctx: &Ctx<'_, T>, algo: &A, max_rounds: u64) -> crate::SoaOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: SoaAlgorithm<T> + ParSafe,
+    A::State: ParSafe,
+{
+    #[cfg(feature = "parallel")]
+    {
+        run_soa_with_threads(ctx, algo, max_rounds, crate::par::auto_threads())
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let mut core = crate::ExecCoreSoa::new(ctx.topo.index_space());
+        for v in ctx.topo.nodes() {
+            core.seed(v, algo.init(ctx, v));
+        }
+        while !core.is_done() {
+            let round = core.begin_round(max_rounds);
+            core.step_snapshot(|v, own, snap| algo.step(ctx, v, round, own, snap));
+        }
+        core.finish()
+    }
+}
+
+/// [`run_soa`] with an explicit pool size (1 forces sequential execution);
+/// every size produces the same [`crate::SoaOutcome`].
+///
+/// # Panics
+///
+/// As [`run_soa`].
+#[cfg(feature = "parallel")]
+pub fn run_soa_with_threads<T, A>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    max_rounds: u64,
+    threads: usize,
+) -> crate::SoaOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: SoaAlgorithm<T> + ParSafe,
+    A::State: ParSafe,
+{
+    let mut core = crate::ExecCoreSoa::new(ctx.topo.index_space());
+    for v in ctx.topo.nodes() {
+        core.seed(v, algo.init(ctx, v));
+    }
+    while !core.is_done() {
+        let round = core.begin_round(max_rounds);
+        core.step_snapshot_threads(threads, |v, own, snap| algo.step(ctx, v, round, own, snap));
+    }
+    core.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

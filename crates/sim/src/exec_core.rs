@@ -23,6 +23,7 @@
 //! states), not for the engine. `crates/sim/tests/clone_accounting.rs`
 //! pins this with a `Clone`-instrumented state type.
 
+use crate::codec::{SoaColumns, SoaOutcome, SoaSnapshot, StateCodec};
 use crate::engine::{RunOutcome, Snapshot, Verdict};
 use treelocal_graph::OrInvariant;
 use treelocal_graph::{widen_u64, NodeId};
@@ -289,6 +290,286 @@ impl<S> ExecCore<S> {
     }
 }
 
+/// [`ExecCore`]'s codec-backed stepping mode: the same frontier lifecycle
+/// over flat [`SoaColumns`] instead of boxed `Option<S>` slots.
+///
+/// Differences from the boxed core, all layout-only:
+///
+/// * states live in node-major u32/u64 lane columns ([`StateCodec`]);
+///   reads decode a fresh value, writes encode in place;
+/// * halted lanes are **frozen in place** — a halted node's row is simply
+///   never rewritten (the boxed path's moved-once `Option` states, minus
+///   the `Option`);
+/// * the verdict scratch buffer is a second set of columns plus a halt
+///   bitmap; commit is a plain lane copy **in frontier order**, so
+///   sequential and parallel rounds produce byte-identical columns (the
+///   parallel step encodes positionally collected verdicts in frontier
+///   order instead — same bytes, pinned by `tests/soa_equiv.rs`).
+///
+/// Round accounting is shared with [`ExecCore`] (same
+/// [`counters`](crate::counters) hooks, same budget assertion), which is
+/// what keeps codec and boxed runs indistinguishable in every observable
+/// except memory layout.
+#[derive(Debug)]
+pub struct ExecCoreSoa<S: StateCodec> {
+    /// Current lane columns. During a step these hold the *previous*
+    /// round's states.
+    main: SoaColumns<S>,
+    /// Verdict scratch columns, written for frontier rows only.
+    scratch: SoaColumns<S>,
+    /// Whether the scratch row of a frontier node carries a halting
+    /// verdict this round.
+    scratch_halted: Vec<bool>,
+    /// `seeded[i]` iff slot `i` participates (the boxed path's
+    /// `Option::is_some`).
+    seeded: Vec<bool>,
+    /// `active[i]` iff slot `i` holds a frontier node.
+    active: Vec<bool>,
+    /// Nodes still running, in seeding order.
+    frontier: Vec<NodeId>,
+    /// Communication rounds executed so far.
+    rounds: u64,
+}
+
+impl<S: StateCodec> ExecCoreSoa<S> {
+    /// An empty codec-backed core over `index_space` state slots.
+    pub fn new(index_space: usize) -> Self {
+        ExecCoreSoa {
+            main: SoaColumns::new(index_space),
+            scratch: SoaColumns::new(index_space),
+            scratch_halted: vec![false; index_space],
+            seeded: vec![false; index_space],
+            active: vec![false; index_space],
+            frontier: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Registers node `v` with its round-0 verdict. A node seeded
+    /// [`Verdict::Halted`] contributes its lanes but never enters the
+    /// frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was already seeded (same hard invariant as
+    /// [`ExecCore::seed`]).
+    pub fn seed(&mut self, v: NodeId, verdict: Verdict<S>) {
+        assert!(!self.seeded[v.index()], "node {v:?} seeded twice");
+        self.seeded[v.index()] = true;
+        match verdict {
+            Verdict::Active(s) => {
+                self.main.write(v, &s);
+                self.active[v.index()] = true;
+                self.frontier.push(v);
+            }
+            Verdict::Halted(s) => {
+                self.main.write(v, &s);
+            }
+        }
+    }
+
+    /// `true` once every node has halted.
+    pub fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// The nodes that will execute the next round, in deterministic order.
+    pub fn frontier(&self) -> &[NodeId] {
+        &self.frontier
+    }
+
+    /// Whether `v` is still running — frontier membership in O(1).
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active[v.index()]
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The current state of node `v`, decoded from its lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never seeded.
+    pub fn state(&self, v: NodeId) -> S {
+        assert!(self.seeded[v.index()], "node {v:?} participates in the execution");
+        self.main.read(v)
+    }
+
+    /// Starts a communication round, returning its 1-based number — the
+    /// exact accounting of [`ExecCore::begin_round`], so codec and boxed
+    /// runs advance the process-wide counters identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the round budget is exhausted.
+    pub fn begin_round(&mut self, max_rounds: u64) -> u64 {
+        assert!(
+            self.rounds < max_rounds,
+            "algorithm did not halt within {max_rounds} rounds (still {} active)",
+            self.frontier.len()
+        );
+        crate::counters::record_round(widen_u64(self.frontier.len()));
+        self.rounds += 1;
+        self.rounds
+    }
+
+    /// Executes one round in snapshot style: every frontier node observes
+    /// the previous round's columns and returns its verdict. Verdicts are
+    /// encoded into the scratch columns, then committed to the main
+    /// columns in frontier order — all reads happen before any main row is
+    /// rewritten.
+    pub fn step_snapshot<F>(&mut self, mut step: F)
+    where
+        F: FnMut(NodeId, S, &SoaSnapshot<'_, S>) -> Verdict<S>,
+    {
+        let snap = SoaSnapshot::over(&self.main, &self.seeded);
+        for idx in 0..self.frontier.len() {
+            let v = self.frontier[idx];
+            let own = self.main.read(v);
+            match step(v, own, &snap) {
+                Verdict::Active(s) => {
+                    self.scratch.write(v, &s);
+                    self.scratch_halted[v.index()] = false;
+                }
+                Verdict::Halted(s) => {
+                    self.scratch.write(v, &s);
+                    self.scratch_halted[v.index()] = true;
+                }
+            }
+        }
+        self.commit();
+    }
+
+    /// Executes one round in snapshot style on `threads` pool workers.
+    ///
+    /// Frontier chunks step concurrently against the shared previous-round
+    /// columns; verdicts are collected positionally and encoded into the
+    /// main columns **sequentially in frontier order** — the same bytes in
+    /// the same write order as [`ExecCoreSoa::step_snapshot`]'s
+    /// scratch-then-copy commit, for every pool size. Small frontiers (and
+    /// `threads <= 1`) take the sequential path unchanged.
+    #[cfg(feature = "parallel")]
+    pub fn step_snapshot_threads<F>(&mut self, threads: usize, step: F)
+    where
+        F: Fn(NodeId, S, &SoaSnapshot<'_, S>) -> Verdict<S> + Sync,
+        S: Send,
+    {
+        if threads <= 1 || self.frontier.len() < crate::par::PAR_FRONTIER_MIN {
+            self.step_snapshot(step);
+            return;
+        }
+        let verdicts = {
+            let snap = SoaSnapshot::over(&self.main, &self.seeded);
+            crate::par::par_map(&self.frontier, threads, |_, &v| step(v, snap.get(v), &snap))
+        };
+        self.commit_in_frontier_order(verdicts);
+    }
+
+    /// Executes one round in owned style (the message engine's receive
+    /// phase): every frontier node consumes its decoded state and returns
+    /// its verdict. An owned step reads no neighbor lanes, so verdicts
+    /// commit directly to the main columns as the frontier is walked —
+    /// byte-identical to a scratch commit, one copy cheaper.
+    pub fn step_owned<F>(&mut self, mut step: F)
+    where
+        F: FnMut(NodeId, S) -> Verdict<S>,
+    {
+        let main = &mut self.main;
+        let active = &mut self.active;
+        self.frontier.retain(|&v| match step(v, main.read(v)) {
+            Verdict::Active(s) => {
+                main.write(v, &s);
+                true
+            }
+            Verdict::Halted(s) => {
+                main.write(v, &s);
+                active[v.index()] = false;
+                false
+            }
+        });
+    }
+
+    /// Executes one round in owned style on `threads` pool workers:
+    /// frontier states are decoded on the workers (an owned step reads no
+    /// neighbor lanes), verdicts commit sequentially in frontier order.
+    #[cfg(feature = "parallel")]
+    pub fn step_owned_threads<F>(&mut self, threads: usize, step: F)
+    where
+        F: Fn(NodeId, S) -> Verdict<S> + Sync,
+        S: Send,
+    {
+        if threads <= 1 || self.frontier.len() < crate::par::PAR_FRONTIER_MIN {
+            self.step_owned(step);
+            return;
+        }
+        let main = &self.main;
+        let verdicts = crate::par::par_map(&self.frontier, threads, |_, &v| step(v, main.read(v)));
+        self.commit_in_frontier_order(verdicts);
+    }
+
+    /// Commits a round whose verdicts were collected positionally (one per
+    /// frontier node, in frontier order). Identical retain semantics to
+    /// [`ExecCoreSoa::commit`].
+    #[cfg(feature = "parallel")]
+    fn commit_in_frontier_order(&mut self, verdicts: Vec<Verdict<S>>) {
+        assert_eq!(
+            verdicts.len(),
+            self.frontier.len(),
+            "one verdict per frontier node, in frontier order (commit-order invariant)"
+        );
+        let main = &mut self.main;
+        let active = &mut self.active;
+        let mut verdicts = verdicts.into_iter();
+        self.frontier.retain(|&v| {
+            match verdicts.next().or_invariant("one verdict per frontier node") {
+                Verdict::Active(s) => {
+                    main.write(v, &s);
+                    true
+                }
+                Verdict::Halted(s) => {
+                    main.write(v, &s);
+                    active[v.index()] = false;
+                    false
+                }
+            }
+        });
+    }
+
+    /// Commits the round: copies every frontier node's scratch row into
+    /// the main columns (in frontier order) and drops newly halted nodes
+    /// from the frontier (order preserved).
+    fn commit(&mut self) {
+        let main = &mut self.main;
+        let scratch = &self.scratch;
+        let scratch_halted = &self.scratch_halted;
+        let active = &mut self.active;
+        self.frontier.retain(|&v| {
+            main.copy_row_from(scratch, v);
+            if scratch_halted[v.index()] {
+                active[v.index()] = false;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Consumes the core into the run's outcome. The scratch columns are
+    /// dropped here, so a finished run holds exactly one set of lanes —
+    /// the peak-RSS half of the engine-scale story.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while nodes are still active.
+    pub fn finish(self) -> SoaOutcome<S> {
+        assert!(self.frontier.is_empty(), "finish() before quiescence");
+        SoaOutcome { columns: self.main, seeded: self.seeded, rounds: self.rounds }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +715,128 @@ mod tests {
         let mut core: ExecCore<u32> = ExecCore::new(1);
         core.seed(NodeId::new(0), Verdict::Active(1));
         core.commit_in_frontier_order(vec![Verdict::Active(9), Verdict::Active(8)]);
+    }
+
+    /// One-u32-lane test state for the codec-backed core.
+    #[derive(Debug, PartialEq)]
+    struct Lane(u32);
+
+    impl crate::StateCodec for Lane {
+        const U32_LANES: usize = 1;
+        const U64_LANES: usize = 0;
+        fn encode(&self, lanes32: &mut [u32], _lanes64: &mut [u64]) {
+            lanes32[0] = self.0;
+        }
+        fn decode(lanes32: &[u32], _lanes64: &[u64]) -> Self {
+            Lane(lanes32[0])
+        }
+    }
+
+    #[test]
+    fn soa_seeded_halted_nodes_never_enter_the_frontier() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(3);
+        core.seed(NodeId::new(0), Verdict::Halted(Lane(7)));
+        core.seed(NodeId::new(1), Verdict::Active(Lane(1)));
+        core.seed(NodeId::new(2), Verdict::Active(Lane(2)));
+        assert_eq!(core.frontier(), &[NodeId::new(1), NodeId::new(2)]);
+        assert!(!core.is_done());
+        assert_eq!(core.state(NodeId::new(0)), Lane(7));
+        assert!(!core.is_active(NodeId::new(0)));
+        assert!(core.is_active(NodeId::new(1)));
+    }
+
+    #[test]
+    fn soa_frontier_shrinks_in_order_and_halted_lanes_stay_frozen() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(4);
+        for i in 0..4 {
+            core.seed(NodeId::new(i), Verdict::Active(Lane(narrow_u32(i))));
+        }
+        core.begin_round(10);
+        core.step_snapshot(|v, own, _| {
+            if v.index() % 2 == 1 {
+                Verdict::Halted(Lane(own.0 * 2))
+            } else {
+                Verdict::Active(Lane(own.0 + 1))
+            }
+        });
+        assert_eq!(core.frontier(), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(core.state(NodeId::new(1)), Lane(2));
+        assert_eq!(core.state(NodeId::new(3)), Lane(6));
+        // Survivors read a halted neighbor's frozen lanes via the snapshot.
+        core.begin_round(10);
+        core.step_snapshot(|_, own, snap| {
+            Verdict::Halted(Lane(own.0 + snap.get(NodeId::new(1)).0))
+        });
+        assert!(core.is_done());
+        let out = core.finish();
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.state(NodeId::new(0)), Lane(3));
+        assert_eq!(out.state(NodeId::new(2)), Lane(5));
+        assert_eq!(out.try_state(NodeId::new(3)), Some(Lane(6)));
+    }
+
+    #[test]
+    fn soa_snapshot_reads_previous_round_lanes_mid_round() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(2);
+        core.seed(NodeId::new(0), Verdict::Active(Lane(10)));
+        core.seed(NodeId::new(1), Verdict::Active(Lane(20)));
+        core.begin_round(10);
+        core.step_snapshot(|v, _, snap| Verdict::Halted(snap.get(NodeId::new(1 - v.index()))));
+        let out = core.finish();
+        assert_eq!(out.state(NodeId::new(0)), Lane(20));
+        assert_eq!(out.state(NodeId::new(1)), Lane(10));
+    }
+
+    #[test]
+    fn soa_owned_stepping_consumes_decoded_states() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(3);
+        for i in 0..3 {
+            core.seed(NodeId::new(i), Verdict::Active(Lane(narrow_u32(i) + 1)));
+        }
+        core.begin_round(10);
+        core.step_owned(|_, own| Verdict::Halted(Lane(own.0 * 10)));
+        let out = core.finish();
+        assert_eq!(out.rounds, 1);
+        for i in 0..3 {
+            assert_eq!(out.state(NodeId::new(i)), Lane((narrow_u32(i) + 1) * 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seeded twice")]
+    fn soa_double_seeding_is_rejected() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(2);
+        core.seed(NodeId::new(0), Verdict::Active(Lane(1)));
+        core.seed(NodeId::new(0), Verdict::Halted(Lane(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn soa_round_budget_is_enforced() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(1);
+        core.seed(NodeId::new(0), Verdict::Active(Lane(0)));
+        core.begin_round(1);
+        core.step_snapshot(|_, own, _| Verdict::Active(Lane(own.0 + 1)));
+        core.begin_round(1);
+    }
+
+    #[test]
+    fn soa_zero_round_execution() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(1);
+        core.seed(NodeId::new(0), Verdict::Halted(Lane(5)));
+        assert!(core.is_done());
+        let out = core.finish();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.state(NodeId::new(0)), Lane(5));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    #[should_panic(expected = "commit-order invariant")]
+    fn soa_short_verdict_batches_are_rejected_in_every_profile() {
+        let mut core: ExecCoreSoa<Lane> = ExecCoreSoa::new(2);
+        core.seed(NodeId::new(0), Verdict::Active(Lane(1)));
+        core.seed(NodeId::new(1), Verdict::Active(Lane(2)));
+        core.commit_in_frontier_order(vec![Verdict::Active(Lane(9))]);
     }
 }

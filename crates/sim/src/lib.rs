@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 pub mod counters;
 mod engine;
 mod exec_core;
@@ -60,17 +61,20 @@ pub mod par;
 mod primes;
 mod rounds;
 
+pub use codec::{SoaOutcome, SoaSnapshot, StateCodec};
+pub use engine::{
+    run, run_soa, Ctx, ParSafe, RunOutcome, Snapshot, SoaAlgorithm, SyncAlgorithm, Verdict,
+};
 #[cfg(feature = "parallel")]
-pub use engine::run_with_threads;
-pub use engine::{run, Ctx, ParSafe, RunOutcome, Snapshot, SyncAlgorithm, Verdict};
-pub use exec_core::ExecCore;
+pub use engine::{run_soa_with_threads, run_with_threads};
+pub use exec_core::{ExecCore, ExecCoreSoa};
 pub use gather::{
     gather_rounds_at, highest_id_center, parallel_gather_rounds, sequential_gather_rounds,
     GatherPlan,
 };
 pub use logstar::{ceil_log, log_star_f64, log_star_u64};
+pub use msg_engine::{run_messages, run_messages_soa, MessageAlgorithm};
 #[cfg(feature = "parallel")]
-pub use msg_engine::run_messages_with_threads;
-pub use msg_engine::{run_messages, MessageAlgorithm};
+pub use msg_engine::{run_messages_soa_with_threads, run_messages_with_threads};
 pub use primes::{is_prime, next_prime};
 pub use rounds::{Phase, RoundReport};

@@ -31,8 +31,9 @@
 //!   committed sequentially in frontier order), exactly mirroring the
 //!   snapshot engine's threaded stepping path.
 
+use crate::codec::{SoaOutcome, StateCodec};
 use crate::engine::{Ctx, ParSafe, RunOutcome, Verdict};
-use crate::ExecCore;
+use crate::{ExecCore, ExecCoreSoa};
 use std::fmt::Debug;
 use treelocal_graph::{narrow_u32, widen_u32, widen_u64, NodeId, Topology};
 
@@ -178,6 +179,46 @@ impl<M> Router<M> {
     }
 }
 
+/// The send phase's view of a stepping core: liveness plus scoped access
+/// to a sender's current state. Implemented by both state layouts — the
+/// boxed [`ExecCore`] hands out its stored `&S`, the codec-backed
+/// [`ExecCoreSoa`] decodes the sender's lanes into a fresh value — so the
+/// routing code (and its halted-recipient invariant) is written once and
+/// tested once.
+trait SendView<S> {
+    /// The nodes that will receive this round, in deterministic order.
+    fn frontier(&self) -> &[NodeId];
+    /// Whether `v` is still running (halted recipients drop messages).
+    fn is_active(&self, v: NodeId) -> bool;
+    /// Calls `f` with node `v`'s current state.
+    fn with_state<R, F: FnOnce(&S) -> R>(&self, v: NodeId, f: F) -> R;
+}
+
+impl<S> SendView<S> for ExecCore<S> {
+    fn frontier(&self) -> &[NodeId] {
+        ExecCore::frontier(self)
+    }
+    fn is_active(&self, v: NodeId) -> bool {
+        ExecCore::is_active(self, v)
+    }
+    fn with_state<R, F: FnOnce(&S) -> R>(&self, v: NodeId, f: F) -> R {
+        f(self.state(v))
+    }
+}
+
+impl<S: StateCodec> SendView<S> for ExecCoreSoa<S> {
+    fn frontier(&self) -> &[NodeId] {
+        ExecCoreSoa::frontier(self)
+    }
+    fn is_active(&self, v: NodeId) -> bool {
+        ExecCoreSoa::is_active(self, v)
+    }
+    fn with_state<R, F: FnOnce(&S) -> R>(&self, v: NodeId, f: F) -> R {
+        let s = self.state(v);
+        f(&s)
+    }
+}
+
 /// Collects node `v`'s outgoing messages for this round into `bucket` as
 /// `(flat recipient slot, message)` pairs. Liveness and
 /// state come from `core`, so the halted-recipient rule below is driven by
@@ -187,16 +228,16 @@ impl<M> Router<M> {
 /// inboxes are dead (never cleared, never read again), so routing into
 /// them would be wasted writes that keep dead messages alive until the end
 /// of the run.
-fn outgoing_into<T: Topology, A: MessageAlgorithm<T>>(
+fn outgoing_into<T: Topology, A: MessageAlgorithm<T>, C: SendView<A::State>>(
     ctx: &Ctx<'_, T>,
     algo: &A,
     round: u64,
     v: NodeId,
-    core: &ExecCore<A::State>,
+    core: &C,
     router: &Router<A::Msg>,
     bucket: &mut Vec<(usize, A::Msg)>,
 ) {
-    let out = algo.send(ctx, v, round, core.state(v));
+    let out = core.with_state(v, |s| algo.send(ctx, v, round, s));
     assert_eq!(out.len(), ctx.topo.degree(v), "one message slot per port");
     let back = &router.back_port[router.range(v)];
     let nbrs = ctx.topo.neighbor_nodes(v);
@@ -217,11 +258,11 @@ fn outgoing_into<T: Topology, A: MessageAlgorithm<T>>(
 /// merges the buckets sequentially in frontier order; otherwise the nodes
 /// route inline through one reused scratch bucket — the same write
 /// sequence either way.
-fn send_phase<T, A>(
+fn send_phase<T, A, C>(
     ctx: &Ctx<'_, T>,
     algo: &A,
     round: u64,
-    core: &ExecCore<A::State>,
+    core: &C,
     router: &mut Router<A::Msg>,
     threads: usize,
 ) where
@@ -229,6 +270,7 @@ fn send_phase<T, A>(
     A: MessageAlgorithm<T> + ParSafe,
     A::State: ParSafe,
     A::Msg: ParSafe,
+    C: SendView<A::State> + ParSafe,
 {
     #[cfg(feature = "parallel")]
     if threads > 1 && core.frontier().len() >= crate::par::PAR_FRONTIER_MIN {
@@ -351,6 +393,92 @@ where
     A::Msg: ParSafe,
 {
     run_messages_on_pool(ctx, algo, max_rounds, threads)
+}
+
+/// Shared run loop of the codec-backed message entry points: the same
+/// send/receive cycle as [`run_messages_on_pool`] over an [`ExecCoreSoa`].
+/// The send phase is the identical generic routing code (liveness and
+/// sender states now come from the flat columns); the receive phase rides
+/// the codec core's owned stepping, consuming decoded states by value.
+fn run_messages_soa_on_pool<T, A>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    max_rounds: u64,
+    threads: usize,
+) -> SoaOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: StateCodec + ParSafe,
+    A::Msg: ParSafe,
+{
+    let mut core = ExecCoreSoa::new(ctx.topo.index_space());
+    for v in ctx.topo.nodes() {
+        core.seed(v, Verdict::Active(algo.init(ctx, v)));
+    }
+    let mut router: Router<A::Msg> = Router::new(ctx.topo);
+    while !core.is_done() {
+        let round = core.begin_round(max_rounds);
+        crate::counters::record_send_round(widen_u64(core.frontier().len()));
+        router.clear_frontier(core.frontier());
+        send_phase(ctx, algo, round, &core, &mut router, threads);
+        let recv = |v: NodeId, state: A::State| algo.receive(ctx, v, round, state, router.inbox(v));
+        #[cfg(feature = "parallel")]
+        core.step_owned_threads(threads, recv);
+        #[cfg(not(feature = "parallel"))]
+        core.step_owned(recv);
+    }
+    core.finish()
+}
+
+/// [`run_messages`] over codec-encoded state: the receive phase consumes
+/// states decoded from flat [`crate::SoaColumns`](crate::SoaSnapshot)
+/// lanes and the outcome keeps them flat. [`MessageAlgorithm::receive`]
+/// already takes the state by value, so any message algorithm whose state
+/// implements [`StateCodec`] runs on this path unchanged — outcomes,
+/// round counts and work counters are byte-identical to [`run_messages`]
+/// for every pool size (pinned by `tests/soa_equiv.rs`).
+///
+/// # Panics
+///
+/// As [`run_messages`].
+pub fn run_messages_soa<T, A>(ctx: &Ctx<'_, T>, algo: &A, max_rounds: u64) -> SoaOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: StateCodec + ParSafe,
+    A::Msg: ParSafe,
+{
+    #[cfg(feature = "parallel")]
+    {
+        run_messages_soa_with_threads(ctx, algo, max_rounds, crate::par::auto_threads())
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        run_messages_soa_on_pool(ctx, algo, max_rounds, 1)
+    }
+}
+
+/// [`run_messages_soa`] with an explicit pool size (1 forces sequential
+/// execution); every size produces the same [`SoaOutcome`].
+///
+/// # Panics
+///
+/// As [`run_messages`].
+#[cfg(feature = "parallel")]
+pub fn run_messages_soa_with_threads<T, A>(
+    ctx: &Ctx<'_, T>,
+    algo: &A,
+    max_rounds: u64,
+    threads: usize,
+) -> SoaOutcome<A::State>
+where
+    T: Topology + ParSafe,
+    A: MessageAlgorithm<T> + ParSafe,
+    A::State: StateCodec + ParSafe,
+    A::Msg: ParSafe,
+{
+    run_messages_soa_on_pool(ctx, algo, max_rounds, threads)
 }
 
 #[cfg(test)]

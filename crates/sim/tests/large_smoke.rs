@@ -23,7 +23,7 @@
 //! cargo test --release -p treelocal-sim --test large_smoke -- --ignored
 //! ```
 
-use treelocal_algos::{is_proper, run_linial};
+use treelocal_algos::{is_proper, run_linial, run_linial_boxed};
 use treelocal_core::mis_on_tree;
 use treelocal_gen::{caterpillar, random_tree};
 use treelocal_graph::{Graph, NodeId};
@@ -57,6 +57,31 @@ fn log_over_loglog(n: usize) -> f64 {
     l / l.log2()
 }
 
+/// Peak-RSS instrumentation for the state-layout comparison (Linux
+/// best-effort, silent no-op elsewhere). `reset_peak_rss` clears the
+/// kernel's high-water mark so the follow-up [`peak_rss_kb`] reading
+/// covers only the engine phase: the Prüfer generator's transients
+/// (~1 GB at this size) would otherwise set the process peak in both
+/// state modes and mask the difference between the flat SoA column and
+/// the boxed `Option<State>` double buffers. The CI smoke job runs the
+/// two Linial variants in separate processes and greps the lines these
+/// feed.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn report_engine_peak(name: &str, mode: &str) {
+    if let Some(kb) = peak_rss_kb() {
+        eprintln!("{name}: linial {mode} engine-phase peak RSS {kb} kB");
+    }
+}
+
 #[test]
 #[ignore = "ten-million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
 fn linial_on_ten_million_node_trees_stays_log_star() {
@@ -66,7 +91,9 @@ fn linial_on_ten_million_node_trees_stays_log_star() {
     for (name, tree) in ten_million_node_trees() {
         assert_eq!(tree.node_count(), N, "{name}");
         let ctx = Ctx::of(&tree);
+        reset_peak_rss();
         let lin = run_linial(&ctx);
+        report_engine_peak(name, "soa");
         assert!(is_proper(&tree, &lin.colors), "{name}: Linial output must be proper");
         let ls = log_star_u64(ctx.id_space);
         // Lin92: log* + O(1) stages, each one round. The schedule has
@@ -80,6 +107,37 @@ fn linial_on_ten_million_node_trees_stays_log_star() {
             ls + 2
         );
         assert!(lin.rounds >= 1, "{name}: ten million nodes cannot color in zero rounds");
+    }
+}
+
+/// The boxed-engine control for the test above: the same instances and
+/// assertions through [`run_linial_boxed`], which steps `Option<State>`
+/// double buffers instead of the codec's flat `u64` column. Only one
+/// engine runs per process, and both tests log their engine-phase peak
+/// RSS (see [`reset_peak_rss`]); the gap between the two logs is the
+/// state-layout memory win. Output equivalence between the engines is
+/// pinned byte-for-byte by the codec suites (`soa_equiv`, the in-crate
+/// `linial` tests), so this tier re-asserts only the paper-bound shape.
+#[test]
+#[ignore = "ten-million-node release-only smoke: cargo test --release -p treelocal-sim --test large_smoke -- --ignored"]
+fn linial_boxed_on_ten_million_node_trees_stays_log_star() {
+    if skip_in_debug() {
+        return;
+    }
+    for (name, tree) in ten_million_node_trees() {
+        let ctx = Ctx::of(&tree);
+        reset_peak_rss();
+        let lin = run_linial_boxed(&ctx);
+        report_engine_peak(name, "boxed");
+        assert!(is_proper(&tree, &lin.colors), "{name}: boxed Linial output must be proper");
+        let ls = log_star_u64(ctx.id_space);
+        assert!(
+            lin.rounds <= u64::from(ls) + 2,
+            "{name}: {} boxed Linial rounds exceeds log*({}) + 2 = {}",
+            lin.rounds,
+            ctx.id_space,
+            ls + 2
+        );
     }
 }
 

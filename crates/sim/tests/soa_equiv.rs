@@ -1,0 +1,298 @@
+//! Codec-vs-boxed equivalence: the flat SoA path (`run_soa`,
+//! `run_messages_soa`) is a storage-layout change, never a semantics
+//! change. A dual-trait toy algorithm — order-sensitive neighbor folds,
+//! staggered halting, some nodes halted at seed time — runs through both
+//! engines and must produce **byte-identical** outcomes: same final state
+//! of every node and same round count, for every pool size. A proptest
+//! suite additionally pins the codec round-trip law `decode(encode(s)) ==
+//! s` over the full lane value range (counter equivalence lives in
+//! `msg_counters.rs`, which serializes access to the process-wide
+//! counters).
+
+use proptest::prelude::*;
+use treelocal_graph::{NodeId, Topology};
+use treelocal_sim::{
+    run, run_messages, run_messages_soa, run_soa, Ctx, MessageAlgorithm, RunOutcome, Snapshot,
+    SoaAlgorithm, SoaSnapshot, StateCodec, SyncAlgorithm, Verdict,
+};
+
+/// Multi-lane state exercising both column axes and a sub-lane flag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MixState {
+    value: u64,
+    acc: u64,
+    ticks: u32,
+    parity: bool,
+}
+
+impl StateCodec for MixState {
+    const U32_LANES: usize = 2;
+    const U64_LANES: usize = 2;
+
+    fn encode(&self, lanes32: &mut [u32], lanes64: &mut [u64]) {
+        lanes32[0] = self.ticks;
+        lanes32[1] = u32::from(self.parity);
+        lanes64[0] = self.value;
+        lanes64[1] = self.acc;
+    }
+
+    fn decode(lanes32: &[u32], lanes64: &[u64]) -> Self {
+        MixState { value: lanes64[0], acc: lanes64[1], ticks: lanes32[0], parity: lanes32[1] != 0 }
+    }
+}
+
+/// The shared transition: an order-sensitive hash of neighbor states with
+/// halting staggered by identifier, plus nodes divisible by 11 halting at
+/// seed time (so frozen lanes sit inside the very first frontier).
+struct StaggeredMix;
+
+fn mix_init<T: Topology>(ctx: &Ctx<T>, v: NodeId) -> Verdict<MixState> {
+    let id = ctx.topo.local_id(v);
+    let state = MixState { value: id, acc: 0, ticks: 0, parity: id & 1 == 1 };
+    if id.is_multiple_of(11) {
+        Verdict::Halted(state)
+    } else {
+        Verdict::Active(state)
+    }
+}
+
+fn mix_step<T: Topology>(
+    ctx: &Ctx<T>,
+    v: NodeId,
+    round: u64,
+    own: MixState,
+    read: impl Fn(NodeId) -> MixState,
+) -> Verdict<MixState> {
+    let mut acc = own.acc;
+    for &w in ctx.topo.neighbor_nodes(v) {
+        let s = read(w);
+        acc = acc.wrapping_mul(0x100000001b3).wrapping_add(s.value ^ s.acc ^ u64::from(s.ticks));
+    }
+    let next = MixState {
+        value: own.value.wrapping_mul(6364136223846793005).wrapping_add(acc | 1),
+        acc,
+        ticks: own.ticks + 1,
+        parity: own.parity ^ (acc & 1 == 1),
+    };
+    if round >= 3 + ctx.topo.local_id(v) % 7 {
+        Verdict::Halted(next)
+    } else {
+        Verdict::Active(next)
+    }
+}
+
+impl<T: Topology> SyncAlgorithm<T> for StaggeredMix {
+    type State = MixState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<MixState> {
+        mix_init(ctx, v)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: &MixState,
+        prev: &Snapshot<'_, MixState>,
+    ) -> Verdict<MixState> {
+        mix_step(ctx, v, round, own.clone(), |w| prev.get(w).clone())
+    }
+}
+
+impl<T: Topology> SoaAlgorithm<T> for StaggeredMix {
+    type State = MixState;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Verdict<MixState> {
+        mix_init(ctx, v)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        own: MixState,
+        prev: &SoaSnapshot<'_, MixState>,
+    ) -> Verdict<MixState> {
+        mix_step(ctx, v, round, own, |w| prev.get(w))
+    }
+}
+
+/// Message-engine state: a running tally of everything heard, port-order
+/// sensitive so inbox assembly differences would change the answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Tally {
+    sum: u64,
+    seen: u32,
+}
+
+impl StateCodec for Tally {
+    const U32_LANES: usize = 1;
+    const U64_LANES: usize = 1;
+
+    fn encode(&self, lanes32: &mut [u32], lanes64: &mut [u64]) {
+        lanes32[0] = self.seen;
+        lanes64[0] = self.sum;
+    }
+
+    fn decode(lanes32: &[u32], lanes64: &[u64]) -> Self {
+        Tally { sum: lanes64[0], seen: lanes32[0] }
+    }
+}
+
+struct TallyAlgo;
+
+impl<T: Topology> MessageAlgorithm<T> for TallyAlgo {
+    type State = Tally;
+    type Msg = u64;
+
+    fn init(&self, ctx: &Ctx<T>, v: NodeId) -> Tally {
+        Tally { sum: ctx.topo.local_id(v), seen: 0 }
+    }
+
+    fn send(&self, ctx: &Ctx<T>, v: NodeId, round: u64, state: &Tally) -> Vec<Option<u64>> {
+        // Odd rounds stay silent on even ports, so inboxes mix `Some`/`None`.
+        (0..ctx.topo.degree(v))
+            .map(|port| (round & 1 == 0 || port & 1 == 1).then_some(state.sum ^ widen_port(port)))
+            .collect()
+    }
+
+    fn receive(
+        &self,
+        ctx: &Ctx<T>,
+        v: NodeId,
+        round: u64,
+        state: Tally,
+        inbox: &[Option<u64>],
+    ) -> Verdict<Tally> {
+        let mut sum = state.sum;
+        let mut seen = state.seen;
+        for m in inbox.iter().flatten() {
+            sum = sum.wrapping_mul(0x100000001b3).wrapping_add(*m);
+            seen += 1;
+        }
+        let next = Tally { sum, seen };
+        if round >= 2 + ctx.topo.local_id(v) % 5 {
+            Verdict::Halted(next)
+        } else {
+            Verdict::Active(next)
+        }
+    }
+}
+
+fn widen_port(port: usize) -> u64 {
+    u64::try_from(port).expect("port fits in u64")
+}
+
+fn assert_identical<S: PartialEq + std::fmt::Debug>(
+    boxed: &RunOutcome<S>,
+    soa: &RunOutcome<S>,
+    label: &str,
+) {
+    assert_eq!(boxed.rounds, soa.rounds, "round counts diverge: {label}");
+    assert_eq!(boxed.states, soa.states, "states diverge: {label}");
+}
+
+fn test_trees() -> Vec<(String, treelocal_graph::Graph)> {
+    let mut trees = vec![
+        ("path 2500".to_string(), treelocal_gen::path(2500)),
+        ("star 2500".to_string(), treelocal_gen::star(2500)),
+    ];
+    for seed in 0..4u64 {
+        let n = 1500 + 500 * usize::try_from(seed).expect("small seed");
+        trees.push((
+            format!("random n {n} seed {seed}"),
+            treelocal_gen::relabel(
+                &treelocal_gen::random_tree(n, seed),
+                treelocal_gen::IdStrategy::Permuted { seed },
+            ),
+        ));
+    }
+    trees
+}
+
+#[test]
+fn snapshot_soa_matches_boxed() {
+    for (label, tree) in test_trees() {
+        let ctx = Ctx::of(&tree);
+        let boxed = run(&ctx, &StaggeredMix, 100);
+        let soa = run_soa(&ctx, &StaggeredMix, 100);
+        assert_identical(&boxed, &soa.to_run_outcome(), &label);
+    }
+}
+
+#[test]
+fn message_soa_matches_boxed() {
+    for (label, tree) in test_trees() {
+        let ctx = Ctx::of(&tree);
+        let boxed = run_messages(&ctx, &TallyAlgo, 100);
+        let soa = run_messages_soa(&ctx, &TallyAlgo, 100);
+        assert_identical(&boxed, &soa.to_run_outcome(), &label);
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn snapshot_soa_every_pool_size_matches_boxed_sequential() {
+    use treelocal_sim::{par, run_soa_with_threads, run_with_threads};
+    for (label, tree) in test_trees() {
+        let ctx = Ctx::of(&tree);
+        let reference = run_with_threads(&ctx, &StaggeredMix, 100, 1);
+        for threads in [1usize, 2, 4, par::auto_threads()] {
+            let soa = run_soa_with_threads(&ctx, &StaggeredMix, 100, threads);
+            assert_identical(
+                &reference,
+                &soa.to_run_outcome(),
+                &format!("{label}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn message_soa_every_pool_size_matches_boxed_sequential() {
+    use treelocal_sim::{par, run_messages_soa_with_threads, run_messages_with_threads};
+    for (label, tree) in test_trees() {
+        let ctx = Ctx::of(&tree);
+        let reference = run_messages_with_threads(&ctx, &TallyAlgo, 100, 1);
+        for threads in [1usize, 2, 4, par::auto_threads()] {
+            let soa = run_messages_soa_with_threads(&ctx, &TallyAlgo, 100, threads);
+            assert_identical(
+                &reference,
+                &soa.to_run_outcome(),
+                &format!("{label}, {threads} threads"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The codec law: `decode(encode(s)) == s` for every reachable state,
+    /// including full-range lane values.
+    #[test]
+    fn mix_state_round_trips(
+        value in any::<u64>(),
+        acc in any::<u64>(),
+        ticks in any::<u32>(),
+        parity in any::<bool>(),
+    ) {
+        let s = MixState { value, acc, ticks, parity };
+        let mut lanes32 = [0u32; MixState::U32_LANES];
+        let mut lanes64 = [0u64; MixState::U64_LANES];
+        s.encode(&mut lanes32, &mut lanes64);
+        prop_assert_eq!(MixState::decode(&lanes32, &lanes64), s);
+    }
+
+    #[test]
+    fn tally_round_trips(sum in any::<u64>(), seen in any::<u32>()) {
+        let s = Tally { sum, seen };
+        let mut lanes32 = [0u32; Tally::U32_LANES];
+        let mut lanes64 = [0u64; Tally::U64_LANES];
+        s.encode(&mut lanes32, &mut lanes64);
+        prop_assert_eq!(Tally::decode(&lanes32, &lanes64), s);
+    }
+}
