@@ -19,6 +19,9 @@ use treelocal_sim::{
     Snapshot, SoaAlgorithm, SoaSnapshot, StateCodec, SyncAlgorithm, Verdict,
 };
 
+#[cfg(feature = "parallel")]
+use treelocal_sim::{run_messages_soa_with_threads, run_soa_with_threads};
+
 /// One stage of the reduction: colors `< c_in` become colors `< q²` using
 /// degree-`d` polynomials over `F_q`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -349,10 +352,34 @@ pub struct LinialOutcome {
 /// peak RSS flat. [`run_linial_boxed`] is the same algorithm on the boxed
 /// engine, kept as the equivalence/bench control.
 pub fn run_linial<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
+    linial_inner(ctx, None)
+}
+
+/// [`run_linial`] on a fixed worker-pool size: identical colors, bound and
+/// rounds for every pool size — the certificate matrix pins byte-identity
+/// of emitted certificates across `threads` ∈ {1, 2, 4, auto}.
+#[cfg(feature = "parallel")]
+pub fn run_linial_with_threads<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    threads: usize,
+) -> LinialOutcome {
+    linial_inner(ctx, Some(threads))
+}
+
+fn linial_inner<T: Topology + ParSafe>(ctx: &Ctx<'_, T>, threads: Option<usize>) -> LinialOutcome {
     let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
     let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
     let algo = LinialAlgo { schedule };
-    let out = run_soa(ctx, &algo, 200);
+    #[cfg(feature = "parallel")]
+    let out = match threads {
+        Some(t) => run_soa_with_threads(ctx, &algo, 200, t),
+        None => run_soa(ctx, &algo, 200),
+    };
+    #[cfg(not(feature = "parallel"))]
+    let out = {
+        let _ = threads;
+        run_soa(ctx, &algo, 200)
+    };
     LinialOutcome {
         colors: (0..out.index_space())
             .map(|i| out.try_state(NodeId::new(i)).map(|s| s.color))
@@ -386,6 +413,23 @@ pub fn run_linial_boxed<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcom
 /// no round-0 halt (a snapshot algorithm halts in `init`), so that case
 /// returns the identity coloring directly instead of burning a round.
 pub fn run_linial_messages<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOutcome {
+    linial_messages_inner(ctx, None)
+}
+
+/// [`run_linial_messages`] on a fixed worker-pool size — the message-engine
+/// half of the certificate pool-size matrix.
+#[cfg(feature = "parallel")]
+pub fn run_linial_messages_with_threads<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    threads: usize,
+) -> LinialOutcome {
+    linial_messages_inner(ctx, Some(threads))
+}
+
+fn linial_messages_inner<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    threads: Option<usize>,
+) -> LinialOutcome {
     let schedule = linial_schedule(ctx.id_space, ctx.max_degree);
     let final_bound = schedule.last().map_or(ctx.id_space.max(2), |s| s.q * s.q);
     if schedule.is_empty() {
@@ -396,7 +440,16 @@ pub fn run_linial_messages<T: Topology + ParSafe>(ctx: &Ctx<'_, T>) -> LinialOut
         return LinialOutcome { colors, final_bound, rounds: 0 };
     }
     let algo = LinialMsgAlgo { schedule };
-    let out = run_messages_soa(ctx, &algo, 200);
+    #[cfg(feature = "parallel")]
+    let out = match threads {
+        Some(t) => run_messages_soa_with_threads(ctx, &algo, 200, t),
+        None => run_messages_soa(ctx, &algo, 200),
+    };
+    #[cfg(not(feature = "parallel"))]
+    let out = {
+        let _ = threads;
+        run_messages_soa(ctx, &algo, 200)
+    };
     LinialOutcome {
         colors: (0..out.index_space())
             .map(|i| out.try_state(NodeId::new(i)).map(|s| s.color))

@@ -12,6 +12,9 @@ use treelocal_sim::{
     run_soa, Ctx, ParSafe, Snapshot, SoaAlgorithm, SoaSnapshot, StateCodec, SyncAlgorithm, Verdict,
 };
 
+#[cfg(feature = "parallel")]
+use treelocal_sim::run_soa_with_threads;
+
 /// Per-node MIS decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MisDecision {
@@ -173,8 +176,38 @@ pub fn mis_from_coloring<T: Topology + ParSafe>(
     colors: &[Option<u32>],
     m: u64,
 ) -> MisOutcome {
+    mis_inner(ctx, colors, m, None)
+}
+
+/// [`mis_from_coloring`] on a fixed worker-pool size — the sweep stage of
+/// the certificate pool-size matrix.
+#[cfg(feature = "parallel")]
+pub fn mis_from_coloring_with_threads<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    colors: &[Option<u32>],
+    m: u64,
+    threads: usize,
+) -> MisOutcome {
+    mis_inner(ctx, colors, m, Some(threads))
+}
+
+fn mis_inner<T: Topology + ParSafe>(
+    ctx: &Ctx<'_, T>,
+    colors: &[Option<u32>],
+    m: u64,
+    threads: Option<usize>,
+) -> MisOutcome {
     let algo = MisSweep { colors, m };
-    let out = run_soa(ctx, &algo, m + 2);
+    #[cfg(feature = "parallel")]
+    let out = match threads {
+        Some(t) => run_soa_with_threads(ctx, &algo, m + 2, t),
+        None => run_soa(ctx, &algo, m + 2),
+    };
+    #[cfg(not(feature = "parallel"))]
+    let out = {
+        let _ = threads;
+        run_soa(ctx, &algo, m + 2)
+    };
     MisOutcome {
         decisions: (0..out.index_space())
             .map(|i| {

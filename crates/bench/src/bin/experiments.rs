@@ -10,6 +10,9 @@
 //! # checkpointed run with progress on stderr; resume after a crash:
 //! cargo run --release -p treelocal-bench --bin experiments -- --journal j.jsonl all
 //! cargo run --release -p treelocal-bench --bin experiments -- --journal j.jsonl --resume all
+//! # emit checkable run certificates, then validate them independently:
+//! cargo run --release -p treelocal-bench --bin experiments -- --quick --emit-certs certs e2
+//! cargo run --release -p treelocal-check -- certs
 //! ```
 //!
 //! CSV copies are written to `target/experiments/`. Unknown flags are
@@ -25,8 +28,8 @@ use treelocal_bench::{
     ExperimentSize,
 };
 
-const USAGE: &str =
-    "usage: experiments [--quick] [--threads N] [--journal PATH [--resume]] [ids...|all]
+const USAGE: &str = "usage: experiments [--quick] [--threads N] [--journal PATH [--resume]]
+                   [--emit-certs DIR] [ids...|all]
 
 flags:
   --quick         run the small test-sized workloads instead of the Full sweeps
@@ -39,6 +42,10 @@ flags:
   --resume        skip jobs already completed in --journal PATH instead of
                   starting it fresh; the resumed tables are byte-identical
                   to an uninterrupted run
+  --emit-certs DIR
+                  additionally emit run certificates to DIR as .cert files
+                  (also --emit-certs=DIR); validate them with the
+                  `treelocal-check` binary
   --help          print this help
 
 ids: e1..e14, or `all` (default)";
@@ -49,6 +56,7 @@ struct Options {
     threads: Option<usize>,
     journal: Option<PathBuf>,
     resume: bool,
+    emit_certs: Option<PathBuf>,
     ids: Vec<&'static str>,
 }
 
@@ -58,6 +66,7 @@ fn parse(args: &[String]) -> Result<Options, (String, u8)> {
     let mut threads: Option<usize> = None;
     let mut journal: Option<PathBuf> = None;
     let mut resume = false;
+    let mut emit_certs: Option<PathBuf> = None;
     let mut requested: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -83,6 +92,23 @@ fn parse(args: &[String]) -> Result<Options, (String, u8)> {
             flag if flag.starts_with("--journal=") => {
                 journal = Some(PathBuf::from(&flag["--journal=".len()..]));
             }
+            "--emit-certs" => {
+                // Unlike --journal, a following flag does NOT count as the
+                // directory: `--emit-certs --quick` is a missing argument,
+                // not a directory named "--quick".
+                let value = it
+                    .next()
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or_else(|| ("--emit-certs needs a directory\n\n".to_string() + USAGE, 2))?;
+                emit_certs = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--emit-certs=") => {
+                let value = &flag["--emit-certs=".len()..];
+                if value.is_empty() {
+                    return Err(("--emit-certs needs a directory\n\n".to_string() + USAGE, 2));
+                }
+                emit_certs = Some(PathBuf::from(value));
+            }
             flag if flag.starts_with('-') => {
                 return Err((format!("unknown flag {flag:?}\n\n{USAGE}"), 2));
             }
@@ -104,7 +130,7 @@ fn parse(args: &[String]) -> Result<Options, (String, u8)> {
         known.into_iter().filter(|id| requested.iter().any(|r| r == id)).collect()
     };
     let size = if quick { ExperimentSize::Quick } else { ExperimentSize::Full };
-    Ok(Options { size, threads, journal, resume, ids })
+    Ok(Options { size, threads, journal, resume, emit_certs, ids })
 }
 
 fn parse_threads(value: &str) -> Result<usize, (String, u8)> {
@@ -126,6 +152,18 @@ fn main() -> ExitCode {
             return ExitCode::from(code);
         }
     };
+    // Fail on an unusable certificate directory before running anything:
+    // a minutes-long sweep must not discover an unwritable path at the end.
+    if let Some(dir) = &opts.emit_certs {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            let probe = dir.join(".write-probe");
+            std::fs::write(&probe, b"")?;
+            std::fs::remove_file(&probe)
+        }) {
+            eprintln!("--emit-certs: cannot write to {}: {e}\n\n{USAGE}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
     let threads = opts.threads.filter(|&n| n > 0).unwrap_or_else(auto_threads);
     if opts.threads.is_some() && cfg!(not(feature = "parallel")) {
         eprintln!("note: built without the `parallel` feature; experiments run sequentially");
@@ -158,6 +196,14 @@ fn main() -> ExitCode {
             }
         }
         println!("[{id} done in {:.1?}]\n", start.elapsed());
+    }
+    if let Some(dir) = &opts.emit_certs {
+        let suite = treelocal_bench::cert_suite(opts.size, opts.threads.filter(|&n| n > 0));
+        if let Err(e) = treelocal_bench::emit_certs(dir, &suite) {
+            eprintln!("--emit-certs: cannot write to {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("{} certificates written to {}", suite.len(), dir.display());
     }
     ExitCode::SUCCESS
 }
@@ -207,11 +253,40 @@ mod tests {
     }
 
     #[test]
+    fn emit_certs_flag_both_spellings() {
+        let o = parse(&argv(&["--quick", "--emit-certs", "target/certs", "e2"])).unwrap();
+        assert_eq!(o.emit_certs.as_deref(), Some(std::path::Path::new("target/certs")));
+        let o = parse(&argv(&["--emit-certs=target/certs"])).unwrap();
+        assert_eq!(o.emit_certs.as_deref(), Some(std::path::Path::new("target/certs")));
+    }
+
+    #[test]
+    fn emit_certs_without_directory_exits_2() {
+        // Trailing position: nothing follows the flag.
+        let (message, code) = parse(&argv(&["--quick", "--emit-certs"])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--emit-certs needs a directory"), "{message}");
+        assert!(message.contains(USAGE), "{message}");
+        // A following flag is NOT a directory — in any flag order.
+        let (message, code) = parse(&argv(&["--emit-certs", "--quick", "e2"])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--emit-certs needs a directory"), "{message}");
+        let (message, code) = parse(&argv(&["e2", "--emit-certs", "--journal", "j"])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--emit-certs needs a directory"), "{message}");
+        // The `=` spelling with an empty value is also a missing argument.
+        let (message, code) = parse(&argv(&["--emit-certs="])).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(message.contains("--emit-certs needs a directory"), "{message}");
+    }
+
+    #[test]
     fn defaults_are_unchanged() {
         let o = parse(&argv(&[])).unwrap();
         assert_eq!(o.size, ExperimentSize::Full);
         assert!(o.journal.is_none());
         assert!(!o.resume);
+        assert!(o.emit_certs.is_none());
         assert_eq!(o.ids.len(), 14);
     }
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 mod ablations;
+pub mod certs;
 pub mod driver;
 mod journal;
 mod lemmas;
@@ -16,6 +17,7 @@ mod shard;
 pub mod table;
 mod theorems;
 
+pub use certs::{cert_suite, emit_certs};
 pub use driver::{Driver, DriverConfig, JobOutput};
 pub use shard::{auto_threads, shard_map};
 pub use table::Table;

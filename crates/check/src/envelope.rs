@@ -1,0 +1,159 @@
+//! Round envelopes — the paper's complexity bounds as checkable limits.
+//!
+//! The checker recomputes each envelope from the instance alone (node
+//! count, identifier space, maximum degree), so a certificate cannot
+//! smuggle in a generous limit: claiming more rounds than the envelope
+//! allows is a rejection, independent of what the engine reported.
+//!
+//! `log_star` here is an independent reimplementation of the simulator's
+//! `log_star_u64` (same iterated-`log2` definition); the unit tests pin
+//! the same value table on both sides.
+
+use crate::error::CheckError;
+
+/// Iterated logarithm: how many times `log2` must be applied to `x`
+/// before the value drops to at most 1.
+pub fn log_star(x: u64) -> u64 {
+    // lint:allow(no-bare-index-cast): u64 → f64 for the real-valued
+    // iteration; precision loss cannot change the iteration count for the
+    // id spaces the workspace admits.
+    let mut v = x as f64;
+    let mut k = 0;
+    while v > 1.0 {
+        v = v.log2();
+        k += 1;
+    }
+    k
+}
+
+/// Smallest `k` with `2^k >= x` (and 0 for `x <= 1`).
+fn ceil_log2(x: u64) -> u64 {
+    u64::from(x.next_power_of_two().trailing_zeros())
+}
+
+/// Which round envelope a certificate claims to satisfy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Envelope {
+    /// No round claim (solver-produced solutions).
+    None,
+    /// Linial color reduction: `log*(id_space) + 2` rounds.
+    Linial,
+    /// The Theorem 12 MIS pipeline (Linial → KW halving → class sweep):
+    /// `log*(id_space) + O(Δ log Δ)` rounds, with the workspace's pinned
+    /// constants.
+    MisPipeline,
+}
+
+impl Envelope {
+    /// Short identifier used in the certificate format.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Envelope::None => "none",
+            Envelope::Linial => "linial",
+            Envelope::MisPipeline => "mis-pipeline",
+        }
+    }
+}
+
+/// The round limit for `envelope` on an instance with identifier space
+/// `id_space` and maximum degree `max_degree` (`None` = unbounded).
+pub fn envelope_limit(envelope: Envelope, id_space: u64, max_degree: usize) -> Option<u64> {
+    match envelope {
+        Envelope::None => None,
+        Envelope::Linial => Some(linial_limit(id_space)),
+        Envelope::MisPipeline => Some(mis_pipeline_limit(id_space, max_degree)),
+    }
+}
+
+/// Linial halts within `log*(id_space) + 2` rounds (one round per
+/// schedule stage; the stage count is pinned by the simulator's
+/// large-instance smoke test).
+fn linial_limit(id_space: u64) -> u64 {
+    log_star(id_space) + 2
+}
+
+/// The pipeline envelope, segment by segment:
+///
+/// * Linial: `log*(id_space) + 2` rounds, ending below
+///   `30·(Δ+1)² + 200` colors (the palette bound `crates/algos` pins);
+/// * KW halving: at most `ceil_log2(palette / (Δ+1)) + 1` phases of at
+///   most `Δ+1` rounds each, plus one round of slack per phase;
+/// * class sweep: one round per surviving color class, at most `Δ+2`.
+fn mis_pipeline_limit(id_space: u64, max_degree: usize) -> u64 {
+    let slots = treelocal_graph::widen_u64(max_degree) + 1;
+    let palette = 30 * slots * slots + 200;
+    let phases = ceil_log2(palette.div_ceil(slots)) + 1;
+    linial_limit(id_space) + slots * phases + phases + slots + 1
+}
+
+/// Rejects `rounds` claims above the instance's envelope.
+pub fn check_envelope(
+    envelope: Envelope,
+    id_space: u64,
+    max_degree: usize,
+    rounds: u64,
+) -> Result<(), CheckError> {
+    match envelope_limit(envelope, id_space, max_degree) {
+        Some(limit) if rounds > limit => Err(CheckError::EnvelopeExceeded { rounds, limit }),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The same pinned table as the simulator's `log_star_u64` tests —
+    /// the two independent implementations must agree.
+    #[test]
+    fn log_star_matches_the_simulators_table() {
+        for (x, want) in [
+            (0, 0),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (16, 3),
+            (17, 4),
+            (65536, 4),
+            (65537, 5),
+        ] {
+            assert_eq!(log_star(x), want, "log*({x})");
+        }
+    }
+
+    #[test]
+    fn ceil_log2_bounds() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn linial_envelope_rejects_claims_above_the_limit() {
+        let limit = envelope_limit(Envelope::Linial, 1 << 20, 4).unwrap();
+        assert_eq!(limit, log_star(1 << 20) + 2);
+        assert!(check_envelope(Envelope::Linial, 1 << 20, 4, limit).is_ok());
+        assert_eq!(
+            check_envelope(Envelope::Linial, 1 << 20, 4, limit + 1),
+            Err(CheckError::EnvelopeExceeded { rounds: limit + 1, limit })
+        );
+    }
+
+    #[test]
+    fn none_envelope_is_unbounded() {
+        assert_eq!(envelope_limit(Envelope::None, 1 << 20, 4), None);
+        assert!(check_envelope(Envelope::None, 1 << 20, 4, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn pipeline_envelope_dominates_its_segments() {
+        let limit = envelope_limit(Envelope::MisPipeline, 1 << 20, 6).unwrap();
+        assert!(limit > envelope_limit(Envelope::Linial, 1 << 20, 6).unwrap());
+        // Δ-monotone: a denser instance gets a larger budget.
+        assert!(envelope_limit(Envelope::MisPipeline, 1 << 20, 12).unwrap() > limit);
+    }
+}

@@ -10,11 +10,14 @@ use crate::lexer::{lex, Allow, Tok, TokKind};
 /// Crates in which iteration order can leak into committed outputs: the
 /// deterministic-LOCAL guarantee (byte-identical results across engines,
 /// pool sizes and crash-resume points) flows through these.
-const DETERMINISTIC_CRATES: &[&str] = &["graph", "sim", "algos", "decomp", "problems", "gen"];
+const DETERMINISTIC_CRATES: &[&str] =
+    &["graph", "sim", "algos", "decomp", "problems", "gen", "check"];
 
 /// Crates that adopted the u32 CSR index space (PR 6) and must route every
 /// index conversion through the typed helpers in `crates/graph/src/ids.rs`.
-const INDEX_CRATES: &[&str] = &["graph", "sim", "decomp"];
+/// `check` joins them from birth: a certificate checker that truncates an
+/// index silently would accept certificates it should reject.
+const INDEX_CRATES: &[&str] = &["graph", "sim", "decomp", "check"];
 
 /// The crate allowed to touch wall clocks (it measures things).
 const WALL_CLOCK_CRATE: &str = "bench";
@@ -29,7 +32,7 @@ pub struct Rule {
     /// Stable diagnostic id, e.g. `no-unordered-iteration`.
     pub id: &'static str,
     /// Human-readable scope, e.g. `graph, sim, algos, decomp, problems,
-    /// gen — all code`.
+    /// gen, check — all code`.
     pub scope: &'static str,
     /// Why the pattern is banned.
     pub rationale: &'static str,
@@ -40,13 +43,13 @@ pub struct Rule {
 pub const RULES: &[Rule] = &[
     Rule {
         id: "no-unordered-iteration",
-        scope: "graph, sim, algos, decomp, problems, gen — all code, tests included",
+        scope: "graph, sim, algos, decomp, problems, gen, check — all code, tests included",
         rationale: "HashMap/HashSet iteration order is seed- and platform-dependent and can leak \
                     into committed outputs; use index-keyed Vec scratch or BTreeMap/BTreeSet",
     },
     Rule {
         id: "no-bare-index-cast",
-        scope: "graph, sim, decomp — all code, tests included",
+        scope: "graph, sim, decomp, check — all code, tests included",
         rationale: "bare `as u32`/`as usize`/`as u64` bypasses the u32 CSR boundary; use \
                     widen_u32/widen_u64/narrow_u32 from treelocal_graph (or try_from + \
                     or_invariant for other widths)",
@@ -476,6 +479,23 @@ mod tests {
             vec![("no-unordered-iteration", 1)]
         );
         assert!(check_source(src, &ctx("bench", FileKind::Lib)).is_empty());
+    }
+
+    #[test]
+    fn check_crate_is_in_both_scope_tables() {
+        // The certificate checker is deterministic surface: hash iteration
+        // or a truncating index cast could accept a bad certificate.
+        let src = "use std::collections::HashMap;\nfn f(x: usize) -> u32 { x as u32 }\n";
+        assert_eq!(
+            ids(&check_source(src, &ctx("check", FileKind::Lib))),
+            vec![("no-unordered-iteration", 1), ("no-bare-index-cast", 2)]
+        );
+        // Tests included, as in the other deterministic crates.
+        let test_src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        assert_eq!(
+            ids(&check_source(test_src, &ctx("check", FileKind::Lib))),
+            vec![("no-unordered-iteration", 2)]
+        );
     }
 
     #[test]

@@ -80,6 +80,24 @@ fn bare_index_casts_in_a_csr_crate() {
 }
 
 #[test]
+fn unordered_iteration_in_the_check_crate() {
+    // The certificate checker joined the deterministic scope at birth:
+    // the same fixture diagnoses identically under crate name "check".
+    assert_fixture(
+        "unordered_iteration.rs",
+        "crates/check/src/fixture.rs",
+        "check",
+        FileKind::Lib,
+        false,
+    );
+}
+
+#[test]
+fn bare_index_casts_in_the_check_crate() {
+    assert_fixture("index_cast.rs", "crates/check/src/fixture.rs", "check", FileKind::Lib, false);
+}
+
+#[test]
 fn panic_family_in_library_code() {
     assert_fixture("panics.rs", "crates/core/src/fixture.rs", "core", FileKind::Lib, false);
 }

@@ -5,9 +5,22 @@
 //! verifiers check the classic side, so every end-to-end test can confirm
 //! both that the half-edge labeling satisfies `Π` *and* that its extraction
 //! is a textbook-valid solution.
+//!
+//! The `is_*` predicates are thin wrappers over `treelocal-check`'s typed
+//! rule table ([`check_solution`]) — one verifier implementation for the
+//! whole workspace, with these boolean forms kept for test ergonomics.
+//! The parity suite (`tests/rule_parity.rs`) pins each wrapper against the
+//! pre-refactor ad-hoc bodies on random instances.
 
 use crate::labeling::HalfEdgeLabeling;
+use treelocal_check::{
+    check_solution, independence, matching_validity, EdgePalette, Palette, Rule, Solution,
+};
 use treelocal_graph::{Graph, HalfEdge, NodeId};
+
+fn colors_u64(colors: &[u32]) -> Vec<u64> {
+    colors.iter().map(|&c| u64::from(c)).collect()
+}
 
 /// Per-node membership induced by a labeling: a node is a member iff all
 /// its half-edges carry `member_label`; isolated nodes count as members.
@@ -28,109 +41,77 @@ pub fn node_membership<L: Copy + Eq>(
         .collect()
 }
 
-/// Whether `in_set` is an independent set of `g`.
+/// Whether `in_set` (one flag per node) is an independent set of `g`.
 pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
-    g.edge_ids().all(|e| {
-        let [u, v] = g.endpoints(e);
-        !(in_set[u.index()] && in_set[v.index()])
-    })
+    independence(g, in_set).is_ok()
 }
 
 /// Whether `in_set` is a *maximal* independent set of `g`.
 pub fn is_valid_mis(g: &Graph, in_set: &[bool]) -> bool {
-    if in_set.len() != g.node_count() || !is_independent_set(g, in_set) {
-        return false;
-    }
-    // Maximality: every non-member has a member neighbor.
-    g.node_ids()
-        .all(|v| in_set[v.index()] || g.neighbor_nodes(v).iter().any(|&w| in_set[w.index()]))
+    check_solution(g, &Rule::Mis, &Solution::NodeSet(in_set.to_vec()), None).is_ok()
 }
 
 /// Whether `in_matching` is a matching of `g` (no two chosen edges share a
 /// node).
 pub fn is_matching(g: &Graph, in_matching: &[bool]) -> bool {
-    if in_matching.len() != g.edge_count() {
-        return false;
-    }
-    let mut used = vec![false; g.node_count()];
-    for e in g.edge_ids() {
-        if in_matching[e.index()] {
-            let [u, v] = g.endpoints(e);
-            if used[u.index()] || used[v.index()] {
-                return false;
-            }
-            used[u.index()] = true;
-            used[v.index()] = true;
-        }
-    }
-    true
+    matching_validity(g, in_matching, 1).is_ok()
 }
 
 /// Whether `in_matching` is a *maximal* matching of `g`.
 pub fn is_valid_maximal_matching(g: &Graph, in_matching: &[bool]) -> bool {
-    if !is_matching(g, in_matching) {
-        return false;
-    }
-    let mut matched = vec![false; g.node_count()];
-    for e in g.edge_ids() {
-        if in_matching[e.index()] {
-            let [u, v] = g.endpoints(e);
-            matched[u.index()] = true;
-            matched[v.index()] = true;
-        }
-    }
-    // Maximality: no edge with both endpoints unmatched.
-    g.edge_ids().all(|e| {
-        let [u, v] = g.endpoints(e);
-        matched[u.index()] || matched[v.index()]
-    })
+    let rule = Rule::Matching { b: 1 };
+    check_solution(g, &rule, &Solution::EdgeSet(in_matching.to_vec()), None).is_ok()
+}
+
+/// Whether `in_matching` is a valid (not necessarily maximal) `b`-matching
+/// of `g`: no node incident to more than `b` chosen edges.
+pub fn is_b_matching(g: &Graph, in_matching: &[bool], b: u32) -> bool {
+    matching_validity(g, in_matching, b).is_ok()
+}
+
+/// Whether `in_matching` is a *maximal* `b`-matching of `g`.
+pub fn is_valid_maximal_b_matching(g: &Graph, in_matching: &[bool], b: u32) -> bool {
+    let rule = Rule::Matching { b };
+    check_solution(g, &rule, &Solution::EdgeSet(in_matching.to_vec()), None).is_ok()
 }
 
 /// Whether `colors` is a proper vertex coloring of `g`.
 pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
-    colors.len() == g.node_count()
-        && colors.iter().all(|&c| c >= 1)
-        && g.edge_ids().all(|e| {
-            let [u, v] = g.endpoints(e);
-            colors[u.index()] != colors[v.index()]
-        })
+    let rule = Rule::Coloring { palette: Palette::Any };
+    check_solution(g, &rule, &Solution::NodeColors(colors_u64(colors)), None).is_ok()
 }
 
 /// Whether `colors` is a proper `(deg+1)`-coloring (`c(v) ≤ deg(v) + 1`).
 pub fn is_valid_deg_plus_one_coloring(g: &Graph, colors: &[u32]) -> bool {
-    is_proper_coloring(g, colors)
-        && g.node_ids().all(|v| colors[v.index()] as usize <= g.degree(v) + 1)
+    let rule = Rule::Coloring { palette: Palette::DegreePlusOne };
+    check_solution(g, &rule, &Solution::NodeColors(colors_u64(colors)), None).is_ok()
 }
 
 /// Whether `colors` is a proper coloring with every color at most
 /// `palette`.
 pub fn is_valid_palette_coloring(g: &Graph, colors: &[u32], palette: u32) -> bool {
-    is_proper_coloring(g, colors) && colors.iter().all(|&c| c <= palette)
+    let rule = Rule::Coloring { palette: Palette::AtMost(u64::from(palette)) };
+    check_solution(g, &rule, &Solution::NodeColors(colors_u64(colors)), None).is_ok()
 }
 
 /// Whether `colors` (per edge) is a proper edge coloring of `g`.
 pub fn is_proper_edge_coloring(g: &Graph, colors: &[u32]) -> bool {
-    if colors.len() != g.edge_count() || colors.iter().any(|&c| c < 1) {
-        return false;
-    }
-    g.node_ids().all(|v| {
-        let mut seen: Vec<u32> = g.neighbor_edges(v).iter().map(|&e| colors[e.index()]).collect();
-        seen.sort_unstable();
-        seen.windows(2).all(|w| w[0] != w[1])
-    })
+    let rule = Rule::EdgeColoring { palette: EdgePalette::Any };
+    check_solution(g, &rule, &Solution::EdgeColors(colors_u64(colors)), None).is_ok()
 }
 
 /// Whether `colors` is a proper edge coloring with
 /// `color(e) ≤ edge-degree(e) + 1` — the classic `(edge-degree+1)`-edge
 /// coloring.
 pub fn is_valid_edge_degree_coloring(g: &Graph, colors: &[u32]) -> bool {
-    is_proper_edge_coloring(g, colors)
-        && g.edge_ids().all(|e| colors[e.index()] as usize <= g.edge_degree(e) + 1)
+    let rule = Rule::EdgeColoring { palette: EdgePalette::EdgeDegreePlusOne };
+    check_solution(g, &rule, &Solution::EdgeColors(colors_u64(colors)), None).is_ok()
 }
 
 /// Whether `colors` is a proper edge coloring with palette `{1, ..., k}`.
 pub fn is_valid_palette_edge_coloring(g: &Graph, colors: &[u32], k: u32) -> bool {
-    is_proper_edge_coloring(g, colors) && colors.iter().all(|&c| c <= k)
+    let rule = Rule::EdgeColoring { palette: EdgePalette::AtMost(u64::from(k)) };
+    check_solution(g, &rule, &Solution::EdgeColors(colors_u64(colors)), None).is_ok()
 }
 
 /// Greedy reference MIS (by node order) — used as a baseline and by tests.

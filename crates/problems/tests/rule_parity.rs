@@ -1,0 +1,338 @@
+//! Oracle parity: the `classic::is_*` wrappers over `treelocal-check`'s
+//! rule table agree with the pre-refactor ad-hoc verifier bodies on random
+//! instances — valid solutions and arbitrary (mostly broken) ones alike.
+//!
+//! The `reference` module below carries the old bodies verbatim; they live
+//! only here, as the parity pin that let the library versions be deleted.
+
+use proptest::prelude::*;
+use treelocal_gen::{caterpillar, random_forest, random_tree, star};
+use treelocal_graph::{widen_u64, Graph};
+use treelocal_problems::classic;
+
+/// SplitMix64 finalizer: a cheap per-index value stream from one drawn
+/// seed (the vendored proptest subset has no `collection::vec` strategy).
+fn mix(seed: u64, i: usize) -> u64 {
+    let mut z = seed.wrapping_add(widen_u64(i).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_bools(seed: u64, len: usize) -> Vec<bool> {
+    (0..len).map(|i| mix(seed, i) & 1 == 1).collect()
+}
+
+fn random_small_colors(seed: u64, len: usize) -> Vec<u32> {
+    (0..len).map(|i| u32::try_from(mix(seed, i) % 6).unwrap()).collect()
+}
+
+/// The pre-refactor verifier bodies, kept as the parity oracle.
+mod reference {
+    use treelocal_graph::Graph;
+
+    pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+        g.edge_ids().all(|e| {
+            let [u, v] = g.endpoints(e);
+            !(in_set[u.index()] && in_set[v.index()])
+        })
+    }
+
+    pub fn is_valid_mis(g: &Graph, in_set: &[bool]) -> bool {
+        if in_set.len() != g.node_count() || !is_independent_set(g, in_set) {
+            return false;
+        }
+        g.node_ids()
+            .all(|v| in_set[v.index()] || g.neighbor_nodes(v).iter().any(|&w| in_set[w.index()]))
+    }
+
+    pub fn is_matching(g: &Graph, in_matching: &[bool]) -> bool {
+        if in_matching.len() != g.edge_count() {
+            return false;
+        }
+        let mut used = vec![false; g.node_count()];
+        for e in g.edge_ids() {
+            if in_matching[e.index()] {
+                let [u, v] = g.endpoints(e);
+                if used[u.index()] || used[v.index()] {
+                    return false;
+                }
+                used[u.index()] = true;
+                used[v.index()] = true;
+            }
+        }
+        true
+    }
+
+    pub fn is_valid_maximal_matching(g: &Graph, in_matching: &[bool]) -> bool {
+        if !is_matching(g, in_matching) {
+            return false;
+        }
+        let mut matched = vec![false; g.node_count()];
+        for e in g.edge_ids() {
+            if in_matching[e.index()] {
+                let [u, v] = g.endpoints(e);
+                matched[u.index()] = true;
+                matched[v.index()] = true;
+            }
+        }
+        g.edge_ids().all(|e| {
+            let [u, v] = g.endpoints(e);
+            matched[u.index()] || matched[v.index()]
+        })
+    }
+
+    /// Written fresh for this suite (the library never had an ad-hoc
+    /// b-matching verifier): saturation counting straight from the
+    /// definition.
+    pub fn is_b_matching(g: &Graph, in_matching: &[bool], b: u32) -> bool {
+        if in_matching.len() != g.edge_count() {
+            return false;
+        }
+        let saturation = saturations(g, in_matching);
+        saturation.iter().all(|&s| s <= b)
+    }
+
+    pub fn is_valid_maximal_b_matching(g: &Graph, in_matching: &[bool], b: u32) -> bool {
+        if !is_b_matching(g, in_matching, b) {
+            return false;
+        }
+        let saturation = saturations(g, in_matching);
+        // Maximal: no unchosen edge with both endpoints below capacity.
+        g.edge_ids().all(|e| {
+            let [u, v] = g.endpoints(e);
+            in_matching[e.index()] || saturation[u.index()] >= b || saturation[v.index()] >= b
+        })
+    }
+
+    fn saturations(g: &Graph, in_matching: &[bool]) -> Vec<u32> {
+        let mut saturation = vec![0u32; g.node_count()];
+        for e in g.edge_ids() {
+            if in_matching[e.index()] {
+                let [u, v] = g.endpoints(e);
+                saturation[u.index()] += 1;
+                saturation[v.index()] += 1;
+            }
+        }
+        saturation
+    }
+
+    pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
+        colors.len() == g.node_count()
+            && colors.iter().all(|&c| c >= 1)
+            && g.edge_ids().all(|e| {
+                let [u, v] = g.endpoints(e);
+                colors[u.index()] != colors[v.index()]
+            })
+    }
+
+    pub fn is_valid_deg_plus_one_coloring(g: &Graph, colors: &[u32]) -> bool {
+        is_proper_coloring(g, colors)
+            && g.node_ids().all(|v| colors[v.index()] as usize <= g.degree(v) + 1)
+    }
+
+    pub fn is_valid_palette_coloring(g: &Graph, colors: &[u32], palette: u32) -> bool {
+        is_proper_coloring(g, colors) && colors.iter().all(|&c| c <= palette)
+    }
+
+    pub fn is_proper_edge_coloring(g: &Graph, colors: &[u32]) -> bool {
+        if colors.len() != g.edge_count() || colors.iter().any(|&c| c < 1) {
+            return false;
+        }
+        g.node_ids().all(|v| {
+            let mut seen: Vec<u32> =
+                g.neighbor_edges(v).iter().map(|&e| colors[e.index()]).collect();
+            seen.sort_unstable();
+            seen.windows(2).all(|w| w[0] != w[1])
+        })
+    }
+
+    pub fn is_valid_edge_degree_coloring(g: &Graph, colors: &[u32]) -> bool {
+        is_proper_edge_coloring(g, colors)
+            && g.edge_ids().all(|e| colors[e.index()] as usize <= g.edge_degree(e) + 1)
+    }
+
+    pub fn is_valid_palette_edge_coloring(g: &Graph, colors: &[u32], k: u32) -> bool {
+        is_proper_edge_coloring(g, colors) && colors.iter().all(|&c| c <= k)
+    }
+}
+
+/// The graph zoo: Prüfer-random trees, caterpillars, stars, and random
+/// forests (the semigraph restrictions — runs on a forest restrict to each
+/// component exactly as the paper's semigraph machinery does).
+fn family(which: u8, size: usize, seed: u64) -> Graph {
+    match which % 4 {
+        0 => random_tree(size.max(2), seed),
+        1 => caterpillar(size.max(1), 2),
+        2 => star(size.max(2)),
+        _ => random_forest(size.max(2), 0.6, seed),
+    }
+}
+
+/// Greedy proper `(deg+1)`-coloring by node order (valid by construction).
+fn greedy_coloring(g: &Graph) -> Vec<u32> {
+    let mut colors = vec![0u32; g.node_count()];
+    for v in g.node_ids() {
+        let mut used: Vec<u32> =
+            g.neighbor_nodes(v).iter().map(|&w| colors[w.index()]).filter(|&c| c > 0).collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut c = 1u32;
+        for u in used {
+            if u == c {
+                c += 1;
+            } else if u > c {
+                break;
+            }
+        }
+        colors[v.index()] = c;
+    }
+    colors
+}
+
+/// Greedy proper edge coloring by edge order — each edge gets a color
+/// `≤ edge_degree + 1`, so it is also a valid edge-degree coloring.
+fn greedy_edge_coloring(g: &Graph) -> Vec<u32> {
+    let mut colors = vec![0u32; g.edge_count()];
+    for e in g.edge_ids() {
+        let [u, v] = g.endpoints(e);
+        let mut used: Vec<u32> = g
+            .neighbor_edges(u)
+            .iter()
+            .chain(g.neighbor_edges(v).iter())
+            .map(|&f| colors[f.index()])
+            .filter(|&c| c > 0)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut c = 1u32;
+        for x in used {
+            if x == c {
+                c += 1;
+            } else if x > c {
+                break;
+            }
+        }
+        colors[e.index()] = c;
+    }
+    colors
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn node_set_predicates_match_the_reference(
+        which in 0u8..4,
+        size in 2usize..20,
+        seed in any::<u64>(),
+        bitseed in any::<u64>(),
+    ) {
+        let g = family(which, size, seed);
+        let in_set = random_bools(bitseed, g.node_count());
+        prop_assert_eq!(
+            classic::is_independent_set(&g, &in_set),
+            reference::is_independent_set(&g, &in_set)
+        );
+        prop_assert_eq!(classic::is_valid_mis(&g, &in_set), reference::is_valid_mis(&g, &in_set));
+    }
+
+    #[test]
+    fn matching_predicates_match_the_reference(
+        which in 0u8..4,
+        size in 2usize..20,
+        seed in any::<u64>(),
+        bitseed in any::<u64>(),
+        b in 1u32..4,
+    ) {
+        let g = family(which, size, seed);
+        let chosen = random_bools(bitseed, g.edge_count());
+        prop_assert_eq!(classic::is_matching(&g, &chosen), reference::is_matching(&g, &chosen));
+        prop_assert_eq!(
+            classic::is_valid_maximal_matching(&g, &chosen),
+            reference::is_valid_maximal_matching(&g, &chosen)
+        );
+        prop_assert_eq!(
+            classic::is_b_matching(&g, &chosen, b),
+            reference::is_b_matching(&g, &chosen, b)
+        );
+        prop_assert_eq!(
+            classic::is_valid_maximal_b_matching(&g, &chosen, b),
+            reference::is_valid_maximal_b_matching(&g, &chosen, b)
+        );
+    }
+
+    #[test]
+    fn coloring_predicates_match_the_reference(
+        which in 0u8..4,
+        size in 2usize..20,
+        seed in any::<u64>(),
+        colorseed in any::<u64>(),
+        k in 1u32..5,
+    ) {
+        let g = family(which, size, seed);
+        let colors = random_small_colors(colorseed, g.node_count());
+        prop_assert_eq!(
+            classic::is_proper_coloring(&g, &colors),
+            reference::is_proper_coloring(&g, &colors)
+        );
+        prop_assert_eq!(
+            classic::is_valid_deg_plus_one_coloring(&g, &colors),
+            reference::is_valid_deg_plus_one_coloring(&g, &colors)
+        );
+        prop_assert_eq!(
+            classic::is_valid_palette_coloring(&g, &colors, k),
+            reference::is_valid_palette_coloring(&g, &colors, k)
+        );
+    }
+
+    #[test]
+    fn edge_coloring_predicates_match_the_reference(
+        which in 0u8..4,
+        size in 2usize..20,
+        seed in any::<u64>(),
+        colorseed in any::<u64>(),
+        k in 1u32..5,
+    ) {
+        let g = family(which, size, seed);
+        let colors = random_small_colors(colorseed, g.edge_count());
+        prop_assert_eq!(
+            classic::is_proper_edge_coloring(&g, &colors),
+            reference::is_proper_edge_coloring(&g, &colors)
+        );
+        prop_assert_eq!(
+            classic::is_valid_edge_degree_coloring(&g, &colors),
+            reference::is_valid_edge_degree_coloring(&g, &colors)
+        );
+        prop_assert_eq!(
+            classic::is_valid_palette_edge_coloring(&g, &colors, k),
+            reference::is_valid_palette_edge_coloring(&g, &colors, k)
+        );
+    }
+
+    #[test]
+    fn valid_solutions_agree_and_are_accepted(
+        which in 0u8..4,
+        size in 2usize..20,
+        seed in any::<u64>(),
+    ) {
+        let g = family(which, size, seed);
+        let order: Vec<_> = g.node_ids().collect();
+        let mis = classic::greedy_mis(&g, &order);
+        prop_assert!(classic::is_valid_mis(&g, &mis));
+        prop_assert!(reference::is_valid_mis(&g, &mis));
+
+        let eorder: Vec<_> = g.edge_ids().collect();
+        let matching = classic::greedy_matching(&g, &eorder);
+        prop_assert!(classic::is_valid_maximal_matching(&g, &matching));
+        prop_assert!(reference::is_valid_maximal_matching(&g, &matching));
+
+        let colors = greedy_coloring(&g);
+        prop_assert!(classic::is_valid_deg_plus_one_coloring(&g, &colors));
+        prop_assert!(reference::is_valid_deg_plus_one_coloring(&g, &colors));
+
+        let ecolors = greedy_edge_coloring(&g);
+        prop_assert!(classic::is_valid_edge_degree_coloring(&g, &ecolors));
+        prop_assert!(reference::is_valid_edge_degree_coloring(&g, &ecolors));
+    }
+}

@@ -55,6 +55,7 @@ pub struct ExecCore<S> {
 impl<S> ExecCore<S> {
     /// An empty core over `index_space` state slots.
     pub fn new(index_space: usize) -> Self {
+        crate::transcript::segment_start();
         let mut states = Vec::with_capacity(index_space);
         states.resize_with(index_space, || None);
         let mut scratch = Vec::with_capacity(index_space);
@@ -88,6 +89,7 @@ impl<S> ExecCore<S> {
             }
             Verdict::Halted(s) => {
                 self.states[v.index()] = Some(s);
+                crate::transcript::record_halt(v, 0);
             }
         }
     }
@@ -136,6 +138,7 @@ impl<S> ExecCore<S> {
             self.frontier.len()
         );
         crate::counters::record_round(widen_u64(self.frontier.len()));
+        crate::transcript::record_round(&self.frontier);
         self.rounds += 1;
         self.rounds
     }
@@ -196,6 +199,7 @@ impl<S> ExecCore<S> {
         );
         let states = &mut self.states;
         let active = &mut self.active;
+        let rounds = self.rounds;
         let mut verdicts = verdicts.into_iter();
         self.frontier.retain(|&v| {
             match verdicts.next().or_invariant("one verdict per frontier node") {
@@ -206,6 +210,7 @@ impl<S> ExecCore<S> {
                 Verdict::Halted(s) => {
                     states[v.index()] = Some(s);
                     active[v.index()] = false;
+                    crate::transcript::record_halt(v, rounds);
                     false
                 }
             }
@@ -263,6 +268,7 @@ impl<S> ExecCore<S> {
         let states = &mut self.states;
         let scratch = &mut self.scratch;
         let active = &mut self.active;
+        let rounds = self.rounds;
         self.frontier.retain(|&v| {
             let i = v.index();
             match scratch[i].take().or_invariant("frontier node was stepped this round") {
@@ -273,6 +279,7 @@ impl<S> ExecCore<S> {
                 Verdict::Halted(s) => {
                     states[i] = Some(s);
                     active[i] = false;
+                    crate::transcript::record_halt(v, rounds);
                     false
                 }
             }
@@ -334,6 +341,7 @@ pub struct ExecCoreSoa<S: StateCodec> {
 impl<S: StateCodec> ExecCoreSoa<S> {
     /// An empty codec-backed core over `index_space` state slots.
     pub fn new(index_space: usize) -> Self {
+        crate::transcript::segment_start();
         ExecCoreSoa {
             main: SoaColumns::new(index_space),
             scratch: SoaColumns::new(index_space),
@@ -364,6 +372,7 @@ impl<S: StateCodec> ExecCoreSoa<S> {
             }
             Verdict::Halted(s) => {
                 self.main.write(v, &s);
+                crate::transcript::record_halt(v, 0);
             }
         }
     }
@@ -412,6 +421,7 @@ impl<S: StateCodec> ExecCoreSoa<S> {
             self.frontier.len()
         );
         crate::counters::record_round(widen_u64(self.frontier.len()));
+        crate::transcript::record_round(&self.frontier);
         self.rounds += 1;
         self.rounds
     }
@@ -479,6 +489,7 @@ impl<S: StateCodec> ExecCoreSoa<S> {
     {
         let main = &mut self.main;
         let active = &mut self.active;
+        let rounds = self.rounds;
         self.frontier.retain(|&v| match step(v, main.read(v)) {
             Verdict::Active(s) => {
                 main.write(v, &s);
@@ -487,6 +498,7 @@ impl<S: StateCodec> ExecCoreSoa<S> {
             Verdict::Halted(s) => {
                 main.write(v, &s);
                 active[v.index()] = false;
+                crate::transcript::record_halt(v, rounds);
                 false
             }
         });
@@ -522,6 +534,7 @@ impl<S: StateCodec> ExecCoreSoa<S> {
         );
         let main = &mut self.main;
         let active = &mut self.active;
+        let rounds = self.rounds;
         let mut verdicts = verdicts.into_iter();
         self.frontier.retain(|&v| {
             match verdicts.next().or_invariant("one verdict per frontier node") {
@@ -532,6 +545,7 @@ impl<S: StateCodec> ExecCoreSoa<S> {
                 Verdict::Halted(s) => {
                     main.write(v, &s);
                     active[v.index()] = false;
+                    crate::transcript::record_halt(v, rounds);
                     false
                 }
             }
@@ -546,10 +560,12 @@ impl<S: StateCodec> ExecCoreSoa<S> {
         let scratch = &self.scratch;
         let scratch_halted = &self.scratch_halted;
         let active = &mut self.active;
+        let rounds = self.rounds;
         self.frontier.retain(|&v| {
             main.copy_row_from(scratch, v);
             if scratch_halted[v.index()] {
                 active[v.index()] = false;
+                crate::transcript::record_halt(v, rounds);
                 false
             } else {
                 true

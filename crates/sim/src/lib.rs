@@ -60,6 +60,7 @@ mod msg_engine;
 pub mod par;
 mod primes;
 mod rounds;
+pub mod transcript;
 
 pub use codec::{SoaOutcome, SoaSnapshot, StateCodec};
 pub use engine::{

@@ -13,6 +13,7 @@
 //! * [`graph`] — graphs, semi-graphs, half-edges,
 //! * [`gen`] — seeded workload generators,
 //! * [`sim`] — the LOCAL-model simulator,
+//! * [`check`] — the engine-blind certificate checker,
 //! * [`problems`] — node-edge-checkable problems and list variants,
 //! * [`algos`] — truly local algorithms (Linial, Cole–Vishkin, MIS, ...),
 //! * [`decomp`] — the two decompositions with lemma checkers,
@@ -34,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub use treelocal_algos as algos;
+pub use treelocal_check as check;
 pub use treelocal_core as core;
 pub use treelocal_decomp as decomp;
 pub use treelocal_gen as gen;
