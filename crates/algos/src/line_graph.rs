@@ -14,7 +14,7 @@
 //! real simulation would.
 
 use treelocal_graph::OrInvariant;
-use treelocal_graph::{EdgeId, Graph, GraphBuilder, SemiGraph};
+use treelocal_graph::{narrow_u32, widen_u32, EdgeId, FnEdgeSource, Graph, SemiGraph};
 
 /// The line graph of a semi-graph's rank-2 edges, with index maps.
 #[derive(Clone, Debug)]
@@ -52,23 +52,33 @@ pub fn line_graph(s: &SemiGraph<'_>) -> LineGraph {
     let mut lnode_of = vec![None; parent.edge_count()];
     for &e in s.edges() {
         if s.rank(e) == 2 {
-            lnode_of[e.index()] = Some(edge_of.len() as u32);
+            lnode_of[e.index()] = Some(narrow_u32(edge_of.len()));
             edge_of.push(e);
         }
     }
-    let mut b = GraphBuilder::new(edge_of.len());
     // Adjacent rank-2 edges share exactly one endpoint in a simple graph,
-    // so enumerating per-node pairs yields each line edge once.
-    for &v in s.nodes() {
-        let inc = s.underlying_neighbor_edges(v);
-        for i in 0..inc.len() {
-            for j in (i + 1)..inc.len() {
-                let a = lnode_of[inc[i].index()].or_invariant("rank-2 edge is a line node");
-                let c = lnode_of[inc[j].index()].or_invariant("rank-2 edge is a line node");
-                b.add_edge(a as usize, c as usize);
+    // so enumerating per-node pairs yields each line edge once. Stream
+    // those pairs straight into the builder — the line graph of a dense
+    // neighborhood has Θ(Σ deg²) edges, and materializing them first was
+    // the largest transient of this construction.
+    let line_edges: usize = s
+        .nodes()
+        .iter()
+        .map(|&v| s.underlying_neighbor_edges(v).len())
+        .map(|d| d * d.saturating_sub(1) / 2)
+        .sum();
+    let src = FnEdgeSource::new(edge_of.len(), line_edges, |emit| {
+        for &v in s.nodes() {
+            let inc = s.underlying_neighbor_edges(v);
+            for i in 0..inc.len() {
+                for j in (i + 1)..inc.len() {
+                    let a = lnode_of[inc[i].index()].or_invariant("rank-2 edge is a line node");
+                    let c = lnode_of[inc[j].index()].or_invariant("rank-2 edge is a line node");
+                    emit(widen_u32(a), widen_u32(c));
+                }
             }
         }
-    }
+    });
     let ids: Vec<u64> = edge_of
         .iter()
         .map(|&e| {
@@ -81,9 +91,8 @@ pub fn line_graph(s: &SemiGraph<'_>) -> LineGraph {
             a * id_space + c
         })
         .collect();
-    let mut builder = b;
-    builder.local_ids(ids);
-    let graph = builder.finish().or_invariant("line graph of a simple graph is simple");
+    let graph = Graph::from_edge_source_with_ids(&src, ids)
+        .or_invariant("line graph of a simple graph is simple");
     LineGraph { graph, edge_of, lnode_of, id_space: id_space * id_space }
 }
 

@@ -18,28 +18,31 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use treelocal_gen::caterpillar;
-use treelocal_graph::{Graph, NodeId};
+use treelocal_graph::{FnEdgeSource, Graph, NodeId};
 use treelocal_sim::{gather_rounds_at, GatherPlan};
 
 /// A forest of `count` disjoint caterpillars (spine `spine`, `legs` legs
-/// per spine node) as one graph — the many-components gather workload.
+/// per spine node) as one graph — the many-components gather workload,
+/// streamed arithmetically so the million-node sizes never materialize an
+/// edge list.
 fn caterpillar_forest(count: usize, spine: usize, legs: usize) -> Graph {
     let per = spine * (1 + legs);
-    let mut edges = Vec::with_capacity(count * (per - 1));
-    for c in 0..count {
-        let base = c * per;
-        for i in 0..spine - 1 {
-            edges.push((base + i, base + i + 1));
-        }
-        let mut next = base + spine;
-        for s in 0..spine {
-            for _ in 0..legs {
-                edges.push((base + s, next));
-                next += 1;
+    let src = FnEdgeSource::new(count * per, count * (per - 1), move |emit| {
+        for c in 0..count {
+            let base = c * per;
+            for i in 0..spine - 1 {
+                emit(base + i, base + i + 1);
+            }
+            let mut next = base + spine;
+            for s in 0..spine {
+                for _ in 0..legs {
+                    emit(base + s, next);
+                    next += 1;
+                }
             }
         }
-    }
-    Graph::from_edges(count * per, &edges).expect("disjoint caterpillars form a simple forest")
+    });
+    Graph::from_edge_source(&src).expect("disjoint caterpillars form a simple forest")
 }
 
 /// Every node costed as a gather center, one sparse BFS each (the

@@ -232,12 +232,13 @@ impl Driver {
         }
         let started = Instant::now();
         let counters0 = treelocal_sim::counters::snapshot();
+        let ingested0 = treelocal_sim::counters::bytes_ingested();
         let done = AtomicUsize::new(0);
         let fresh = shard_map(self.threads, &pending, |&i| {
             let out = f(&jobs[i]);
             self.checkpoint(run, i, &out);
             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-            self.report(run, skipped + finished, total, finished, started, counters0);
+            self.report(run, skipped + finished, total, finished, started, counters0, ingested0);
             out
         });
         self.executed.fetch_add(fresh.len(), Ordering::Relaxed);
@@ -267,6 +268,7 @@ impl Driver {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         run: &str,
@@ -275,12 +277,14 @@ impl Driver {
         fresh_done: usize,
         started: Instant,
         counters0: (u64, u64, u64),
+        ingested0: u64,
     ) {
         if !self.progress {
             return;
         }
         let elapsed = started.elapsed().as_secs_f64();
         let (rounds, steps, sends) = treelocal_sim::counters::snapshot();
+        let ingested = treelocal_sim::counters::bytes_ingested();
         eprintln!(
             "{}",
             progress_line(
@@ -292,6 +296,7 @@ impl Driver {
                 rounds.saturating_sub(counters0.0),
                 steps.saturating_sub(counters0.1),
                 sends.saturating_sub(counters0.2),
+                ingested.saturating_sub(ingested0),
             )
         );
     }
@@ -312,6 +317,7 @@ fn progress_line(
     rounds: u64,
     steps: u64,
     sends: u64,
+    ingested: u64,
 ) -> String {
     // A monotonic clock cannot hand back a non-finite or negative reading,
     // but the line must stay printable even if the caller's arithmetic ever
@@ -336,9 +342,17 @@ fn progress_line(
         0 => String::new(),
         d => format!(", +{d} send-steps"),
     };
+    // Construction work (streamed endpoint bytes) is invisible to the
+    // round/step counters; generation-heavy suites would otherwise show a
+    // silent stall while graphs build. Reported only when a job actually
+    // built something, like send-steps.
+    let ingest_part = match ingested {
+        0 => String::new(),
+        b => format!(", +{:.1} MB ingested", b as f64 / 1e6),
+    };
     format!(
-        "[{run}] {done}/{total} jobs | +{rounds} rounds, +{steps} node-steps{send_part} | \
-         {elapsed:.1}s elapsed{eta}"
+        "[{run}] {done}/{total} jobs | +{rounds} rounds, +{steps} node-steps{send_part}\
+         {ingest_part} | {elapsed:.1}s elapsed{eta}"
     )
 }
 
@@ -452,7 +466,7 @@ mod tests {
     fn progress_line_first_job_has_no_eta() {
         // Nothing fresh has finished yet: estimating from zero completed
         // jobs would divide by zero.
-        let line = progress_line("demo", 0, 8, 0, 0.0, 0, 0, 0);
+        let line = progress_line("demo", 0, 8, 0, 0.0, 0, 0, 0, 0);
         assert_eq!(line, "[demo] 0/8 jobs | +0 rounds, +0 node-steps | 0.0s elapsed");
         assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
     }
@@ -461,7 +475,7 @@ mod tests {
     fn progress_line_zero_elapsed_renders_a_zero_eta() {
         // One job done in (rounded) zero seconds: the estimate is a finite
         // zero, not NaN.
-        let line = progress_line("demo", 1, 8, 1, 0.0, 3, 40, 0);
+        let line = progress_line("demo", 1, 8, 1, 0.0, 3, 40, 0, 0);
         assert_eq!(line, "[demo] 1/8 jobs | +3 rounds, +40 node-steps | 0.0s elapsed, ~0.0s left");
     }
 
@@ -469,7 +483,7 @@ mod tests {
     fn progress_line_resumed_all_done_has_no_eta() {
         // A resume that replayed every job from the journal reports the
         // final count with no fresh completions and no estimate.
-        let line = progress_line("demo", 8, 8, 0, 0.2, 0, 0, 0);
+        let line = progress_line("demo", 8, 8, 0, 0.2, 0, 0, 0, 0);
         assert_eq!(line, "[demo] 8/8 jobs | +0 rounds, +0 node-steps | 0.2s elapsed");
     }
 
@@ -477,14 +491,14 @@ mod tests {
     fn progress_line_resumed_tail_estimates_from_fresh_jobs_only() {
         // 6 of 8 replayed, 1 fresh job took 2s: the 1 remaining job is
         // estimated from the fresh rate (2s), not the replayed total.
-        let line = progress_line("demo", 7, 8, 1, 2.0, 5, 100, 0);
+        let line = progress_line("demo", 7, 8, 1, 2.0, 5, 100, 0, 0);
         assert!(line.ends_with("~2.0s left"), "{line}");
     }
 
     #[test]
     fn progress_line_clamps_non_finite_and_negative_clocks() {
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
-            let line = progress_line("demo", 1, 2, 1, bad, 0, 0, 0);
+            let line = progress_line("demo", 1, 2, 1, bad, 0, 0, 0, 0);
             assert!(line.contains("0.0s elapsed"), "{line}");
             assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
         }
@@ -492,9 +506,25 @@ mod tests {
 
     #[test]
     fn progress_line_send_steps_appear_only_when_nonzero() {
-        let with = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 7);
+        let with = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 7, 0);
         assert!(with.contains("+7 send-steps"), "{with}");
-        let without = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 0);
+        let without = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 0, 0);
         assert!(!without.contains("send-steps"), "{without}");
+    }
+
+    #[test]
+    fn progress_line_ingested_bytes_appear_only_when_nonzero() {
+        // 2_500_000 endpoint bytes streamed during this run's builds.
+        let with = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 0, 2_500_000);
+        assert_eq!(
+            with,
+            "[demo] 1/2 jobs | +2 rounds, +30 node-steps, +2.5 MB ingested | \
+             1.0s elapsed, ~1.0s left"
+        );
+        let without = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 0, 0);
+        assert!(!without.contains("ingested"), "{without}");
+        // Both extras compose in a fixed order: sends before ingest.
+        let both = progress_line("demo", 1, 2, 1, 1.0, 2, 30, 7, 8_000);
+        assert!(both.contains("+7 send-steps, +0.0 MB ingested"), "{both}");
     }
 }

@@ -4,13 +4,17 @@
 //! Theorem 2 / Theorem 15 of the paper applies to graphs of arboricity at
 //! most `a`; these generators produce such graphs *with the bound known by
 //! construction* (the paper likewise assumes `a` is known to the nodes).
+//!
+//! The grid families stream their edges arithmetically ([`FnEdgeSource`]);
+//! the random families decode Prüfer sequences on the fly
+//! ([`PruferEdges`]), keeping at most one compact u32 pair per *kept* edge
+//! in memory.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use treelocal_graph::OrInvariant;
-use treelocal_graph::{Graph, GraphBuilder};
+use treelocal_graph::{narrow_u32, widen_u32, EdgeSource, FnEdgeSource, Graph, OrInvariant};
 
-use crate::prufer::decode_prufer;
+use crate::prufer::PruferEdges;
 
 /// A random graph of arboricity at most `a`: the union of `a` independent
 /// uniformly random spanning trees on the same `n` nodes (duplicate edges
@@ -29,20 +33,25 @@ pub fn random_arboricity_graph(n: usize, a: usize, seed: u64) -> Graph {
     assert!(n >= 2, "need at least two nodes");
     assert!(a >= 1, "arboricity bound must be positive");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xa2b0_c1d7);
-    let mut canon = std::collections::BTreeSet::new();
+    // Canonical (min, max) pairs as compact u32 records; sort + dedup
+    // replaces the old BTreeSet at half the bytes and none of the nodes.
+    let mut canon: Vec<(u32, u32)> = Vec::new();
     for _ in 0..a {
-        let edges = if n == 2 {
-            vec![(0, 1)]
-        } else {
-            let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
-            decode_prufer(n, &seq)
-        };
-        for (u, v) in edges {
-            canon.insert((u.min(v), u.max(v)));
-        }
+        let seq: Vec<u32> =
+            (0..n.saturating_sub(2)).map(|_| narrow_u32(rng.gen_range(0..n))).collect();
+        PruferEdges::new(n, seq).stream(&mut |u, v| {
+            let (u, v) = (narrow_u32(u), narrow_u32(v));
+            canon.push((u.min(v), u.max(v)));
+        });
     }
-    let edges: Vec<(usize, usize)> = canon.into_iter().collect();
-    Graph::from_edges(n, &edges).or_invariant("union of trees is simple")
+    canon.sort_unstable();
+    canon.dedup();
+    let source = FnEdgeSource::new(n, canon.len(), |emit| {
+        for &(u, v) in &canon {
+            emit(widen_u32(u), widen_u32(v));
+        }
+    });
+    Graph::from_edge_source(&source).or_invariant("union of trees is simple")
 }
 
 /// A random *forest* on `n` nodes with approximately `edge_fraction` of the
@@ -53,33 +62,72 @@ pub fn random_forest(n: usize, edge_fraction: f64, seed: u64) -> Graph {
     if n < 2 {
         return Graph::from_edges(n, &[]).or_invariant("empty");
     }
-    let tree_edges = if n == 2 {
-        vec![(0, 1)]
-    } else {
-        let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
-        decode_prufer(n, &seq)
-    };
-    let kept: Vec<(usize, usize)> =
-        tree_edges.into_iter().filter(|_| rng.gen_bool(edge_fraction)).collect();
-    Graph::from_edges(n, &kept).or_invariant("subset of tree edges is a forest")
+    let seq: Vec<u32> = (0..n.saturating_sub(2)).map(|_| narrow_u32(rng.gen_range(0..n))).collect();
+    // The filter consumes the rng *after* the sequence draws; snapshotting
+    // its state here lets every replay of the stream redo the same coin
+    // flips — SmallRng is Clone, so rewindability is a cheap state copy.
+    let source = ForestEdges::new(PruferEdges::new(n, seq), rng, edge_fraction);
+    Graph::from_edge_source(&source).or_invariant("subset of tree edges is a forest")
+}
+
+/// A rewindable [`EdgeSource`] keeping each edge of a spanning tree
+/// independently with probability `fraction`: each pass clones the
+/// snapshotted rng state and replays the identical coin flips.
+struct ForestEdges {
+    tree: PruferEdges,
+    rng: SmallRng,
+    fraction: f64,
+    kept: usize,
+}
+
+impl ForestEdges {
+    fn new(tree: PruferEdges, rng: SmallRng, fraction: f64) -> Self {
+        let mut probe = ForestEdges { tree, rng, fraction, kept: 0 };
+        // One counting pass pins the exact edge count the contract needs.
+        let mut kept = 0usize;
+        probe.stream(&mut |_u, _v| kept += 1);
+        probe.kept = kept;
+        probe
+    }
+}
+
+impl EdgeSource for ForestEdges {
+    fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.kept
+    }
+
+    fn stream(&self, emit: &mut dyn FnMut(usize, usize)) {
+        let mut rng = self.rng.clone();
+        self.tree.stream(&mut |u, v| {
+            if rng.gen_bool(self.fraction) {
+                emit(u, v);
+            }
+        });
+    }
 }
 
 /// An `r × c` grid graph (planar; arboricity 2 for `r, c ≥ 2`).
 pub fn grid(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
     let id = |r: usize, c: usize| r * cols + c;
-    let mut b = GraphBuilder::new(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1));
-            }
-            if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c));
+    let m = rows * (cols - 1) + (rows - 1) * cols;
+    let source = FnEdgeSource::new(rows * cols, m, |emit| {
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    emit(id(r, c), id(r, c + 1));
+                }
+                if r + 1 < rows {
+                    emit(id(r, c), id(r + 1, c));
+                }
             }
         }
-    }
-    b.finish().or_invariant("grid is simple")
+    });
+    Graph::from_edge_source(&source).or_invariant("grid is simple")
 }
 
 /// An `r × c` grid with one diagonal per cell (planar triangulation-like;
@@ -87,21 +135,23 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
     let id = |r: usize, c: usize| r * cols + c;
-    let mut b = GraphBuilder::new(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1));
-            }
-            if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c));
-            }
-            if r + 1 < rows && c + 1 < cols {
-                b.add_edge(id(r, c), id(r + 1, c + 1));
+    let m = rows * (cols - 1) + (rows - 1) * cols + (rows - 1) * (cols - 1);
+    let source = FnEdgeSource::new(rows * cols, m, |emit| {
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    emit(id(r, c), id(r, c + 1));
+                }
+                if r + 1 < rows {
+                    emit(id(r, c), id(r + 1, c));
+                }
+                if r + 1 < rows && c + 1 < cols {
+                    emit(id(r, c), id(r + 1, c + 1));
+                }
             }
         }
-    }
-    b.finish().or_invariant("triangulated grid is simple")
+    });
+    Graph::from_edge_source(&source).or_invariant("triangulated grid is simple")
 }
 
 /// The arboricity bound each generator guarantees by construction.
@@ -110,7 +160,8 @@ pub struct KnownArboricity(pub usize);
 
 /// A labeled bounded-arboricity workload (graph + its guaranteed bound).
 pub fn arboricity_suite(n: usize, seed: u64) -> Vec<(String, Graph, KnownArboricity)> {
-    let side = (n as f64).sqrt().ceil() as usize;
+    let floor = n.isqrt();
+    let side = floor + usize::from(floor * floor < n);
     vec![
         ("tree".into(), crate::prufer::random_tree(n, seed), KnownArboricity(1)),
         ("grid".into(), grid(side, side), KnownArboricity(2)),
@@ -148,6 +199,16 @@ mod tests {
         }
         let full = random_forest(60, 1.0, 5);
         assert_eq!(full.edge_count(), 59);
+    }
+
+    #[test]
+    fn forest_source_replays_identical_coin_flips() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let seq: Vec<u32> = (0..38).map(|_| narrow_u32(rng.gen_range(0..40))).collect();
+        let src = ForestEdges::new(PruferEdges::new(40, seq), rng, 0.5);
+        let first = src.materialize();
+        assert_eq!(first.len(), src.edge_count());
+        assert_eq!(src.materialize(), first);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use treelocal_graph::OrInvariant;
-use treelocal_graph::{Graph, GraphBuilder};
+use treelocal_graph::{widen_u64, Graph};
 
 /// How LOCAL identifiers are assigned to nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,16 +36,16 @@ pub enum IdStrategy {
 /// Produces `n` distinct positive identifiers per the strategy.
 pub fn assign_ids(n: usize, strategy: IdStrategy) -> Vec<u64> {
     match strategy {
-        IdStrategy::Sequential => (1..=n as u64).collect(),
+        IdStrategy::Sequential => (1..=widen_u64(n)).collect(),
         IdStrategy::Permuted { seed } => {
-            let mut ids: Vec<u64> = (1..=n as u64).collect();
+            let mut ids: Vec<u64> = (1..=widen_u64(n)).collect();
             let mut rng = SmallRng::seed_from_u64(seed ^ 0x05ee_d1d5);
             ids.shuffle(&mut rng);
             ids
         }
         IdStrategy::Sparse { seed } => {
             let mut rng = SmallRng::seed_from_u64(seed ^ 0x05ee_d2d5);
-            let space = (n as u64).saturating_mul(n as u64).max(n as u64) + 1;
+            let space = widen_u64(n).saturating_mul(widen_u64(n)).max(widen_u64(n)) + 1;
             let mut chosen = std::collections::BTreeSet::new();
             while chosen.len() < n {
                 chosen.insert(rng.gen_range(1..space));
@@ -57,7 +57,7 @@ pub fn assign_ids(n: usize, strategy: IdStrategy) -> Vec<u64> {
         }
         IdStrategy::Alternating => {
             let mut ids = Vec::with_capacity(n);
-            let (mut lo, mut hi) = (1u64, n as u64);
+            let (mut lo, mut hi) = (1u64, widen_u64(n));
             for i in 0..n {
                 if i % 2 == 0 {
                     ids.push(lo);
@@ -79,13 +79,11 @@ pub fn assign_ids(n: usize, strategy: IdStrategy) -> Vec<u64> {
 /// Panics only if the original graph was malformed, which [`Graph`]
 /// construction already prevents.
 pub fn relabel(g: &Graph, strategy: IdStrategy) -> Graph {
-    let mut b = GraphBuilder::new(g.node_count());
-    for e in g.edge_ids() {
-        let [u, v] = g.endpoints(e);
-        b.add_edge(u.index(), v.index());
-    }
-    b.local_ids(assign_ids(g.node_count(), strategy));
-    b.finish().or_invariant("relabeling a valid graph stays valid")
+    // Stream the graph's own endpoint records back through the builder —
+    // no intermediate edge list, just the new identifier table.
+    let ids = assign_ids(g.node_count(), strategy);
+    Graph::from_edge_source_with_ids(&g.edge_source(), ids)
+        .or_invariant("relabeling a valid graph stays valid")
 }
 
 #[cfg(test)]
@@ -127,7 +125,7 @@ mod tests {
         let ids = assign_ids(n, IdStrategy::Sparse { seed: 3 });
         assert_eq!(ids.len(), n);
         assert!(all_distinct(&ids));
-        assert!(ids.iter().all(|&x| x >= 1 && x <= (n * n) as u64));
+        assert!(ids.iter().all(|&x| x >= 1 && x <= widen_u64(n * n)));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Everything is seeded and reproducible. Provided families:
 //!
-//! * [`random_tree`] — uniformly random labeled trees (Prüfer),
+//! * [`random_tree`] — uniformly random labeled trees, decoded by the
+//!   streaming [`PruferEdges`] source (no materialized edge list),
 //! * [`balanced_regular_tree`] — the paper's lower-bound instances
 //!   (footnote 11 variant that exists for every `n`),
 //! * structured trees: [`path`], [`star`], [`caterpillar`], [`spider`],
@@ -34,7 +35,7 @@ pub use arb::{
     KnownArboricity,
 };
 pub use ids::{assign_ids, relabel, IdStrategy};
-pub use prufer::{decode_prufer, random_tree};
+pub use prufer::{decode_prufer, random_tree, PruferEdges};
 pub use shapes::{
     balanced_regular_tree, balanced_regular_tree_of_depth, broom, caterpillar,
     complete_binary_tree, path, spider, star,
@@ -52,7 +53,7 @@ pub fn tree_suite(n: usize, seed: u64) -> Vec<(String, treelocal_graph::Graph)> 
     let spine = (n / 4).max(1);
     v.push(("caterpillar".to_string(), caterpillar(spine, 3)));
     if n >= 9 {
-        let legs = (n as f64).sqrt() as usize;
+        let legs = n.isqrt();
         v.push(("spider".to_string(), spider(legs, (n - 1) / legs.max(1))));
     }
     v

@@ -2,28 +2,23 @@
 //!
 //! A uniformly random sequence in `{0, ..., n-1}^{n-2}` decodes to a
 //! uniformly random labeled tree on `n` nodes (Cayley's bijection). The
-//! decoder below is the linear-time pointer variant.
+//! decoder below is the linear-time pointer variant, packaged as a
+//! streaming [`EdgeSource`]: the only stored state is the u32 sequence
+//! itself (4 bytes per node), and each pass re-runs the decoder with a
+//! transient u32 degree table — no edge list is ever materialized.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use treelocal_graph::Graph;
-use treelocal_graph::OrInvariant;
+use treelocal_graph::{narrow_u32, widen_u32, EdgeSource, Graph, OrInvariant};
 
-/// Decodes a Prüfer sequence into the edge list of the corresponding tree.
-///
-/// # Panics
-///
-/// Panics if `seq.len() + 2` does not fit the implied node count or any
-/// entry is out of range.
-pub fn decode_prufer(n: usize, seq: &[usize]) -> Vec<(usize, usize)> {
-    assert!(n >= 2, "Prüfer decoding needs n >= 2");
-    assert_eq!(seq.len(), n - 2, "sequence length must be n - 2");
-    assert!(seq.iter().all(|&x| x < n), "sequence entries must be < n");
-    let mut degree = vec![1usize; n];
+/// Runs the pointer-variant Prüfer decoder over `seq`, emitting the
+/// `n - 1` tree edges in decode order. Callers have validated `seq`.
+fn stream_decode(n: usize, seq: &[u32], emit: &mut dyn FnMut(usize, usize)) {
+    debug_assert!(n >= 2 && seq.len() == n - 2);
+    let mut degree = vec![1u32; n];
     for &x in seq {
-        degree[x] += 1;
+        degree[widen_u32(x)] += 1;
     }
-    let mut edges = Vec::with_capacity(n - 1);
     // `ptr` scans for the smallest leaf; `leaf` tracks the current leaf,
     // possibly below `ptr` when removing an entry creates a smaller leaf.
     let mut ptr = 0usize;
@@ -32,7 +27,8 @@ pub fn decode_prufer(n: usize, seq: &[usize]) -> Vec<(usize, usize)> {
     }
     let mut leaf = ptr;
     for &x in seq {
-        edges.push((leaf, x));
+        let x = widen_u32(x);
+        emit(leaf, x);
         degree[x] -= 1;
         if degree[x] == 1 && x < ptr {
             leaf = x;
@@ -44,11 +40,74 @@ pub fn decode_prufer(n: usize, seq: &[usize]) -> Vec<(usize, usize)> {
             leaf = ptr;
         }
     }
-    edges.push((leaf, n - 1));
-    edges
+    emit(leaf, n - 1);
 }
 
-/// A uniformly random labeled tree on `n` nodes (`n ≥ 1`).
+/// A Prüfer sequence as a rewindable [`EdgeSource`]: the tree's `n - 1`
+/// edges stream out of the pointer decoder on demand. The sequence is the
+/// only stored state — 4 bytes per node, versus the 16 bytes per edge a
+/// materialized list would cost.
+#[derive(Clone, Debug)]
+pub struct PruferEdges {
+    n: usize,
+    seq: Vec<u32>,
+}
+
+impl PruferEdges {
+    /// Wraps a validated Prüfer sequence over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `seq.len() != n - 2`, or any entry is `>= n`.
+    pub fn new(n: usize, seq: Vec<u32>) -> Self {
+        assert!(n >= 2, "Prüfer decoding needs n >= 2");
+        assert_eq!(seq.len(), n - 2, "sequence length must be n - 2");
+        assert!(seq.iter().all(|&x| widen_u32(x) < n), "sequence entries must be < n");
+        PruferEdges { n, seq }
+    }
+
+    /// A uniformly random sequence over `n` nodes (`n >= 2`), i.e. a
+    /// uniformly random labeled tree.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "Prüfer decoding needs n >= 2");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7275_6665);
+        let seq: Vec<u32> = (0..n - 2).map(|_| narrow_u32(rng.gen_range(0..n))).collect();
+        PruferEdges { n, seq }
+    }
+}
+
+impl EdgeSource for PruferEdges {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn edge_count(&self) -> usize {
+        self.n - 1
+    }
+
+    fn stream(&self, emit: &mut dyn FnMut(usize, usize)) {
+        stream_decode(self.n, &self.seq, emit);
+    }
+}
+
+/// Decodes a Prüfer sequence into the edge list of the corresponding tree
+/// — the thin materializing wrapper over the streaming decoder, kept for
+/// tests and small instances.
+///
+/// # Panics
+///
+/// Panics if `seq.len() + 2` does not fit the implied node count or any
+/// entry is out of range.
+pub fn decode_prufer(n: usize, seq: &[usize]) -> Vec<(usize, usize)> {
+    assert!(n >= 2, "Prüfer decoding needs n >= 2");
+    assert_eq!(seq.len(), n - 2, "sequence length must be n - 2");
+    assert!(seq.iter().all(|&x| x < n), "sequence entries must be < n");
+    let narrowed: Vec<u32> = seq.iter().map(|&x| narrow_u32(x)).collect();
+    PruferEdges { n, seq: narrowed }.materialize()
+}
+
+/// A uniformly random labeled tree on `n` nodes (`n ≥ 1`), built by
+/// streaming the decoder straight into the graph's compact records.
 ///
 /// # Examples
 ///
@@ -65,10 +124,8 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     if n == 2 {
         return Graph::from_edges(2, &[(0, 1)]).or_invariant("edge");
     }
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7275_6665);
-    let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
-    let edges = decode_prufer(n, &seq);
-    Graph::from_edges(n, &edges).or_invariant("Prüfer decoding yields a tree")
+    Graph::from_edge_source(&PruferEdges::uniform(n, seed))
+        .or_invariant("Prüfer decoding yields a tree")
 }
 
 #[cfg(test)]
@@ -107,6 +164,32 @@ mod tests {
         }
         // Cayley: 5^3 = 125 labeled trees on 5 nodes, all distinct.
         assert_eq!(seen.len(), 125);
+    }
+
+    #[test]
+    fn prufer_source_is_rewindable() {
+        let src = PruferEdges::uniform(40, 6);
+        assert_eq!(src.node_count(), 40);
+        assert_eq!(src.edge_count(), 39);
+        let first = src.materialize();
+        assert_eq!(first.len(), 39);
+        // A second pass replays the identical stream.
+        assert_eq!(src.materialize(), first);
+    }
+
+    #[test]
+    fn streamed_tree_matches_materialized_decode() {
+        // The streamed build and the classic decode-then-build path must
+        // produce slot-identical graphs (edge ids in decode order).
+        let src = PruferEdges::uniform(120, 17);
+        let streamed = Graph::from_edge_source(&src).unwrap();
+        let via_vec = Graph::from_edges(120, &src.materialize()).unwrap();
+        for e in via_vec.edge_ids() {
+            assert_eq!(streamed.endpoints(e), via_vec.endpoints(e));
+        }
+        for v in via_vec.node_ids() {
+            assert_eq!(streamed.neighbor_nodes(v), via_vec.neighbor_nodes(v));
+        }
     }
 
     #[test]

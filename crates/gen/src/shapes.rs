@@ -4,24 +4,40 @@
 //! The balanced regular trees are the instances on which the round
 //! elimination lower bounds discussed in Section 1.1 of the paper already
 //! hold; they are the canonical "hard" workloads for the experiments.
+//!
+//! Every shape here is pure arithmetic over the node index, so the edges
+//! are described as replayable [`FnEdgeSource`] closures and streamed
+//! straight into the graph's compact records — no edge list is ever
+//! materialized, which is what lets the caterpillar family reach the
+//! 100M-node tier.
 
-use treelocal_graph::Graph;
-use treelocal_graph::OrInvariant;
+use treelocal_graph::{widen_u32, FnEdgeSource, Graph, OrInvariant};
 
-fn build(n: usize, edges: Vec<(usize, usize)>) -> Graph {
-    Graph::from_edges(n, &edges).or_invariant("generator produced a valid simple graph")
+/// Streams a tree-shaped source (`n` nodes, exactly `n - 1` edges for
+/// `n >= 1`) into a graph.
+fn stream_tree(n: usize, f: impl Fn(&mut dyn FnMut(usize, usize))) -> Graph {
+    Graph::from_edge_source(&FnEdgeSource::new(n, n.saturating_sub(1), f))
+        .or_invariant("generator produced a valid simple graph")
 }
 
 /// A path on `n` nodes (`n ≥ 1`).
 pub fn path(n: usize) -> Graph {
     assert!(n >= 1, "path needs at least one node");
-    build(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect())
+    stream_tree(n, |emit| {
+        for i in 0..n - 1 {
+            emit(i, i + 1);
+        }
+    })
 }
 
 /// A star with one center (node 0) and `n - 1` leaves (`n ≥ 1`).
 pub fn star(n: usize) -> Graph {
     assert!(n >= 1, "star needs at least one node");
-    build(n, (1..n).map(|i| (0, i)).collect())
+    stream_tree(n, |emit| {
+        for i in 1..n {
+            emit(0, i);
+        }
+    })
 }
 
 /// A caterpillar: a spine path of `spine` nodes, each carrying `legs`
@@ -29,34 +45,34 @@ pub fn star(n: usize) -> Graph {
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine >= 1, "caterpillar needs a spine");
     let n = spine + spine * legs;
-    let mut edges = Vec::with_capacity(n - 1);
-    for i in 0..spine.saturating_sub(1) {
-        edges.push((i, i + 1));
-    }
-    let mut next = spine;
-    for s in 0..spine {
-        for _ in 0..legs {
-            edges.push((s, next));
-            next += 1;
+    stream_tree(n, |emit| {
+        for i in 0..spine - 1 {
+            emit(i, i + 1);
         }
-    }
-    build(n, edges)
+        let mut next = spine;
+        for s in 0..spine {
+            for _ in 0..legs {
+                emit(s, next);
+                next += 1;
+            }
+        }
+    })
 }
 
 /// A spider: `legs` paths of length `leg_len` joined at a center node.
 pub fn spider(legs: usize, leg_len: usize) -> Graph {
     let n = 1 + legs * leg_len;
-    let mut edges = Vec::with_capacity(n - 1);
-    let mut next = 1;
-    for _ in 0..legs {
-        let mut prev = 0;
-        for _ in 0..leg_len {
-            edges.push((prev, next));
-            prev = next;
-            next += 1;
+    stream_tree(n, |emit| {
+        let mut next = 1;
+        for _ in 0..legs {
+            let mut prev = 0;
+            for _ in 0..leg_len {
+                emit(prev, next);
+                prev = next;
+                next += 1;
+            }
         }
-    }
-    build(n, edges)
+    })
 }
 
 /// A broom: a handle path of `handle` nodes whose last node carries
@@ -64,25 +80,25 @@ pub fn spider(legs: usize, leg_len: usize) -> Graph {
 pub fn broom(handle: usize, bristles: usize) -> Graph {
     assert!(handle >= 1, "broom needs a handle");
     let n = handle + bristles;
-    let mut edges = Vec::with_capacity(n - 1);
-    for i in 0..handle - 1 {
-        edges.push((i, i + 1));
-    }
-    for b in 0..bristles {
-        edges.push((handle - 1, handle + b));
-    }
-    build(n, edges)
+    stream_tree(n, |emit| {
+        for i in 0..handle - 1 {
+            emit(i, i + 1);
+        }
+        for b in 0..bristles {
+            emit(handle - 1, handle + b);
+        }
+    })
 }
 
 /// A complete binary tree with `depth` levels of edges (`depth = 0` is a
 /// single node).
 pub fn complete_binary_tree(depth: u32) -> Graph {
     let n = (1usize << (depth + 1)) - 1;
-    let mut edges = Vec::with_capacity(n - 1);
-    for v in 1..n {
-        edges.push(((v - 1) / 2, v));
-    }
-    build(n, edges)
+    stream_tree(n, |emit| {
+        for v in 1..n {
+            emit((v - 1) / 2, v);
+        }
+    })
 }
 
 /// The paper's balanced ∆-regular tree, adapted (footnote 11) so that it
@@ -97,7 +113,7 @@ pub fn complete_binary_tree(depth: u32) -> Graph {
 pub fn balanced_regular_tree(delta: usize, n: usize) -> Graph {
     assert!(n >= 1, "tree needs at least one node");
     if n == 1 {
-        return build(1, Vec::new());
+        return stream_tree(1, |_emit| {});
     }
     assert!(delta >= 1, "delta must be positive");
     if delta == 1 {
@@ -107,23 +123,23 @@ pub fn balanced_regular_tree(delta: usize, n: usize) -> Graph {
     if delta == 2 {
         return path(n);
     }
-    let mut edges = Vec::with_capacity(n - 1);
-    // parent capacity: root takes `delta` children, others `delta - 1`.
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back((0usize, delta));
-    let mut next = 1usize;
-    while next < n {
-        let (p, cap) = queue.pop_front().or_invariant("capacity left while nodes remain");
-        for _ in 0..cap {
-            if next >= n {
-                break;
+    stream_tree(n, |emit| {
+        // parent capacity: root takes `delta` children, others `delta - 1`.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((0usize, delta));
+        let mut next = 1usize;
+        while next < n {
+            let (p, cap) = queue.pop_front().or_invariant("capacity left while nodes remain");
+            for _ in 0..cap {
+                if next >= n {
+                    break;
+                }
+                emit(p, next);
+                queue.push_back((next, delta - 1));
+                next += 1;
             }
-            edges.push((p, next));
-            queue.push_back((next, delta - 1));
-            next += 1;
         }
-    }
-    build(n, edges)
+    })
 }
 
 /// The exact perfectly balanced ∆-regular tree of the given `depth`: every
@@ -132,10 +148,10 @@ pub fn balanced_regular_tree(delta: usize, n: usize) -> Graph {
 pub fn balanced_regular_tree_of_depth(delta: usize, depth: u32) -> Graph {
     assert!(delta >= 2, "regular balanced trees need delta >= 2");
     if depth == 0 {
-        return build(1, Vec::new());
+        return stream_tree(1, |_emit| {});
     }
     if delta == 2 {
-        return path(2 * depth as usize + 1);
+        return path(2 * widen_u32(depth) + 1);
     }
     // n = 1 + delta * ((delta-1)^depth - 1) / (delta - 2)
     let mut layer = delta as u128;

@@ -15,8 +15,9 @@
 //! [`GraphError::TooLarge`], never a silent truncation.
 
 use crate::csr::{check_index_space, zip_neighbors, CsrPairs, Neighbors};
-use crate::ids::{widen_u32, widen_u64, EdgeId, NodeId, NodeRange, Side};
-use crate::GraphError;
+use crate::ids::{widen_u64, EdgeId, NodeId, NodeRange, Side};
+use crate::source::{EdgeSource, SliceEdges};
+use crate::{stats, GraphError};
 
 /// An immutable simple undirected graph.
 ///
@@ -35,12 +36,54 @@ use crate::GraphError;
 #[derive(Clone, Debug)]
 pub struct Graph {
     /// LOCAL identifier of each node.
-    ids: Vec<u64>,
+    ids: LocalIds,
     /// Endpoints of each edge (`endpoints[e] = [u, v]` with `u != v`).
     endpoints: Vec<[NodeId; 2]>,
     /// CSR adjacency: per-node neighbor/edge slices in two flat arrays.
     adj: CsrPairs,
     max_degree: usize,
+}
+
+/// LOCAL identifier assignment of a graph.
+///
+/// The default `i + 1` assignment is pure arithmetic — storing it as an
+/// explicit table would cost 8 bytes per node (800 MB at the 100M-node
+/// tier) for values the index already determines.
+#[derive(Clone, Debug)]
+enum LocalIds {
+    /// Node `i` carries identifier `i + 1`; only the count is stored.
+    Sequential(usize),
+    /// One explicit identifier per node (validated distinct and nonzero).
+    Explicit(Vec<u64>),
+}
+
+impl LocalIds {
+    fn len(&self) -> usize {
+        match self {
+            LocalIds::Sequential(n) => *n,
+            LocalIds::Explicit(ids) => ids.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            LocalIds::Sequential(n) => {
+                // Mirror the slice's bounds panic so out-of-range lookups
+                // fail loudly in both representations.
+                assert!(i < *n, "node index {i} out of range for {n} nodes");
+                widen_u64(i) + 1
+            }
+            LocalIds::Explicit(ids) => ids[i],
+        }
+    }
+
+    fn space(&self) -> u64 {
+        match self {
+            LocalIds::Sequential(0) => 1,
+            LocalIds::Sequential(n) => widen_u64(*n) + 1,
+            LocalIds::Explicit(ids) => ids.iter().copied().max().map_or(1, |m| m + 1),
+        }
+    }
 }
 
 /// Incrementally builds a [`Graph`].
@@ -108,57 +151,11 @@ impl GraphBuilder {
     /// `>= n`, if a self-loop or parallel edge is present, or if
     /// identifiers are malformed (wrong length, duplicate, or zero).
     pub fn finish(self) -> Result<Graph, GraphError> {
-        let n = self.n;
-        // Fail before any index is narrowed to u32 (and before the O(n)
-        // identifier table is even allocated).
-        check_index_space(n, self.edges.len())?;
-        let ids = match self.ids {
-            Some(ids) => {
-                if ids.len() != n {
-                    return Err(GraphError::IdCountMismatch { expected: n, got: ids.len() });
-                }
-                if ids.contains(&0) {
-                    return Err(GraphError::ZeroId);
-                }
-                let mut sorted = ids.clone();
-                sorted.sort_unstable();
-                if sorted.windows(2).any(|w| w[0] == w[1]) {
-                    return Err(GraphError::DuplicateId);
-                }
-                ids
-            }
-            None => (1..=widen_u64(n)).collect(),
-        };
-
-        let mut endpoints = Vec::with_capacity(self.edges.len());
-        for &(u, v) in &self.edges {
-            if u >= n || v >= n {
-                return Err(GraphError::NodeOutOfRange { index: u.max(v), n });
-            }
-            if u == v {
-                return Err(GraphError::SelfLoop { node: u });
-            }
-            endpoints.push([NodeId::new(u), NodeId::new(v)]);
+        let source = SliceEdges::new(self.n, &self.edges);
+        match self.ids {
+            Some(ids) => Graph::from_edge_source_with_ids(&source, ids),
+            None => Graph::from_edge_source(&source),
         }
-        // Reject parallel edges.
-        let mut canon: Vec<(u32, u32)> = endpoints
-            .iter()
-            .map(|&[a, b]| {
-                let (x, y) = (a.raw(), b.raw());
-                (x.min(y), x.max(y))
-            })
-            .collect();
-        canon.sort_unstable();
-        if let Some(w) = canon.windows(2).find(|w| w[0] == w[1]) {
-            return Err(GraphError::ParallelEdge { u: widen_u32(w[0].0), v: widen_u32(w[0].1) });
-        }
-
-        let adj = CsrPairs::from_undirected_edges(
-            n,
-            endpoints.iter().enumerate().map(|(i, &[u, v])| (u, v, EdgeId::new(i))),
-        );
-        let max_degree = adj.max_degree();
-        Ok(Graph { ids, endpoints, adj, max_degree })
     }
 }
 
@@ -180,6 +177,115 @@ impl Graph {
         let mut b = GraphBuilder::new(n);
         b.add_edges(edges.iter().copied());
         b.finish()
+    }
+
+    /// Builds a graph by streaming an [`EdgeSource`] once — no edge list is
+    /// ever materialized. The source's exact counts size the index-space
+    /// check and the endpoint allocation up front; the stream is validated
+    /// edge by edge as it arrives and the CSR adjacency is counting-sorted
+    /// directly from the resulting compact records.
+    ///
+    /// Nodes receive the default sequential identifiers (`i + 1`), stored
+    /// implicitly — no O(n) identifier table is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::finish`].
+    /// [`GraphError::TooLarge`] fires before anything is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source violates its contract by emitting a number of
+    /// edges different from [`EdgeSource::edge_count`].
+    pub fn from_edge_source<S: EdgeSource + ?Sized>(source: &S) -> Result<Graph, GraphError> {
+        check_index_space(source.node_count(), source.edge_count())?;
+        Graph::build_streamed(source, LocalIds::Sequential(source.node_count()))
+    }
+
+    /// Like [`from_edge_source`](Graph::from_edge_source) with explicit
+    /// LOCAL identifiers (one per node, all distinct and nonzero).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source violates its contract by emitting a number of
+    /// edges different from [`EdgeSource::edge_count`].
+    pub fn from_edge_source_with_ids<S: EdgeSource + ?Sized>(
+        source: &S,
+        ids: Vec<u64>,
+    ) -> Result<Graph, GraphError> {
+        let n = source.node_count();
+        // Fail before any index is narrowed to u32 (and before the O(n)
+        // identifier checks run).
+        check_index_space(n, source.edge_count())?;
+        if ids.len() != n {
+            return Err(GraphError::IdCountMismatch { expected: n, got: ids.len() });
+        }
+        if ids.contains(&0) {
+            return Err(GraphError::ZeroId);
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(GraphError::DuplicateId);
+        }
+        Graph::build_streamed(source, LocalIds::Explicit(ids))
+    }
+
+    /// The single streaming pass: validate and record compact endpoint
+    /// records, then counting-sort the CSR adjacency from them. Callers
+    /// have already run `check_index_space` and validated `ids`.
+    fn build_streamed<S: EdgeSource + ?Sized>(
+        source: &S,
+        ids: LocalIds,
+    ) -> Result<Graph, GraphError> {
+        let n = source.node_count();
+        let m = source.edge_count();
+        let mut endpoints: Vec<[NodeId; 2]> = Vec::with_capacity(m);
+        let mut bad: Option<GraphError> = None;
+        source.stream(&mut |u, v| {
+            if bad.is_some() {
+                return;
+            }
+            if u >= n || v >= n {
+                bad = Some(GraphError::NodeOutOfRange { index: u.max(v), n });
+                return;
+            }
+            if u == v {
+                bad = Some(GraphError::SelfLoop { node: u });
+                return;
+            }
+            endpoints.push([NodeId::new(u), NodeId::new(v)]);
+        });
+        if let Some(err) = bad {
+            return Err(err);
+        }
+        assert_eq!(
+            endpoints.len(),
+            m,
+            "EdgeSource contract: stream() must emit exactly edge_count() edges"
+        );
+        let explicit_id_bytes = match &ids {
+            LocalIds::Sequential(_) => 0,
+            LocalIds::Explicit(_) => 8 * widen_u64(n),
+        };
+        // Everything the build allocates: the kept endpoint records and
+        // identifier table, the CSR arrays, and the transient fill cursor.
+        let footprint = 24 * widen_u64(m) + 8 * widen_u64(n) + 4 + explicit_id_bytes;
+        stats::record_build(8 * widen_u64(m), footprint);
+        let adj = CsrPairs::from_endpoints(n, &endpoints)?;
+        let max_degree = adj.max_degree();
+        Ok(Graph { ids, endpoints, adj, max_degree })
+    }
+
+    /// A rewindable [`EdgeSource`] view over this graph's endpoint records,
+    /// in edge-id order — lets relabeling and restriction passes rebuild a
+    /// graph without materializing a fresh edge list.
+    pub fn edge_source(&self) -> GraphEdges<'_> {
+        GraphEdges { graph: self }
     }
 
     /// Number of nodes.
@@ -304,7 +410,7 @@ impl Graph {
     /// LOCAL identifier of node `v`.
     #[inline]
     pub fn local_id(&self, v: NodeId) -> u64 {
-        self.ids[v.index()]
+        self.ids.get(v.index())
     }
 
     /// An exclusive upper bound on the identifier space (`max id + 1`).
@@ -313,7 +419,7 @@ impl Graph {
     /// known constant `c`; algorithms may use this bound as the initial color
     /// space for color-reduction schemes.
     pub fn id_space(&self) -> u64 {
-        self.ids.iter().copied().max().map_or(1, |m| m + 1)
+        self.ids.space()
     }
 
     /// Looks up the edge connecting `u` and `v`, if any.
@@ -328,9 +434,33 @@ impl Graph {
     }
 }
 
+/// The [`EdgeSource`] view returned by [`Graph::edge_source`]: replays the
+/// graph's endpoint records in edge-id order.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphEdges<'g> {
+    graph: &'g Graph,
+}
+
+impl EdgeSource for GraphEdges<'_> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn stream(&self, emit: &mut dyn FnMut(usize, usize)) {
+        for &[u, v] in &self.graph.endpoints {
+            emit(u.index(), v.index());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::widen_u32;
 
     fn path(n: usize) -> Graph {
         Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
@@ -456,6 +586,85 @@ mod tests {
         let g = b.finish().unwrap();
         assert_eq!(g.local_id(NodeId::new(2)), 99);
         assert_eq!(g.id_space(), 100);
+    }
+
+    #[test]
+    fn streamed_build_matches_materialized_build() {
+        use crate::source::FnEdgeSource;
+        let edges = [(0usize, 3usize), (0, 1), (2, 0), (0, 4)];
+        let via_vec = Graph::from_edges(5, &edges).unwrap();
+        let star = FnEdgeSource::new(5, 4, |emit| {
+            for &(u, v) in &edges {
+                emit(u, v);
+            }
+        });
+        let via_stream = Graph::from_edge_source(&star).unwrap();
+        for v in via_vec.node_ids() {
+            assert_eq!(via_stream.neighbor_nodes(v), via_vec.neighbor_nodes(v));
+            assert_eq!(via_stream.neighbor_edges(v), via_vec.neighbor_edges(v));
+            assert_eq!(via_stream.local_id(v), via_vec.local_id(v));
+        }
+        for e in via_vec.edge_ids() {
+            assert_eq!(via_stream.endpoints(e), via_vec.endpoints(e));
+        }
+        assert_eq!(via_stream.max_degree(), via_vec.max_degree());
+        assert_eq!(via_stream.id_space(), via_vec.id_space());
+    }
+
+    #[test]
+    fn edge_source_view_round_trips() {
+        let g = Graph::from_edges(4, &[(2, 0), (0, 1), (3, 1)]).unwrap();
+        let view = g.edge_source();
+        assert_eq!(view.node_count(), 4);
+        assert_eq!(view.edge_count(), 3);
+        assert_eq!(view.materialize(), vec![(2, 0), (0, 1), (3, 1)]);
+        let rebuilt = Graph::from_edge_source(&view).unwrap();
+        for e in g.edge_ids() {
+            assert_eq!(rebuilt.endpoints(e), g.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn streamed_build_rejects_bad_edges() {
+        use crate::source::FnEdgeSource;
+        let oob = FnEdgeSource::new(2, 1, |emit| emit(0, 5));
+        assert!(matches!(
+            Graph::from_edge_source(&oob),
+            Err(GraphError::NodeOutOfRange { index: 5, n: 2 })
+        ));
+        let loopy = FnEdgeSource::new(2, 1, |emit| emit(1, 1));
+        assert!(matches!(Graph::from_edge_source(&loopy), Err(GraphError::SelfLoop { node: 1 })));
+        let doubled = FnEdgeSource::new(2, 2, |emit| {
+            emit(0, 1);
+            emit(1, 0);
+        });
+        assert!(matches!(Graph::from_edge_source(&doubled), Err(GraphError::ParallelEdge { .. })));
+    }
+
+    #[test]
+    fn streamed_build_rejects_oversized_counts_before_allocating() {
+        use crate::source::FnEdgeSource;
+        // A lying source with counts past the u32 index space: the typed
+        // error fires from the counts alone, before stream() is called.
+        let huge_n = widen_u32(u32::MAX) + 1;
+        let src = FnEdgeSource::new(huge_n, 0, |_emit| unreachable!("must not stream"));
+        let err = Graph::from_edge_source(&src).unwrap_err();
+        assert!(matches!(err, GraphError::TooLarge { nodes, edges: 0 } if nodes == huge_n));
+        let huge_m = widen_u32(u32::MAX / 2) + 1;
+        let src = FnEdgeSource::new(4, huge_m, |_emit| unreachable!("must not stream"));
+        let err = Graph::from_edge_source(&src).unwrap_err();
+        assert!(matches!(err, GraphError::TooLarge { nodes: 4, edges } if edges == huge_m));
+        assert!(err.to_string().contains("u32 index space"));
+    }
+
+    #[test]
+    #[should_panic(expected = "EdgeSource contract")]
+    fn streamed_build_panics_on_count_lie() {
+        use crate::source::FnEdgeSource;
+        // Claims two edges, emits one: the contract assert must fire rather
+        // than silently building a smaller graph.
+        let lying = FnEdgeSource::new(3, 2, |emit| emit(0, 1));
+        let _ = Graph::from_edge_source(&lying);
     }
 
     #[test]

@@ -103,6 +103,75 @@ impl CsrPairs {
         CsrPairs { offsets, nodes, edges }
     }
 
+    /// Builds the CSR **directly from the endpoint records** a streaming
+    /// build keeps anyway: degree count + counting-sort fill into the
+    /// final flat arrays, then a per-slice tandem sort through one reused
+    /// degree-sized scratch buffer. No `(NodeId, EdgeId)` pair list is
+    /// ever materialized — the only transient beyond the finished arrays
+    /// is the `4n`-byte cursor table (and the `O(Δ)` scratch).
+    ///
+    /// Parallel edges are detected *after* the per-slice sort as adjacent
+    /// duplicates in a neighbor slice — the streaming replacement for the
+    /// builder's old sorted-canonical-pair scan, reporting the same
+    /// lexicographically-first offending pair. Slot-for-slot equality with
+    /// [`from_undirected_edges`](CsrPairs::from_undirected_edges) is pinned
+    /// by `csr_equiv` and the streaming equivalence suite.
+    ///
+    /// The caller must have validated the index space via
+    /// [`check_index_space`]; `2m` half-edge slots are assumed to fit u32.
+    pub(crate) fn from_endpoints(n: usize, endpoints: &[[NodeId; 2]]) -> Result<Self, GraphError> {
+        let mut offsets = vec![0u32; n + 1];
+        for &[u, v] in endpoints {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let total = widen_u32(offsets[n]);
+        let mut nodes: Vec<NodeId> = vec![NodeId::new(0); total];
+        let mut edges: Vec<EdgeId> = vec![EdgeId::new(0); total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (i, &[u, v]) in endpoints.iter().enumerate() {
+            let e = EdgeId::new(i);
+            let cu = widen_u32(cursor[u.index()]);
+            nodes[cu] = v;
+            edges[cu] = e;
+            cursor[u.index()] += 1;
+            let cv = widen_u32(cursor[v.index()]);
+            nodes[cv] = u;
+            edges[cv] = e;
+            cursor[v.index()] += 1;
+        }
+        drop(cursor);
+        // Per-slice sort by neighbor index, carrying the edge slots along
+        // through one reused scratch buffer (same comparator the pair-list
+        // build used, so the slot order is identical).
+        let mut scratch: Vec<(NodeId, EdgeId)> = Vec::new();
+        for i in 0..n {
+            let range = widen_u32(offsets[i])..widen_u32(offsets[i + 1]);
+            if range.len() < 2 {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(zip_neighbors(&nodes[range.clone()], &edges[range.clone()]));
+            scratch.sort_unstable_by_key(|&(w, _)| w);
+            for (slot, &(w, e)) in range.clone().zip(scratch.iter()) {
+                nodes[slot] = w;
+                edges[slot] = e;
+            }
+            // A simple graph has unique neighbors; an adjacent duplicate in
+            // the sorted slice is a parallel edge. Scanning nodes in
+            // ascending index order finds the lexicographically smallest
+            // canonical offending pair, as the old sorted-pair scan did.
+            if let Some(w) = scratch.windows(2).find(|w| w[0].0 == w[1].0) {
+                let (x, y) = (i, w[0].0.index());
+                return Err(GraphError::ParallelEdge { u: x.min(y), v: x.max(y) });
+            }
+        }
+        Ok(CsrPairs { offsets, nodes, edges })
+    }
+
     /// The adjacency slot range of node `v`.
     #[inline]
     fn range(&self, v: NodeId) -> std::ops::Range<usize> {

@@ -6,6 +6,8 @@
 //! Trees”* (Brandt & Narayanan, PODC 2025). It provides:
 //!
 //! * [`Graph`] — immutable simple undirected graphs with LOCAL identifiers,
+//! * [`EdgeSource`] — streaming edge ingestion: graphs build in one pass
+//!   from a rewindable edge stream, with no materialized edge list,
 //! * [`SemiGraph`] — Definition 4's semi-graphs (edges of rank 0, 1 or 2)
 //!   realized as restrictions of a parent graph,
 //! * [`Topology`] — the abstraction over which the simulator and all
@@ -39,10 +41,12 @@ mod forest;
 mod ids;
 mod invariant;
 mod semigraph;
+mod source;
+pub mod stats;
 mod topology;
 mod traversal;
 
-pub use adjacency::{Graph, GraphBuilder};
+pub use adjacency::{Graph, GraphBuilder, GraphEdges};
 pub use arboricity::{
     degeneracy, density_lower_bound, forest_partition, is_forest_partition, ForestPartition,
     Peeling,
@@ -55,6 +59,7 @@ pub use forest::{is_forest, is_tree, root_forest, RootedForest};
 pub use ids::{narrow_u32, widen_u32, widen_u64, EdgeId, HalfEdge, NodeId, NodeRange, Side};
 pub use invariant::OrInvariant;
 pub use semigraph::SemiGraph;
+pub use source::{EdgeSource, FnEdgeSource, SliceEdges};
 pub use topology::{NodeIter, Topology};
 pub use traversal::{
     bfs_distances, component_diameter_double_sweep, component_diameter_exact, components,

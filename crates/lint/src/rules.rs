@@ -16,8 +16,11 @@ const DETERMINISTIC_CRATES: &[&str] =
 /// Crates that adopted the u32 CSR index space (PR 6) and must route every
 /// index conversion through the typed helpers in `crates/graph/src/ids.rs`.
 /// `check` joins them from birth: a certificate checker that truncates an
-/// index silently would accept certificates it should reject.
-const INDEX_CRATES: &[&str] = &["graph", "sim", "decomp", "check"];
+/// index silently would accept certificates it should reject. `gen` joined
+/// when generators became streaming `EdgeSource`s (PR 10): they now emit
+/// u32 endpoint records straight into the CSR builder, so a truncating
+/// cast there corrupts the graph before any other layer can notice.
+const INDEX_CRATES: &[&str] = &["graph", "sim", "gen", "decomp", "check"];
 
 /// The crate allowed to touch wall clocks (it measures things).
 const WALL_CLOCK_CRATE: &str = "bench";
@@ -49,7 +52,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "no-bare-index-cast",
-        scope: "graph, sim, decomp, check — all code, tests included",
+        scope: "graph, sim, gen, decomp, check — all code, tests included",
         rationale: "bare `as u32`/`as usize`/`as u64` bypasses the u32 CSR boundary; use \
                     widen_u32/widen_u64/narrow_u32 from treelocal_graph (or try_from + \
                     or_invariant for other widths)",
@@ -495,6 +498,18 @@ mod tests {
         assert_eq!(
             ids(&check_source(test_src, &ctx("check", FileKind::Lib))),
             vec![("no-unordered-iteration", 2)]
+        );
+    }
+
+    #[test]
+    fn gen_crate_is_in_the_index_scope_table() {
+        // Generators emit u32 endpoint records straight into the CSR
+        // builder since the streaming-construction refactor, so a bare
+        // cast there is as dangerous as one in the graph crate itself.
+        let src = "fn f(x: usize) -> u32 { x as u32 }\n";
+        assert_eq!(
+            ids(&check_source(src, &ctx("gen", FileKind::Lib))),
+            vec![("no-bare-index-cast", 1)]
         );
     }
 

@@ -98,6 +98,14 @@ fn bare_index_casts_in_the_check_crate() {
 }
 
 #[test]
+fn bare_index_casts_in_the_gen_crate() {
+    // Generators joined the index scope when they became streaming
+    // EdgeSources feeding u32 endpoint records straight into the CSR
+    // builder: the same fixture diagnoses identically under "gen".
+    assert_fixture("index_cast.rs", "crates/gen/src/fixture.rs", "gen", FileKind::Lib, false);
+}
+
+#[test]
 fn panic_family_in_library_code() {
     assert_fixture("panics.rs", "crates/core/src/fixture.rs", "core", FileKind::Lib, false);
 }

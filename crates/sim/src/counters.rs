@@ -70,6 +70,21 @@ pub fn snapshot() -> (u64, u64, u64) {
     (rounds_executed(), node_steps(), send_steps())
 }
 
+/// Total endpoint bytes ingested by streamed graph builds — the
+/// construction-side work counter, re-exported from
+/// [`treelocal_graph::stats`] so drivers read every counter through one
+/// module. Generation-heavy suites (big Prüfer sweeps) spend most of
+/// their wall clock here, invisible to the round/step counters above.
+pub fn bytes_ingested() -> u64 {
+    treelocal_graph::stats::bytes_ingested()
+}
+
+/// Largest single-build allocation footprint (bytes) seen by streamed
+/// graph builds, re-exported from [`treelocal_graph::stats`].
+pub fn peak_build_bytes() -> u64 {
+    treelocal_graph::stats::peak_build_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,27 +63,32 @@ pub struct GatherPlan<'t, T: Topology> {
     /// Index-keyed cache; `ECC_UNCOMPUTED` marks untouched components.
     /// Interior mutability keeps the costing API `&self` like the free
     /// functions it replaces (plans are per-thread values, not shared).
+    /// Both tables stay **empty** until the first query: "building a plan
+    /// is free" is literal — a never-queried plan over a 100M-node index
+    /// space allocates nothing.
     ecc: RefCell<Vec<u32>>,
     far: RefCell<Vec<NodeId>>,
 }
 
 impl<'t, T: Topology> GatherPlan<'t, T> {
-    /// Creates an empty plan over `topo` (no eccentricities are computed
-    /// until a component is first queried).
+    /// Creates an empty plan over `topo` (no eccentricities are computed —
+    /// and no index-space tables are allocated — until a component is
+    /// first queried).
     pub fn new(topo: &'t T) -> Self {
-        GatherPlan {
-            topo,
-            ecc: RefCell::new(vec![treelocal_graph::ECC_UNCOMPUTED; topo.index_space()]),
-            // Placeholder entries: `component_eccentricities` writes every
-            // member's farthest node before `farthest` can read it.
-            far: RefCell::new(vec![NodeId::new(0); topo.index_space()]),
-        }
+        GatherPlan { topo, ecc: RefCell::new(Vec::new()), far: RefCell::new(Vec::new()) }
     }
 
     /// The eccentricity of `v` within its component, filling the
     /// component's cache entries on first touch.
     pub fn eccentricity(&self, v: NodeId) -> u32 {
         let mut ecc = self.ecc.borrow_mut();
+        if ecc.is_empty() {
+            // First query: materialize the index-keyed tables. `far` gets
+            // placeholder entries — `component_eccentricities` writes every
+            // member's farthest node before `farthest` can read it.
+            ecc.resize(self.topo.index_space(), treelocal_graph::ECC_UNCOMPUTED);
+            self.far.borrow_mut().resize(self.topo.index_space(), NodeId::new(0));
+        }
         if ecc[v.index()] == treelocal_graph::ECC_UNCOMPUTED {
             component_eccentricities(self.topo, v, &mut ecc, &mut self.far.borrow_mut());
         }
@@ -233,6 +238,16 @@ mod tests {
         for v in g.node_ids() {
             assert_eq!(plan.rounds_at(v), gather_rounds_at(&g, v), "{v:?}");
         }
+    }
+
+    #[test]
+    fn plan_allocates_nothing_until_queried() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let plan = GatherPlan::new(&g);
+        assert!(plan.ecc.borrow().is_empty(), "tables must stay empty before the first query");
+        assert!(plan.far.borrow().is_empty());
+        assert_eq!(plan.rounds_at(NodeId::new(0)), 2);
+        assert_eq!(plan.ecc.borrow().len(), g.node_count());
     }
 
     #[test]

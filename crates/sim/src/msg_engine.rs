@@ -10,8 +10,9 @@
 //! both engines and compares outputs and round counts.
 //!
 //! Ports are positions in a node's neighbor list; the engine precomputes
-//! the reverse port map (one O(m) pass over edge sides, see
-//! [`build_back_ports`]) so routing is O(1) per message. Messages addressed
+//! the reverse port map (one pass over the adjacency, binary-searching the
+//! sorted neighbor slices — see [`Router::new`]) so routing is O(1) per
+//! message. Messages addressed
 //! to already-halted recipients are dropped at routing time: a halted
 //! node's inbox is dead — never cleared, never read — so writing into it
 //! would be pure waste (pinned by `halted_recipients_inboxes_are_never_touched`).
@@ -71,84 +72,116 @@ pub trait MessageAlgorithm<T: Topology> {
 }
 
 /// Flat routing tables and inboxes for one message run, in the same CSR
-/// shape as the graph's adjacency.
+/// shape as the graph's adjacency — but **dense over the participants**,
+/// not the index space.
 ///
-/// `offsets[v]..offsets[v + 1]` (over the full node index space; empty for
-/// non-participants) delimits node `v`'s port range in both flat arrays:
-/// `slots` holds the inbox slot per port and `back_port[offsets[v] + p]`
-/// is the port of the neighbor behind `v`'s port `p` that leads back to
-/// `v`. Routing is pure offset arithmetic over contiguous memory. Split
-/// from the run loop so the halted-inbox invariant is unit-testable
-/// against the real routing code.
+/// A [`Remap`] ranks each participating node into `0..k` (`k` =
+/// participant count); `offsets[rank(v)]..offsets[rank(v) + 1]` delimits
+/// node `v`'s port range in both flat arrays: `slots` holds the inbox slot
+/// per port and `back_port[offsets[rank(v)] + p]` is the port of the
+/// neighbor behind `v`'s port `p` that leads back to `v`. Routing is pure
+/// offset arithmetic over contiguous memory; sparse participant sets
+/// (semi-graph restrictions inside a large parent index space) pay for
+/// their own nodes only, never for the index space. Split from the run
+/// loop so the halted-inbox invariant is unit-testable against the real
+/// routing code.
 struct Router<M> {
+    remap: Remap,
     offsets: Vec<u32>,
     back_port: Vec<u32>,
     slots: Vec<Option<M>>,
 }
 
-/// Builds the per-node port offsets table: a prefix sum of participating
-/// degrees over the full index space. `2m` port slots fit `u32` by the
-/// graph crate's index-space cap.
-fn port_offsets<T: Topology>(topo: &T) -> Vec<u32> {
-    let mut offsets = vec![0u32; topo.index_space() + 1];
-    for v in topo.nodes() {
-        offsets[v.index() + 1] = narrow_u32(topo.degree(v));
-    }
-    for i in 0..topo.index_space() {
-        offsets[i + 1] += offsets[i];
-    }
-    offsets
+/// Dense ranking of the participating node indices.
+///
+/// Topologies enumerate participants in ascending index order (CSR node
+/// ranges and semi-graph restrictions both do), so when every index in
+/// `0..index_space` participates the rank *is* the index and nothing is
+/// stored; otherwise the sorted participant list ranks by binary search.
+enum Remap {
+    /// Participants are exactly `0..index_space`.
+    Identity,
+    /// Sorted participant indices; rank = position in this list.
+    Dense(Vec<u32>),
 }
 
-/// Builds the flat reverse port map in **one O(m) pass** over edge sides.
-///
-/// The port a node occupies in its neighbor's list is recorded per
-/// `(edge, side)` while walking each adjacency list once; a second walk
-/// reads the opposite side back. The older per-port `position()` scan was
-/// O(Σ_v Σ_{w ∈ N(v)} deg(w)) — ~Δ² on a star, which at 100k leaves means
-/// ~10¹⁰ comparisons before round 1 (pinned by the
-/// `high_degree_star_setup_is_linear` regression).
-fn build_back_ports<T: Topology>(topo: &T, offsets: &[u32]) -> Vec<u32> {
-    let graph = topo.graph();
-    let mut edge_port: Vec<[u32; 2]> = vec![[u32::MAX; 2]; graph.edge_count()];
-    for v in topo.nodes() {
-        for (p, &e) in topo.neighbor_edges(v).iter().enumerate() {
-            edge_port[e.index()][graph.side_of(e, v).index()] = narrow_u32(p);
+impl Remap {
+    #[inline]
+    fn rank(&self, v: NodeId) -> usize {
+        match self {
+            Remap::Identity => v.index(),
+            Remap::Dense(ids) => {
+                ids.binary_search(&narrow_u32(v.index())).unwrap_or_else(|_| {
+                    // lint:allow(no-panic-in-lib): routing to a node outside
+                    // the participant set is an engine bug with no meaningful
+                    // slot to return.
+                    panic!("{v:?} is not a participant of this run")
+                })
+            }
         }
     }
-    let mut back = vec![0u32; widen_u32(offsets[topo.index_space()])];
-    for v in topo.nodes() {
-        let base = widen_u32(offsets[v.index()]);
-        for (p, (w, e)) in topo.neighbors(v).enumerate() {
-            let q = edge_port[e.index()][graph.side_of(e, w).index()];
-            // Checked in every profile: an unfilled reverse port means the
-            // topology's adjacency is not symmetric, and routing through it
-            // would deliver messages to arbitrary ports.
-            assert_ne!(
-                q,
-                u32::MAX,
-                "reverse port of {v:?} towards {w:?} was never filled \
-                 (adjacency must be symmetric: commit-order invariant of the router)"
-            );
-            back[base + p] = q;
-        }
-    }
-    back
 }
 
 impl<M> Router<M> {
+    /// Builds every routing table in **one pass** over the adjacency.
+    ///
+    /// Each participant appends its rank, its prefix-sum offset and its
+    /// back ports as it streams by; the reverse port of `v`'s port `p`
+    /// towards `w` is found by binary search in `w`'s sorted neighbor
+    /// slice, so the whole build is O(Σ deg · log Δ) with no edge-space or
+    /// index-space transients. (The older two-pass edge-side build was
+    /// itself a fix for a per-port `position()` scan that went ~Δ² on a
+    /// star — still pinned by `high_degree_star_setup_is_linear`.)
     fn new<T: Topology>(topo: &T) -> Self {
-        let offsets = port_offsets(topo);
-        let back_port = build_back_ports(topo, &offsets);
+        let mut participants: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        let mut back_port: Vec<u32> = Vec::new();
+        for v in topo.nodes() {
+            debug_assert!(
+                participants.last().is_none_or(|&p| widen_u32(p) < v.index()),
+                "topologies enumerate nodes in ascending index order"
+            );
+            participants.push(narrow_u32(v.index()));
+            for &w in topo.neighbor_nodes(v) {
+                // Checked in every profile: a neighbor that does not list us
+                // back means the topology's adjacency is not symmetric, and
+                // routing through it would deliver messages to arbitrary
+                // ports.
+                let q = topo.neighbor_nodes(w).binary_search(&v).unwrap_or_else(|_| {
+                    // lint:allow(no-panic-in-lib): invariant check with no
+                    // meaningful port to return.
+                    panic!(
+                        "no port of {w:?} leads back to {v:?} \
+                         (adjacency must be symmetric: commit-order invariant of the router)"
+                    )
+                });
+                back_port.push(narrow_u32(q));
+            }
+            offsets.push(narrow_u32(back_port.len()));
+        }
+        let remap = if participants.len() == topo.index_space() {
+            // Distinct ascending indices below the index space filling it
+            // completely are exactly 0..index_space: rank = index.
+            Remap::Identity
+        } else {
+            Remap::Dense(participants)
+        };
         let mut slots = Vec::new();
         slots.resize_with(back_port.len(), || None);
-        Router { offsets, back_port, slots }
+        Router { remap, offsets, back_port, slots }
     }
 
     /// The flat slot range of node `v`'s inbox (and of its back-port row).
     #[inline]
     fn range(&self, v: NodeId) -> std::ops::Range<usize> {
-        widen_u32(self.offsets[v.index()])..widen_u32(self.offsets[v.index() + 1])
+        let r = self.remap.rank(v);
+        widen_u32(self.offsets[r])..widen_u32(self.offsets[r + 1])
+    }
+
+    /// The flat slot index of node `v`'s port 0.
+    #[inline]
+    fn slot_base(&self, v: NodeId) -> usize {
+        widen_u32(self.offsets[self.remap.rank(v)])
     }
 
     /// Clears the inboxes of this round's recipients. Only frontier nodes
@@ -247,7 +280,7 @@ fn outgoing_into<T: Topology, A: MessageAlgorithm<T>, C: SendView<A::State>>(
             if !core.is_active(w) {
                 continue;
             }
-            bucket.push((widen_u32(router.offsets[w.index()]) + widen_u32(back[p]), m));
+            bucket.push((router.slot_base(w) + widen_u32(back[p]), m));
         }
     }
 }
@@ -609,7 +642,7 @@ mod tests {
 
     #[test]
     fn back_ports_match_the_position_scan() {
-        // The O(m) edge-side construction must agree with the definition
+        // The binary-search construction must agree with the definition
         // (the port of w that leads back to v) on every shape, including
         // semi-graph restrictions.
         for seed in 0..6u64 {
@@ -625,19 +658,39 @@ mod tests {
     }
 
     fn check_back_ports<T: Topology>(topo: &T) {
-        let offsets = port_offsets(topo);
-        let back = build_back_ports(topo, &offsets);
+        let router: Router<()> = Router::new(topo);
         for v in topo.nodes() {
-            let base = widen_u32(offsets[v.index()]);
+            let back = &router.back_port[router.range(v)];
             for (p, &w) in topo.neighbor_nodes(v).iter().enumerate() {
                 let expect = topo
                     .neighbor_nodes(w)
                     .iter()
                     .position(|&x| x == v)
                     .expect("adjacency is symmetric");
-                assert_eq!(widen_u32(back[base + p]), expect, "{v:?} port {p}");
+                assert_eq!(widen_u32(back[p]), expect, "{v:?} port {p}");
             }
         }
+    }
+
+    #[test]
+    fn router_tables_are_dense_over_participants() {
+        // A sparse restriction inside a large parent index space must pay
+        // for its own nodes only: offsets are participant-sized (not
+        // index-space-sized) and ranks are dense.
+        let g = treelocal_gen::random_tree(200, 4);
+        let s = treelocal_graph::SemiGraph::induced_by_nodes(&g, |v| v.index() % 5 == 0);
+        let k = s.nodes().len();
+        assert!(k < s.index_space(), "restriction must be sparse for this test");
+        let router: Router<u8> = Router::new(&s);
+        assert_eq!(router.offsets.len(), k + 1);
+        assert!(matches!(router.remap, Remap::Dense(ref ids) if ids.len() == k));
+        for (rank, &v) in s.nodes().iter().enumerate() {
+            assert_eq!(router.remap.rank(v), rank);
+        }
+        // The full graph fills its index space: no participant list at all.
+        let router: Router<u8> = Router::new(&g);
+        assert!(matches!(router.remap, Remap::Identity));
+        assert_eq!(router.offsets.len(), g.node_count() + 1);
     }
 
     #[test]

@@ -47,8 +47,15 @@ fn skip_in_debug() -> bool {
 /// tree (the experiments' bread-and-butter workload) and a caterpillar
 /// whose ~250k-node spine gives it a Θ(n) diameter — the instance where a
 /// gather-style baseline degenerates and locality has to do the work.
-fn ten_million_node_trees() -> Vec<(&'static str, Graph)> {
-    vec![("prufer/10M", random_tree(N, 23)), ("caterpillar/10M", caterpillar(N / 4, 3))]
+/// Returned as thunks so callers can run each build inside its own
+/// measured window (see [`reset_peak_rss`]).
+type TreeThunk = fn() -> Graph;
+
+fn ten_million_node_trees() -> Vec<(&'static str, TreeThunk)> {
+    vec![
+        ("prufer/10M", (|| random_tree(N, 23)) as TreeThunk),
+        ("caterpillar/10M", || caterpillar(N / 4, 3)),
+    ]
 }
 
 /// `log n / log log n` at `n` (base 2), the Theorem 12 yardstick.
@@ -57,15 +64,22 @@ fn log_over_loglog(n: usize) -> f64 {
     l / l.log2()
 }
 
-/// Peak-RSS instrumentation for the state-layout comparison (Linux
-/// best-effort, silent no-op elsewhere). `reset_peak_rss` clears the
-/// kernel's high-water mark so the follow-up [`peak_rss_kb`] reading
-/// covers only the engine phase: the Prüfer generator's transients
-/// (~1 GB at this size) would otherwise set the process peak in both
-/// state modes and mask the difference between the flat SoA column and
-/// the boxed `Option<State>` double buffers. The CI smoke job runs the
-/// two Linial variants in separate processes and greps the lines these
-/// feed.
+/// Peak-RSS instrumentation for the construction and state-layout
+/// comparisons (Linux best-effort, silent no-op elsewhere).
+/// `reset_peak_rss` clears the kernel's high-water mark between phases so
+/// each [`peak_rss_kb`] reading covers one phase alone:
+///
+/// * **generation phase** — reset before the generator thunk runs, read
+///   after the [`Graph`] exists. This pins the construction transient the
+///   streaming `EdgeSource` build is supposed to have killed (the
+///   materialized edge list alone was ~480 MB at this size, ~1 GB peak
+///   with the generator's own scratch).
+/// * **engine phase** — reset after `Ctx`/engine setup, read after the
+///   run. This is the state-layout comparison: the flat SoA column vs the
+///   boxed `Option<State>` double buffers.
+///
+/// The CI smoke job runs the two Linial variants in separate processes
+/// and greps both phase lines.
 fn reset_peak_rss() {
     let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
@@ -76,9 +90,9 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-fn report_engine_peak(name: &str, mode: &str) {
+fn report_peak(name: &str, mode: &str, phase: &str) {
     if let Some(kb) = peak_rss_kb() {
-        eprintln!("{name}: linial {mode} engine-phase peak RSS {kb} kB");
+        eprintln!("{name}: linial {mode} {phase}-phase peak RSS {kb} kB");
     }
 }
 
@@ -88,12 +102,15 @@ fn linial_on_ten_million_node_trees_stays_log_star() {
     if skip_in_debug() {
         return;
     }
-    for (name, tree) in ten_million_node_trees() {
+    for (name, build) in ten_million_node_trees() {
+        reset_peak_rss();
+        let tree = build();
+        report_peak(name, "soa", "generation");
         assert_eq!(tree.node_count(), N, "{name}");
         let ctx = Ctx::of(&tree);
         reset_peak_rss();
         let lin = run_linial(&ctx);
-        report_engine_peak(name, "soa");
+        report_peak(name, "soa", "engine");
         assert!(is_proper(&tree, &lin.colors), "{name}: Linial output must be proper");
         let ls = log_star_u64(ctx.id_space);
         // Lin92: log* + O(1) stages, each one round. The schedule has
@@ -124,11 +141,14 @@ fn linial_boxed_on_ten_million_node_trees_stays_log_star() {
     if skip_in_debug() {
         return;
     }
-    for (name, tree) in ten_million_node_trees() {
+    for (name, build) in ten_million_node_trees() {
+        reset_peak_rss();
+        let tree = build();
+        report_peak(name, "boxed", "generation");
         let ctx = Ctx::of(&tree);
         reset_peak_rss();
         let lin = run_linial_boxed(&ctx);
-        report_engine_peak(name, "boxed");
+        report_peak(name, "boxed", "engine");
         assert!(is_proper(&tree, &lin.colors), "{name}: boxed Linial output must be proper");
         let ls = log_star_u64(ctx.id_space);
         assert!(
@@ -148,7 +168,8 @@ fn theorem12_mis_on_ten_million_node_trees_stays_sublogarithmic() {
         return;
     }
     let ll = log_over_loglog(N); // ~5.12 at n = 1e7
-    for (name, tree) in ten_million_node_trees() {
+    for (name, build) in ten_million_node_trees() {
+        let tree = build();
         let (out, set) = mis_on_tree(&tree);
         assert!(out.valid, "{name}: pipeline self-check failed");
         assert!(classic::is_valid_mis(&tree, &set), "{name}: output is not a valid MIS");
